@@ -1,0 +1,108 @@
+// Command crackbench regenerates the figures of "Cracking the Database
+// Store" (Kersten & Manegold, CIDR 2005) on this library's substrates and
+// prints the series as TSV (for plotting) or as a shape summary.
+//
+// Usage:
+//
+//	crackbench -fig 1a|1b|1c|2|3|8|9|10|11|sql|all [flags]
+//
+// Flags:
+//
+//	-n int        table / vector cardinality (default: paper scale where feasible)
+//	-k int        sequence length (figures 2, 3, 10, 11)
+//	-seed int     RNG seed (default 42)
+//	-summary      print a shape summary instead of TSV
+//	-budget dur   per-configuration wall budget for figure 9 (default 5s)
+//
+// Examples:
+//
+//	crackbench -fig 2                  # granule simulation, TSV to stdout
+//	crackbench -fig 10 -n 1000000      # homeruns on 1M rows
+//	crackbench -fig all -summary       # every figure, digest form
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"crackdb/internal/figures"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "all", "figure to regenerate: 1a,1b,1c,2,3,8,9,10,11,sql,all")
+		n       = flag.Int("n", 0, "cardinality override (0 = figure default)")
+		k       = flag.Int("k", 0, "sequence length override (0 = figure default)")
+		seed    = flag.Int64("seed", 42, "RNG seed")
+		summary = flag.Bool("summary", false, "print shape summary instead of TSV")
+		budget  = flag.Duration("budget", 5*time.Second, "figure 9 per-configuration budget")
+	)
+	flag.Parse()
+
+	if err := run(*fig, *n, *k, *seed, *summary, *budget); err != nil {
+		fmt.Fprintln(os.Stderr, "crackbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig string, n, k int, seed int64, summary bool, budget time.Duration) error {
+	emit := func(f figures.Figure, err error) error {
+		if err != nil {
+			return err
+		}
+		if summary {
+			fmt.Println(f.Summary())
+			return nil
+		}
+		return f.WriteTSV(os.Stdout)
+	}
+
+	runOne := func(id string) error {
+		switch id {
+		case "1a", "1b", "1c":
+			mode := map[string]figures.Fig1Mode{
+				"1a": figures.Fig1Materialize,
+				"1b": figures.Fig1Print,
+				"1c": figures.Fig1Count,
+			}[id]
+			return emit(figures.Fig1(mode, figures.Fig1Config{N: n, Seed: seed}))
+		case "2":
+			return emit(figures.Fig2(figures.Fig2Config{N: n, K: k, Seed: seed}), nil)
+		case "3":
+			return emit(figures.Fig3(figures.Fig2Config{N: n, K: k, Seed: seed}), nil)
+		case "8":
+			return emit(figures.Fig8(figures.Fig8Config{K: k}), nil)
+		case "9":
+			return emit(figures.Fig9(figures.Fig9Config{N: n, Budget: budget, Seed: seed}))
+		case "10":
+			return emit(figures.Fig10(figures.Fig10Config{N: n, K: k, Seed: seed}))
+		case "11":
+			return emit(figures.Fig11(figures.Fig11Config{N: n, K: k, Seed: seed}))
+		case "hiking":
+			return emit(figures.FigHiking(figures.FigHikingConfig{N: n, K: k, Seed: seed}))
+		case "sql":
+			res, err := figures.SQLLevel(figures.SQLLevelConfig{N: n, Seed: seed})
+			if err != nil {
+				return err
+			}
+			fmt.Print(res)
+			return nil
+		default:
+			return fmt.Errorf("unknown figure %q (want 1a,1b,1c,2,3,8,9,10,11,hiking,sql,all)", id)
+		}
+	}
+
+	if fig == "all" {
+		for _, id := range []string{"1a", "1b", "1c", "2", "3", "8", "9", "10", "11", "hiking", "sql"} {
+			fmt.Printf("=== figure %s ===\n", id)
+			if err := runOne(id); err != nil {
+				return fmt.Errorf("figure %s: %w", id, err)
+			}
+			fmt.Println()
+		}
+		return nil
+	}
+	return runOne(fig)
+}

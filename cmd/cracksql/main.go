@@ -1,0 +1,239 @@
+// Command cracksql is an interactive SQL shell over the cracking store.
+// Every WHERE clause you run doubles as cracking advice: watch the
+// \stats and \lineage meta commands to see the store reorganize itself
+// under your queries.
+//
+// Usage:
+//
+//	cracksql [-f script.sql] [-db dir]
+//
+// Meta commands:
+//
+//	\tables                list tables
+//	\stats <table> <col>   cracking statistics of a column
+//	\lineage <table> <col> render the cracker lineage DAG
+//	\tapestry <name> <n> <alpha> [seed]   load a DBtapestry table
+//	\save <dir> / \open <dir>             persist / load the store
+//	\quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"crackdb"
+	"crackdb/internal/sql"
+)
+
+func main() {
+	var (
+		script = flag.String("f", "", "execute a SQL script file and exit")
+		dbdir  = flag.String("db", "", "open a saved store directory")
+	)
+	flag.Parse()
+
+	store := crackdb.New()
+	if *dbdir != "" {
+		var err error
+		store, err = crackdb.Open(*dbdir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cracksql:", err)
+			os.Exit(1)
+		}
+	}
+	eng := sql.NewEngine(store)
+
+	if *script != "" {
+		data, err := os.ReadFile(*script)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cracksql:", err)
+			os.Exit(1)
+		}
+		results, err := eng.ExecScript(string(data))
+		for _, rs := range results {
+			printResult(rs)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cracksql:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Println("cracksql — the database store that cracks under pressure")
+	fmt.Println(`type SQL terminated by ';', or \help`)
+	repl(eng)
+}
+
+func repl(eng *sql.Engine) {
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<24)
+	var pending strings.Builder
+	prompt := func() {
+		if pending.Len() == 0 {
+			fmt.Print("crackdb> ")
+		} else {
+			fmt.Print("    ...> ")
+		}
+	}
+	prompt()
+	for scanner.Scan() {
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		if pending.Len() == 0 && strings.HasPrefix(trimmed, `\`) {
+			if !meta(eng, trimmed) {
+				return
+			}
+			prompt()
+			continue
+		}
+		pending.WriteString(line)
+		pending.WriteByte('\n')
+		if strings.Contains(line, ";") {
+			stmt := pending.String()
+			pending.Reset()
+			results, err := eng.ExecScript(stmt)
+			for _, rs := range results {
+				printResult(rs)
+			}
+			if err != nil {
+				fmt.Println("error:", err)
+			}
+		}
+		prompt()
+	}
+}
+
+// meta handles backslash commands; it returns false to quit.
+func meta(eng *sql.Engine, cmd string) bool {
+	fields := strings.Fields(cmd)
+	store := eng.Store()
+	switch fields[0] {
+	case `\quit`, `\q`:
+		return false
+	case `\help`:
+		fmt.Println(`\tables, \stats <t> <c>, \lineage <t> <c>, \tapestry <name> <n> <alpha> [seed], \save <dir>, \open <dir>, \quit`)
+	case `\tables`:
+		for _, t := range store.Tables() {
+			cols, _ := store.Columns(t)
+			n, _ := store.NumRows(t)
+			fmt.Printf("  %s (%s) — %d rows\n", t, strings.Join(cols, ", "), n)
+		}
+	case `\stats`:
+		if len(fields) != 3 {
+			fmt.Println(`usage: \stats <table> <column>`)
+			break
+		}
+		st, err := store.Stats(fields[1], fields[2])
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		fmt.Printf("  queries=%d cracks=%d indexLookups=%d pieces=%d moved=%d touched=%d fusions=%d\n",
+			st.Queries, st.Cracks, st.IndexLookups, st.Pieces, st.TuplesMoved, st.TuplesTouched, st.Fusions)
+	case `\lineage`:
+		if len(fields) != 3 {
+			fmt.Println(`usage: \lineage <table> <column>`)
+			break
+		}
+		lin, err := store.Lineage(fields[1], fields[2])
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		fmt.Print(lin)
+	case `\tapestry`:
+		if len(fields) < 4 {
+			fmt.Println(`usage: \tapestry <name> <n> <alpha> [seed]`)
+			break
+		}
+		n, err1 := strconv.Atoi(fields[2])
+		alpha, err2 := strconv.Atoi(fields[3])
+		seed := int64(42)
+		if len(fields) > 4 {
+			s, err := strconv.ParseInt(fields[4], 10, 64)
+			if err != nil {
+				fmt.Println("error:", err)
+				break
+			}
+			seed = s
+		}
+		if err1 != nil || err2 != nil {
+			fmt.Println("error: n and alpha must be integers")
+			break
+		}
+		if err := store.LoadTapestry(fields[1], n, alpha, seed); err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		fmt.Printf("  loaded tapestry %s (%d × %d)\n", fields[1], n, alpha)
+	case `\save`:
+		if len(fields) != 2 {
+			fmt.Println(`usage: \save <dir>`)
+			break
+		}
+		if err := store.Save(fields[1]); err != nil {
+			fmt.Println("error:", err)
+		} else {
+			fmt.Println("  saved to", fields[1])
+		}
+	case `\open`:
+		fmt.Println(`  \open is only available at startup: cracksql -db <dir>`)
+	default:
+		fmt.Printf("unknown meta command %s (try \\help)\n", fields[0])
+	}
+	return true
+}
+
+func printResult(rs *sql.ResultSet) {
+	if rs.Message != "" {
+		fmt.Println(rs.Message)
+		return
+	}
+	widths := make([]int, len(rs.Columns))
+	for i, c := range rs.Columns {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(rs.Rows))
+	for r, row := range rs.Rows {
+		cells[r] = make([]string, len(row))
+		for i, v := range row {
+			s := strconv.FormatInt(v, 10)
+			cells[r][i] = s
+			if len(s) > widths[i] {
+				widths[i] = len(s)
+			}
+		}
+	}
+	var sb strings.Builder
+	for i, c := range rs.Columns {
+		if i > 0 {
+			sb.WriteString(" | ")
+		}
+		fmt.Fprintf(&sb, "%-*s", widths[i], c)
+	}
+	fmt.Println(sb.String())
+	sb.Reset()
+	for i := range rs.Columns {
+		if i > 0 {
+			sb.WriteString("-+-")
+		}
+		sb.WriteString(strings.Repeat("-", widths[i]))
+	}
+	fmt.Println(sb.String())
+	for _, row := range cells {
+		sb.Reset()
+		for i, cell := range row {
+			if i > 0 {
+				sb.WriteString(" | ")
+			}
+			fmt.Fprintf(&sb, "%*s", widths[i], cell)
+		}
+		fmt.Println(sb.String())
+	}
+	fmt.Printf("(%d rows)\n", len(rs.Rows))
+}

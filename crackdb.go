@@ -1,0 +1,354 @@
+// Package crackdb is a self-organizing column store built on database
+// cracking, a Go reproduction of M.L. Kersten and S. Manegold, "Cracking
+// the Database Store" (CIDR 2005).
+//
+// A cracking store maintains no upfront indexes. Instead, every query is
+// interpreted both as a request for a subset of the data and as advice to
+// physically break ("crack") the touched columns into smaller pieces, so
+// the answer becomes a contiguous region and future queries touch fewer
+// superfluous tuples. The cracker index that binds the pieces together is
+// built incrementally by the queries themselves — "let the query users
+// pay for maintaining the access structures".
+//
+// # Quick start
+//
+//	store := crackdb.New()
+//	store.CreateTable("events", "ts", "sensor", "reading")
+//	store.InsertRows("events", rows)
+//
+//	res, err := store.Select("events", "reading", 100, 200) // cracks as a side effect
+//	fmt.Println(res.Count())
+//	rows, err := res.Rows("ts", "sensor") // fetch other attributes by oid
+//
+// Repeating or refining the range gets cheaper with every query: the
+// first query pays a partition pass, later queries approach pure index
+// lookups. See the examples/ directory for complete programs and
+// cmd/crackbench for the paper's experiments.
+package crackdb
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"crackdb/internal/bat"
+	"crackdb/internal/catalog"
+	"crackdb/internal/core"
+	"crackdb/internal/expr"
+	"crackdb/internal/mqs"
+	"crackdb/internal/relation"
+)
+
+// Store is a cracking column store: named tables whose columns are
+// adaptively reorganized by the range queries they answer. All methods
+// are safe for concurrent use.
+type Store struct {
+	mu        sync.Mutex
+	cat       *catalog.Catalog
+	tables    map[string]*relation.Table
+	cracked   map[string]*core.CrackedTable
+	maxPieces int
+	ripple    bool
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{
+		cat:     catalog.New(),
+		tables:  make(map[string]*relation.Table),
+		cracked: make(map[string]*core.CrackedTable),
+	}
+}
+
+// SetMaxPieces bounds the cracker index of columns cracked after the
+// call: when a column exceeds n pieces, its smallest adjacent pieces are
+// fused. n = 0 (the default) disables fusion.
+func (s *Store) SetMaxPieces(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.maxPieces = n
+}
+
+// SetRippleUpdates switches columns cracked after the call to ripple
+// merging: pending inserts are shuffled into their pieces one boundary
+// crossing at a time, keeping the cracker index, instead of rebuilding
+// the column. Best under trickle inserts on heavily cracked columns.
+func (s *Store) SetRippleUpdates(on bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ripple = on
+}
+
+// CreateTable registers an empty integer table.
+func (s *Store) CreateTable(name string, cols ...string) error {
+	if len(cols) == 0 {
+		return fmt.Errorf("crackdb: table %q needs at least one column", name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.tables[name]; exists {
+		return fmt.Errorf("crackdb: table %q already exists", name)
+	}
+	defs := make([]catalog.ColumnDef, len(cols))
+	for i, c := range cols {
+		defs[i] = catalog.ColumnDef{Name: c, Type: "int"}
+	}
+	if _, err := s.cat.CreateTable(name, defs...); err != nil {
+		return err
+	}
+	s.tables[name] = relation.New(name, cols...)
+	return nil
+}
+
+// DropTable removes a table and its cracked state.
+func (s *Store) DropTable(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.tables[name]; !ok {
+		return fmt.Errorf("crackdb: table %q does not exist", name)
+	}
+	if err := s.cat.DropTable(name); err != nil {
+		return err
+	}
+	delete(s.tables, name)
+	delete(s.cracked, name)
+	return nil
+}
+
+// InsertRows appends tuples to a table. Cracked columns absorb the new
+// values as pending updates, folded in by the next query according to
+// the store's update strategy (paper §7 extension) — the cracker index
+// survives the insert.
+func (s *Store) InsertRows(name string, rows [][]int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tables[name]
+	if !ok {
+		return fmt.Errorf("crackdb: table %q does not exist", name)
+	}
+	ct, ok := s.cracked[name]
+	if !ok {
+		var opts []core.Option
+		if s.maxPieces > 0 {
+			opts = append(opts, core.WithMaxPieces(s.maxPieces))
+		}
+		if s.ripple {
+			opts = append(opts, core.WithUpdateStrategy(core.MergeRipple))
+		}
+		ct = core.NewCrackedTable(t, opts...)
+		s.cracked[name] = ct
+	}
+	if err := ct.AppendRows(rows); err != nil {
+		return fmt.Errorf("crackdb: %w", err)
+	}
+	return s.cat.SetRows(name, t.Len())
+}
+
+// LoadTapestry creates a table with the paper's DBtapestry generator:
+// n rows, alpha columns named c0..c{alpha-1}, each a shuffled permutation
+// of 1..n.
+func (s *Store) LoadTapestry(name string, n, alpha int, seed int64) error {
+	if n < 1 || alpha < 1 {
+		return fmt.Errorf("crackdb: tapestry %dx%d invalid", n, alpha)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.tables[name]; exists {
+		return fmt.Errorf("crackdb: table %q already exists", name)
+	}
+	t := mqs.Tapestry(n, alpha, seed)
+	t.Name = name
+	defs := make([]catalog.ColumnDef, alpha)
+	for i, c := range t.ColumnNames() {
+		defs[i] = catalog.ColumnDef{Name: c, Type: "int"}
+	}
+	if _, err := s.cat.CreateTable(name, defs...); err != nil {
+		return err
+	}
+	s.tables[name] = t
+	return s.cat.SetRows(name, n)
+}
+
+// Tables returns the registered table names, sorted.
+func (s *Store) Tables() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.tables))
+	for n := range s.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NumRows returns a table's cardinality.
+func (s *Store) NumRows(name string) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tables[name]
+	if !ok {
+		return 0, fmt.Errorf("crackdb: table %q does not exist", name)
+	}
+	return t.Len(), nil
+}
+
+// Columns returns a table's column names.
+func (s *Store) Columns(name string) ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("crackdb: table %q does not exist", name)
+	}
+	return t.ColumnNames(), nil
+}
+
+// crackedFor returns (creating on demand) the cracked wrapper of a table.
+func (s *Store) crackedFor(name string) (*core.CrackedTable, *relation.Table, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tables[name]
+	if !ok {
+		return nil, nil, fmt.Errorf("crackdb: table %q does not exist", name)
+	}
+	ct, ok := s.cracked[name]
+	if !ok {
+		var opts []core.Option
+		if s.maxPieces > 0 {
+			opts = append(opts, core.WithMaxPieces(s.maxPieces))
+		}
+		if s.ripple {
+			opts = append(opts, core.WithUpdateStrategy(core.MergeRipple))
+		}
+		ct = core.NewCrackedTable(t, opts...)
+		s.cracked[name] = ct
+	}
+	return ct, t, nil
+}
+
+// Select answers the inclusive range query low <= col <= high, cracking
+// the column as a side effect. The result references the store; use
+// Rows, Values, Count, WriteTo or Materialize to consume it.
+func (s *Store) Select(table, col string, low, high int64) (*Result, error) {
+	ct, t, err := s.crackedFor(table)
+	if err != nil {
+		return nil, err
+	}
+	vals, oids, err := ct.SelectCopy(expr.Range{Col: col, Low: low, High: high, LowIncl: true, HighIncl: true})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{store: s, table: t, cracked: ct, vals: vals, oids: oids}, nil
+}
+
+// Count is Select without result materialization: the query still cracks
+// (it is also advice) but only the qualifying-tuple count is returned.
+func (s *Store) Count(table, col string, low, high int64) (int, error) {
+	ct, _, err := s.crackedFor(table)
+	if err != nil {
+		return 0, err
+	}
+	view, err := ct.Select(expr.Range{Col: col, Low: low, High: high, LowIncl: true, HighIncl: true})
+	if err != nil {
+		return 0, err
+	}
+	return view.Len(), nil
+}
+
+// Result is the answer of a Select: the qualifying values of the queried
+// column plus the tuple OIDs for fetching other attributes.
+type Result struct {
+	store   *Store
+	table   *relation.Table
+	cracked *core.CrackedTable
+	vals    []int64
+	oids    []bat.OID
+}
+
+// Count returns the number of qualifying tuples.
+func (r *Result) Count() int { return len(r.oids) }
+
+// Values returns the qualifying values of the queried column. Results
+// produced by SelectWhere carry no single queried column and return nil;
+// use Rows to fetch attributes.
+func (r *Result) Values() []int64 { return r.vals }
+
+// Rows fetches the requested attributes of the qualifying tuples through
+// their OIDs, one row per tuple.
+func (r *Result) Rows(cols ...string) ([][]int64, error) {
+	res, err := r.cracked.Fetch(r.oids, cols...)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]int64, res.Len())
+	for i := range out {
+		out[i] = res.Row(i)
+	}
+	return out, nil
+}
+
+// WriteTo streams the qualifying values to a front-end writer as decimal
+// text, one per line. It implements io.WriterTo.
+func (r *Result) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	buf := make([]byte, 0, 1<<12)
+	for _, v := range r.vals {
+		buf = appendDecimal(buf, v)
+		buf = append(buf, '\n')
+		if len(buf) >= 1<<12-32 {
+			n, err := w.Write(buf)
+			total += int64(n)
+			if err != nil {
+				return total, err
+			}
+			buf = buf[:0]
+		}
+	}
+	n, err := w.Write(buf)
+	total += int64(n)
+	return total, err
+}
+
+// Materialize stores the full qualifying tuples as a new table,
+// registering it in the catalog.
+func (r *Result) Materialize(name string) error {
+	cols := r.table.ColumnNames()
+	out, err := r.cracked.Fetch(r.oids, cols...)
+	if err != nil {
+		return err
+	}
+	out.Name = name
+	r.store.mu.Lock()
+	defer r.store.mu.Unlock()
+	if _, exists := r.store.tables[name]; exists {
+		return fmt.Errorf("crackdb: table %q already exists", name)
+	}
+	defs := make([]catalog.ColumnDef, len(cols))
+	for i, c := range cols {
+		defs[i] = catalog.ColumnDef{Name: c, Type: "int"}
+	}
+	if _, err := r.store.cat.CreateTable(name, defs...); err != nil {
+		return err
+	}
+	r.store.tables[name] = out
+	return r.store.cat.SetRows(name, out.Len())
+}
+
+func appendDecimal(b []byte, v int64) []byte {
+	if v < 0 {
+		b = append(b, '-')
+		v = -v
+	}
+	var tmp [20]byte
+	i := len(tmp)
+	for {
+		i--
+		tmp[i] = byte('0' + v%10)
+		v /= 10
+		if v == 0 {
+			break
+		}
+	}
+	return append(b, tmp[i:]...)
+}

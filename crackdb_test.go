@@ -1,0 +1,492 @@
+package crackdb
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func newEventStore(t *testing.T, n int) *Store {
+	t.Helper()
+	s := New()
+	if err := s.CreateTable("events", "ts", "sensor", "reading"); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	rows := make([][]int64, n)
+	for i := range rows {
+		rows[i] = []int64{int64(i), rng.Int63n(16), rng.Int63n(1000)}
+	}
+	if err := s.InsertRows("events", rows); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestCreateInsertSelect(t *testing.T) {
+	s := newEventStore(t, 2000)
+	res, err := s.Select("events", "reading", 100, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count() == 0 {
+		t.Fatal("empty result for a broad range")
+	}
+	for _, v := range res.Values() {
+		if v < 100 || v > 200 {
+			t.Fatalf("value %d outside range", v)
+		}
+	}
+	// Counts agree with Select.
+	n, err := s.Count("events", "reading", 100, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != res.Count() {
+		t.Fatalf("Count=%d, Select=%d", n, res.Count())
+	}
+	// Repeating the query gets answered from the index: stats show no new
+	// movement.
+	st1, _ := s.Stats("events", "reading")
+	if _, err := s.Select("events", "reading", 100, 200); err != nil {
+		t.Fatal(err)
+	}
+	st2, _ := s.Stats("events", "reading")
+	if st2.TuplesMoved != st1.TuplesMoved {
+		t.Fatal("repeated query moved tuples")
+	}
+	if st2.Queries != st1.Queries+1 {
+		t.Fatal("query not counted")
+	}
+}
+
+func TestResultRowsFetchesAttributes(t *testing.T) {
+	s := newEventStore(t, 500)
+	res, err := s.Select("events", "sensor", 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := res.Rows("ts", "sensor", "reading")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != res.Count() {
+		t.Fatalf("Rows returned %d, Count %d", len(rows), res.Count())
+	}
+	for _, r := range rows {
+		if r[1] != 3 {
+			t.Fatalf("fetched row %v has sensor != 3", r)
+		}
+	}
+	if _, err := res.Rows("zzz"); err == nil {
+		t.Fatal("fetching unknown column succeeded")
+	}
+}
+
+func TestResultWriteTo(t *testing.T) {
+	s := newEventStore(t, 300)
+	res, err := s.Select("events", "reading", 0, 49)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := res.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Fields(buf.String())
+	if len(lines) != res.Count() {
+		t.Fatalf("wrote %d lines for %d tuples", len(lines), res.Count())
+	}
+}
+
+func TestResultMaterialize(t *testing.T) {
+	s := newEventStore(t, 400)
+	res, err := s.Select("events", "reading", 500, 999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Materialize("hot"); err != nil {
+		t.Fatal(err)
+	}
+	n, err := s.NumRows("hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != res.Count() {
+		t.Fatalf("materialized %d rows, want %d", n, res.Count())
+	}
+	cols, _ := s.Columns("hot")
+	if len(cols) != 3 {
+		t.Fatalf("materialized columns = %v", cols)
+	}
+	if err := res.Materialize("hot"); err == nil {
+		t.Fatal("duplicate materialization succeeded")
+	}
+}
+
+func TestSelectMatchesNaiveScan(t *testing.T) {
+	s := newEventStore(t, 3000)
+	rng := rand.New(rand.NewSource(2))
+	// Reference copy of the reading column, rebuilt from Rows on the full
+	// range.
+	full, err := s.Select("events", "reading", 0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := append([]int64(nil), full.Values()...)
+	sort.Slice(ref, func(i, j int) bool { return ref[i] < ref[j] })
+
+	for q := 0; q < 30; q++ {
+		lo := rng.Int63n(900)
+		hi := lo + rng.Int63n(150)
+		res, err := s.Select("events", "reading", lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0
+		for _, v := range ref {
+			if v >= lo && v <= hi {
+				want++
+			}
+		}
+		if res.Count() != want {
+			t.Fatalf("query %d [%d,%d]: %d tuples, want %d", q, lo, hi, res.Count(), want)
+		}
+	}
+}
+
+func TestErrorsSurfaceCleanly(t *testing.T) {
+	s := New()
+	if err := s.CreateTable("t"); err == nil {
+		t.Fatal("zero-column table created")
+	}
+	if err := s.CreateTable("t", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateTable("t", "a"); err == nil {
+		t.Fatal("duplicate table created")
+	}
+	if _, err := s.Select("nope", "a", 0, 1); err == nil {
+		t.Fatal("select on missing table succeeded")
+	}
+	if _, err := s.Select("t", "zzz", 0, 1); err == nil {
+		t.Fatal("select on missing column succeeded")
+	}
+	if err := s.InsertRows("nope", nil); err == nil {
+		t.Fatal("insert into missing table succeeded")
+	}
+	if err := s.InsertRows("t", [][]int64{{1, 2}}); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+	if err := s.DropTable("nope"); err == nil {
+		t.Fatal("dropping missing table succeeded")
+	}
+	if _, err := s.NumRows("nope"); err == nil {
+		t.Fatal("NumRows on missing table succeeded")
+	}
+	if _, err := s.Columns("nope"); err == nil {
+		t.Fatal("Columns on missing table succeeded")
+	}
+	if err := s.LoadTapestry("t", 10, 1, 0); err == nil {
+		t.Fatal("tapestry over existing table succeeded")
+	}
+	if err := s.LoadTapestry("bad", 0, 1, 0); err == nil {
+		t.Fatal("invalid tapestry accepted")
+	}
+}
+
+func TestInsertFlowsIntoCrackedColumns(t *testing.T) {
+	s := newEventStore(t, 100)
+	if _, err := s.Select("events", "reading", 0, 500); err != nil {
+		t.Fatal(err)
+	}
+	// New rows must be visible to subsequent queries.
+	if err := s.InsertRows("events", [][]int64{{10000, 1, 77}, {10001, 2, 77}}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Select("events", "reading", 77, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	rows, err := res.Rows("ts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r[0] >= 10000 {
+			found++
+		}
+	}
+	if found != 2 {
+		t.Fatalf("found %d of 2 inserted rows", found)
+	}
+	// The cracked state survived the insert (a consolidation, not a
+	// rebuild from scratch, folded the rows in).
+	st, err := s.Stats("events", "reading")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Consolidations == 0 {
+		t.Fatal("insert did not flow through pending-update consolidation")
+	}
+}
+
+func TestRippleUpdatesAtStoreLevel(t *testing.T) {
+	s := New()
+	s.SetRippleUpdates(true)
+	if err := s.LoadTapestry("tap", 5000, 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	// Crack well, then trickle inserts between queries.
+	for _, q := range [][2]int64{{100, 900}, {2000, 2600}, {4000, 4700}, {300, 500}} {
+		if _, err := s.Count("tap", "c0", q[0], q[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before, _ := s.Stats("tap", "c0")
+	if err := s.InsertRows("tap", [][]int64{{250}, {2500}, {4500}}); err != nil {
+		t.Fatal(err)
+	}
+	n, err := s.Count("tap", "c0", 1, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5003 {
+		t.Fatalf("count after ripple inserts = %d, want 5003", n)
+	}
+	after, _ := s.Stats("tap", "c0")
+	// The ripple kept the cracker index: piece count did not collapse.
+	if after.Pieces < before.Pieces {
+		t.Fatalf("pieces dropped from %d to %d: index was rebuilt, not rippled", before.Pieces, after.Pieces)
+	}
+	// Point answers remain exact: the tapestry held exactly one 250.
+	if got, _ := s.Count("tap", "c0", 250, 250); got != 2 {
+		t.Fatalf("count(250) = %d, want 2", got)
+	}
+}
+
+func TestLoadTapestry(t *testing.T) {
+	s := New()
+	if err := s.LoadTapestry("tap", 1000, 2, 7); err != nil {
+		t.Fatal(err)
+	}
+	n, _ := s.NumRows("tap")
+	if n != 1000 {
+		t.Fatalf("tapestry rows = %d", n)
+	}
+	// Permutation: range [1,100] selects exactly 100 tuples.
+	cnt, err := s.Count("tap", "c0", 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cnt != 100 {
+		t.Fatalf("tapestry count = %d, want 100", cnt)
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	s := New()
+	s.CreateTable("g", "v")
+	s.InsertRows("g", [][]int64{{3}, {1}, {3}, {2}, {1}, {3}})
+	groups, err := s.GroupBy("g", "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int64]int{1: 2, 2: 1, 3: 3}
+	if len(groups) != len(want) {
+		t.Fatalf("groups = %v", groups)
+	}
+	for _, g := range groups {
+		if want[g.Value] != g.Count {
+			t.Fatalf("group %d count %d, want %d", g.Value, g.Count, want[g.Value])
+		}
+	}
+	if _, err := s.GroupBy("g", "zzz"); err == nil {
+		t.Fatal("group by missing column succeeded")
+	}
+}
+
+func TestSemijoinSplit(t *testing.T) {
+	s := New()
+	s.CreateTable("R", "k")
+	s.CreateTable("S", "k")
+	s.InsertRows("R", [][]int64{{1}, {5}, {9}, {3}, {7}, {2}})
+	s.InsertRows("S", [][]int64{{3}, {8}, {1}, {7}})
+	info, err := s.SemijoinSplit("R", "k", "S", "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.RMatch != 3 || info.RRest != 3 {
+		t.Fatalf("R split = %d/%d, want 3/3", info.RMatch, info.RRest)
+	}
+	if info.SMatch != 3 || info.SRest != 1 {
+		t.Fatalf("S split = %d/%d, want 3/1", info.SMatch, info.SRest)
+	}
+	if _, err := s.SemijoinSplit("R", "k", "nope", "k"); err == nil {
+		t.Fatal("semijoin with missing table succeeded")
+	}
+}
+
+func TestVerticalPartitionAndReunite(t *testing.T) {
+	s := newEventStore(t, 50)
+	head, rest, err := s.VerticalPartition("events", "reading")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hCols, _ := s.Columns(head)
+	if len(hCols) != 2 { // oid + reading
+		t.Fatalf("head columns = %v", hCols)
+	}
+	rCols, _ := s.Columns(rest)
+	if len(rCols) != 3 { // oid + ts + sensor
+		t.Fatalf("rest columns = %v", rCols)
+	}
+	if err := s.Reunite("events2", head, rest, "ts", "sensor", "reading"); err != nil {
+		t.Fatal(err)
+	}
+	n, _ := s.NumRows("events2")
+	if n != 50 {
+		t.Fatalf("reunited rows = %d", n)
+	}
+	// Reconstructed content matches the original, row by row.
+	orig, err := s.Select("events", "ts", 0, 1000000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := s.Select("events2", "ts", 0, 1000000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := orig.Rows("ts", "sensor", "reading")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := rec.Rows("ts", "sensor", "reading")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sortRows(o)
+	sortRows(r)
+	if len(o) != len(r) {
+		t.Fatalf("row counts differ: %d vs %d", len(o), len(r))
+	}
+	for i := range o {
+		for j := range o[i] {
+			if o[i][j] != r[i][j] {
+				t.Fatalf("row %d differs: %v vs %v", i, o[i], r[i])
+			}
+		}
+	}
+}
+
+func sortRows(rows [][]int64) {
+	sort.Slice(rows, func(i, j int) bool {
+		for k := range rows[i] {
+			if rows[i][k] != rows[j][k] {
+				return rows[i][k] < rows[j][k]
+			}
+		}
+		return false
+	})
+}
+
+func TestLineageRendering(t *testing.T) {
+	s := newEventStore(t, 200)
+	s.Select("events", "reading", 100, 300)
+	s.Select("events", "reading", 150, 250)
+	lin, err := s.Lineage("events", "reading")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(lin, "Ξ") {
+		t.Fatalf("lineage missing Ξ records:\n%s", lin)
+	}
+}
+
+func TestMaxPiecesFusion(t *testing.T) {
+	s := New()
+	s.SetMaxPieces(6)
+	if err := s.LoadTapestry("tap", 5000, 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for q := 0; q < 100; q++ {
+		lo := rng.Int63n(4500)
+		if _, err := s.Count("tap", "c0", lo, lo+rng.Int63n(400)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := s.Stats("tap", "c0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Pieces > 6 {
+		t.Fatalf("pieces = %d exceeds budget", st.Pieces)
+	}
+	if st.Fusions == 0 {
+		t.Fatal("no fusions under a tight budget")
+	}
+}
+
+func TestSaveOpenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := newEventStore(t, 250)
+	if _, err := s.Select("events", "reading", 0, 100); err != nil { // cracked state must not break Save
+		t.Fatal(err)
+	}
+	if err := s.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := got.NumRows("events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 250 {
+		t.Fatalf("reopened rows = %d", n)
+	}
+	// Query answers survive the round trip.
+	a, _ := s.Count("events", "reading", 100, 300)
+	b, err := got.Count("events", "reading", 100, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("counts diverge after reopen: %d vs %d", a, b)
+	}
+}
+
+func TestOpenRejectsCorruptStore(t *testing.T) {
+	dir := t.TempDir()
+	s := newEventStore(t, 50)
+	if err := s.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one column image.
+	path := columnPath(dir, "events", "reading")
+	data, err := readFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := writeFile(path, data); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("corrupt store opened")
+	}
+	// Missing manifest.
+	if _, err := Open(t.TempDir()); err == nil {
+		t.Fatal("empty dir opened")
+	}
+}
+
+func readFile(path string) ([]byte, error)     { return os.ReadFile(path) }
+func writeFile(path string, data []byte) error { return os.WriteFile(path, data, 0o644) }

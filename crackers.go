@@ -1,0 +1,208 @@
+package crackdb
+
+import (
+	"fmt"
+
+	"crackdb/internal/catalog"
+	"crackdb/internal/core"
+)
+
+// The paper's other three cracker operators, exposed on the store: Ω
+// (group cracking), ^ (join cracking) and Ψ (projection cracking). Like
+// Select (the Ξ cracker), each both answers its query and leaves the
+// store physically better organized.
+
+// GroupInfo describes one piece of an Ω cracking: all tuples holding one
+// value of the grouping column, clustered into a consecutive area.
+type GroupInfo struct {
+	Value int64
+	Count int
+}
+
+// GroupBy applies the Ω cracker: it clusters the column by value and
+// returns one entry per distinct value. Afterwards the column is fully
+// value-ordered, so subsequent range queries on it are pure index
+// lookups.
+func (s *Store) GroupBy(table, col string) ([]GroupInfo, error) {
+	ct, _, err := s.crackedFor(table)
+	if err != nil {
+		return nil, err
+	}
+	c, err := ct.ColumnFor(col)
+	if err != nil {
+		return nil, err
+	}
+	groups := core.GroupCrack(c)
+	out := make([]GroupInfo, len(groups))
+	for i, g := range groups {
+		out[i] = GroupInfo{Value: g.Value, Count: g.View.Len()}
+	}
+	return out, nil
+}
+
+// SemijoinInfo reports the four pieces of a ^ cracking: tuples of R
+// finding a join partner in S, the remainder of R, and likewise for S.
+type SemijoinInfo struct {
+	RMatch, RRest int
+	SMatch, SRest int
+}
+
+// SemijoinSplit applies the ^ cracker to R.colR = S.colS: both columns
+// are shuffled so matching tuples form a consecutive prefix. The returned
+// counts are the piece sizes (P1 = R⋉S, P2 = R∖(R⋉S), P3 = S⋉R,
+// P4 = S∖(S⋉R)).
+func (s *Store) SemijoinSplit(tableR, colR, tableS, colS string) (SemijoinInfo, error) {
+	ctR, _, err := s.crackedFor(tableR)
+	if err != nil {
+		return SemijoinInfo{}, err
+	}
+	ctS, _, err := s.crackedFor(tableS)
+	if err != nil {
+		return SemijoinInfo{}, err
+	}
+	cR, err := ctR.ColumnFor(colR)
+	if err != nil {
+		return SemijoinInfo{}, err
+	}
+	cS, err := ctS.ColumnFor(colS)
+	if err != nil {
+		return SemijoinInfo{}, err
+	}
+	full := func(c *core.Column) core.View {
+		return c.Select(minInt64(), maxInt64(), true, true)
+	}
+	pieces := core.JoinCrack(full(cR), full(cS))
+	return SemijoinInfo{
+		RMatch: pieces.RMatch.Len(),
+		RRest:  pieces.RRest.Len(),
+		SMatch: pieces.SMatch.Len(),
+		SRest:  pieces.SRest.Len(),
+	}, nil
+}
+
+// VerticalPartition applies the Ψ cracker: the table is split into a
+// head piece carrying the given attributes and a rest piece carrying the
+// others, both keyed by the surrogate oid column. The pieces are
+// registered as tables "<name>_head" and "<name>_rest"; Reunite undoes
+// the split.
+func (s *Store) VerticalPartition(table string, attrs ...string) (head, rest string, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tables[table]
+	if !ok {
+		return "", "", fmt.Errorf("crackdb: table %q does not exist", table)
+	}
+	h, r, err := core.PsiCrack(t, attrs...)
+	if err != nil {
+		return "", "", err
+	}
+	head, rest = table+"_head", table+"_rest"
+	for _, name := range []string{head, rest} {
+		if _, exists := s.tables[name]; exists {
+			return "", "", fmt.Errorf("crackdb: table %q already exists", name)
+		}
+	}
+	h.Name, r.Name = head, rest
+	s.tables[head], s.tables[rest] = h, r
+	for _, pc := range []struct {
+		name string
+		cols []string
+		rows int
+	}{{head, h.ColumnNames(), h.Len()}, {rest, r.ColumnNames(), r.Len()}} {
+		if err := s.registerTableLocked(pc.name, pc.cols, pc.rows); err != nil {
+			return "", "", err
+		}
+	}
+	return head, rest, nil
+}
+
+// Reunite reconstructs a vertically partitioned table from its head and
+// rest pieces via the surrogate 1:1 join, registering it under newName —
+// the loss-less inverse of VerticalPartition.
+func (s *Store) Reunite(newName, head, rest string, cols ...string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h, ok := s.tables[head]
+	if !ok {
+		return fmt.Errorf("crackdb: table %q does not exist", head)
+	}
+	r, ok := s.tables[rest]
+	if !ok {
+		return fmt.Errorf("crackdb: table %q does not exist", rest)
+	}
+	if _, exists := s.tables[newName]; exists {
+		return fmt.Errorf("crackdb: table %q already exists", newName)
+	}
+	t, err := core.PsiReconstruct(newName, h, r, cols)
+	if err != nil {
+		return err
+	}
+	s.tables[newName] = t
+	return s.registerTableLocked(newName, cols, t.Len())
+}
+
+// Lineage renders the cracker lineage DAG of a column (the paper's
+// Figure 5 / Figure 6 administration) as an indented tree.
+func (s *Store) Lineage(table, col string) (string, error) {
+	ct, _, err := s.crackedFor(table)
+	if err != nil {
+		return "", err
+	}
+	c, err := ct.ColumnFor(col)
+	if err != nil {
+		return "", err
+	}
+	return c.Lineage().Render(), nil
+}
+
+// ColumnStats reports the physical work a cracked column has absorbed.
+type ColumnStats struct {
+	Queries        int
+	Cracks         int   // partition passes
+	IndexLookups   int   // cuts answered from the index
+	TuplesMoved    int64 // element writes during reorganization
+	TuplesTouched  int64 // element reads during reorganization
+	Pieces         int   // current piece count
+	Fusions        int   // cuts removed under the MaxPieces budget
+	Consolidations int   // pending-update merges
+}
+
+// Stats returns the work counters of one cracked column. Columns that
+// were never filtered on report zero values.
+func (s *Store) Stats(table, col string) (ColumnStats, error) {
+	ct, _, err := s.crackedFor(table)
+	if err != nil {
+		return ColumnStats{}, err
+	}
+	c, err := ct.ColumnFor(col)
+	if err != nil {
+		return ColumnStats{}, err
+	}
+	cs := c.Stats()
+	return ColumnStats{
+		Queries:        cs.Queries,
+		Cracks:         cs.Cracks,
+		IndexLookups:   cs.IndexLookups,
+		TuplesMoved:    cs.TuplesMoved,
+		TuplesTouched:  cs.TuplesTouched,
+		Pieces:         c.Pieces(),
+		Fusions:        cs.Fusions,
+		Consolidations: cs.Consolidations,
+	}, nil
+}
+
+// registerTableLocked records a derived table in the catalog. Callers
+// hold s.mu.
+func (s *Store) registerTableLocked(name string, cols []string, rows int) error {
+	defs := make([]catalog.ColumnDef, len(cols))
+	for i, c := range cols {
+		defs[i] = catalog.ColumnDef{Name: c, Type: "int"}
+	}
+	if _, err := s.cat.CreateTable(name, defs...); err != nil {
+		return err
+	}
+	return s.cat.SetRows(name, rows)
+}
+
+func minInt64() int64 { return -1 << 63 }
+func maxInt64() int64 { return 1<<63 - 1 }

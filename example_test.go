@@ -1,0 +1,107 @@
+package crackdb_test
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"crackdb"
+)
+
+// The runnable godoc examples double as end-to-end tests of the public
+// API: go test verifies their output.
+
+func Example() {
+	store := crackdb.New()
+	if err := store.CreateTable("orders", "id", "amount"); err != nil {
+		log.Fatal(err)
+	}
+	rows := [][]int64{{1, 120}, {2, 80}, {3, 250}, {4, 40}, {5, 180}}
+	if err := store.InsertRows("orders", rows); err != nil {
+		log.Fatal(err)
+	}
+
+	// The query cracks the amount column as a side effect.
+	res, err := store.Select("orders", "amount", 100, 200)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("matches:", res.Count())
+
+	st, err := store.Stats("orders", "amount")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("pieces after one query:", st.Pieces)
+	// Output:
+	// matches: 2
+	// pieces after one query: 3
+}
+
+func ExampleStore_SelectWhere() {
+	store := crackdb.New()
+	store.CreateTable("events", "sensor", "value")
+	store.InsertRows("events", [][]int64{
+		{1, 50}, {2, 150}, {1, 250}, {2, 350}, {1, 450},
+	})
+
+	res, err := store.SelectWhere("events",
+		crackdb.Cond{Col: "value", Op: ">=", Val: 100},
+		crackdb.Cond{Col: "value", Op: "<", Val: 400},
+		crackdb.Cond{Col: "sensor", Op: "=", Val: 2},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows, err := res.Rows("sensor", "value")
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Result rows arrive in the store's physical (cracked) order; sort
+	// for stable presentation.
+	sort.Slice(rows, func(i, j int) bool { return rows[i][1] < rows[j][1] })
+	for _, r := range rows {
+		fmt.Printf("sensor=%d value=%d\n", r[0], r[1])
+	}
+	// Output:
+	// sensor=2 value=150
+	// sensor=2 value=350
+}
+
+func ExampleStore_GroupBy() {
+	store := crackdb.New()
+	store.CreateTable("readings", "sensor")
+	store.InsertRows("readings", [][]int64{{3}, {1}, {3}, {2}, {3}, {1}})
+
+	groups, err := store.GroupBy("readings", "sensor")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, g := range groups {
+		fmt.Printf("sensor %d: %d readings\n", g.Value, g.Count)
+	}
+	// Output:
+	// sensor 1: 2 readings
+	// sensor 2: 1 readings
+	// sensor 3: 3 readings
+}
+
+func ExampleStore_Lineage() {
+	store := crackdb.New()
+	store.CreateTable("t", "a")
+	store.InsertRows("t", [][]int64{{13}, {4}, {9}, {2}, {12}, {7}, {1}, {19}})
+
+	if _, err := store.Select("t", "a", 5, 9); err != nil {
+		log.Fatal(err)
+	}
+	lin, err := store.Lineage("t", "a")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(lin)
+	// Output:
+	// t.a[1] [0,8)
+	//   t.a[2] Ξ(t.a ∈ cut(5,9)) [0,3)
+	//   t.a[3] Ξ(t.a ∈ cut(5,9)) [3,5)
+	//   t.a[4] Ξ(t.a ∈ cut(5,9)) [5,8)
+}

@@ -1,0 +1,88 @@
+// Joincrack: the ^ (join) and Ψ (projection) crackers on a two-table
+// schema — the paper's full cracker family beyond range selections. A
+// star-ish pair orders(order_id, customer_id, total) and
+// customers(customer_id, region) is split by a semijoin, vertically
+// partitioned, and losslessly reunited.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"crackdb"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(11))
+	store := crackdb.New()
+
+	// customers: 10k ids, but only even ids ever place orders — half of
+	// every join input is dead weight a semijoin split isolates once.
+	if err := store.CreateTable("customers", "customer_id", "region"); err != nil {
+		log.Fatal(err)
+	}
+	var custRows [][]int64
+	for id := int64(0); id < 10_000; id++ {
+		custRows = append(custRows, []int64{id, id % 7})
+	}
+	if err := store.InsertRows("customers", custRows); err != nil {
+		log.Fatal(err)
+	}
+
+	if err := store.CreateTable("orders", "order_id", "customer_id", "total"); err != nil {
+		log.Fatal(err)
+	}
+	var orderRows [][]int64
+	for i := int64(0); i < 50_000; i++ {
+		orderRows = append(orderRows, []int64{i, rng.Int63n(5_000) * 2, rng.Int63n(1_000)})
+	}
+	// Some orders reference retired customers outside the table.
+	for i := int64(0); i < 1_000; i++ {
+		orderRows = append(orderRows, []int64{50_000 + i, 20_000 + i, rng.Int63n(1_000)})
+	}
+	if err := store.InsertRows("orders", orderRows); err != nil {
+		log.Fatal(err)
+	}
+
+	// ^ cracking: one pass shuffles both join columns so that matching
+	// tuples form consecutive areas — a semijoin index built as a side
+	// effect (paper §3.3: "the ^ cracker effectively builds a
+	// semijoin-index").
+	info, err := store.SemijoinSplit("orders", "customer_id", "customers", "customer_id")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("^ crack of orders ⋈ customers on customer_id:")
+	fmt.Printf("  P1 = orders ⋉ customers:   %6d tuples (join these)\n", info.RMatch)
+	fmt.Printf("  P2 = orders without match: %6d tuples (outer-join remainder)\n", info.RRest)
+	fmt.Printf("  P3 = customers ⋉ orders:   %6d tuples\n", info.SMatch)
+	fmt.Printf("  P4 = customers w/o orders: %6d tuples\n", info.SRest)
+
+	// Ψ cracking: the analytics team only reads (order_id, total); split
+	// those off vertically, with surrogate oids binding the pieces.
+	head, rest, err := store.VerticalPartition("orders", "order_id", "total")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hc, _ := store.Columns(head)
+	rc, _ := store.Columns(rest)
+	fmt.Printf("\nΨ crack of orders: head %v, rest %v\n", hc, rc)
+
+	// The narrow head piece answers the analytics query alone.
+	res, err := store.Select(head, "total", 900, 999)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  top-decile totals (from the head piece only): %d orders\n", res.Count())
+
+	// Loss-less: reunite the pieces through the surrogate 1:1 join and
+	// verify cardinality.
+	if err := store.Reunite("orders_reunited", head, rest, "order_id", "customer_id", "total"); err != nil {
+		log.Fatal(err)
+	}
+	orig, _ := store.NumRows("orders")
+	reun, _ := store.NumRows("orders_reunited")
+	fmt.Printf("\nΨ reconstruction: %d rows reunited (original %d) — loss-less: %v\n",
+		reun, orig, reun == orig)
+}

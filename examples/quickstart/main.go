@@ -1,0 +1,75 @@
+// Quickstart: create a table, run range queries, and watch the store
+// reorganize itself — the minimal tour of the crackdb public API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"crackdb"
+)
+
+func main() {
+	store := crackdb.New()
+
+	// A small orders table: (id, customer, amount).
+	if err := store.CreateTable("orders", "id", "customer", "amount"); err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	rows := make([][]int64, 100_000)
+	for i := range rows {
+		rows[i] = []int64{int64(i), rng.Int63n(5_000), rng.Int63n(10_000)}
+	}
+	if err := store.InsertRows("orders", rows); err != nil {
+		log.Fatal(err)
+	}
+
+	// The first range query pays one partition pass over the amount
+	// column — and leaves the column cracked at 2500 and 5000.
+	res, err := store.Select("orders", "amount", 2500, 4999)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("orders with amount in [2500, 5000): %d\n", res.Count())
+
+	// Fetch other attributes of the qualifying tuples through their OIDs.
+	sample, err := res.Rows("id", "customer", "amount")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("first match: id=%d customer=%d amount=%d\n",
+		sample[0][0], sample[0][1], sample[0][2])
+
+	// Refining the range cracks only inside the previous answer piece;
+	// repeating it is a pure index lookup.
+	if _, err := store.Select("orders", "amount", 3000, 3999); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := store.Select("orders", "amount", 3000, 3999); err != nil {
+		log.Fatal(err)
+	}
+
+	stats, err := store.Stats("orders", "amount")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after 3 queries: %d partition passes, %d index lookups, %d pieces, %d tuples moved\n",
+		stats.Cracks, stats.IndexLookups, stats.Pieces, stats.TuplesMoved)
+
+	// The lineage DAG records how the column was broken into pieces.
+	lineage, err := store.Lineage("orders", "amount")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncracker lineage of orders.amount:\n%s", lineage)
+
+	// Materialize the current answer as a table of its own.
+	if err := res.Materialize("mid_range_orders"); err != nil {
+		log.Fatal(err)
+	}
+	n, _ := store.NumRows("mid_range_orders")
+	fmt.Printf("\nmaterialized mid_range_orders with %d rows; tables: %v\n",
+		n, store.Tables())
+}

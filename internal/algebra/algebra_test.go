@@ -1,0 +1,349 @@
+package algebra
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"crackdb/internal/catalog"
+	"crackdb/internal/expr"
+	"crackdb/internal/relation"
+)
+
+func testTable(t *testing.T, n int) *relation.Table {
+	t.Helper()
+	tbl := relation.New("R", "k", "a")
+	for i := int64(0); i < int64(n); i++ {
+		if err := tbl.AppendRow(i, i%10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+func TestTableScan(t *testing.T) {
+	tbl := testTable(t, 5)
+	rows, err := Drain(NewTableScan(tbl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("scanned %d rows, want 5", len(rows))
+	}
+	if rows[3][0] != 3 || rows[3][1] != 3 {
+		t.Fatalf("row 3 = %v", rows[3])
+	}
+	// Next before Open errors.
+	s := NewTableScan(tbl)
+	if _, _, err := s.Next(); err == nil {
+		t.Fatal("Next before Open succeeded")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	tbl := testTable(t, 100)
+	f, err := NewFilter(NewTableScan(tbl), expr.Term{
+		{Col: "a", Op: expr.Ge, Val: 5},
+		{Col: "k", Op: expr.Lt, Val: 50},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Drain(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tbl.Filter("ref", expr.Term{{Col: "a", Op: expr.Ge, Val: 5}, {Col: "k", Op: expr.Lt, Val: 50}})
+	if len(rows) != want.Len() {
+		t.Fatalf("filter returned %d rows, want %d", len(rows), want.Len())
+	}
+	for _, r := range rows {
+		if r[1] < 5 || r[0] >= 50 {
+			t.Fatalf("row %v violates predicate", r)
+		}
+	}
+	// Unknown column errors at construction.
+	if _, err := NewFilter(NewTableScan(tbl), expr.Term{{Col: "zzz", Op: expr.Eq, Val: 1}}); err == nil {
+		t.Fatal("filter on unknown column accepted")
+	}
+}
+
+func TestProjectAndRename(t *testing.T) {
+	tbl := testTable(t, 3)
+	p, err := NewProject(NewRename(NewTableScan(tbl), "R0"), "R0.a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Drain(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 || len(rows[0]) != 1 {
+		t.Fatalf("projection shape wrong: %v", rows)
+	}
+	if got := p.Schema()[0]; got != "R0.a" {
+		t.Fatalf("schema = %v", p.Schema())
+	}
+	if _, err := NewProject(NewTableScan(tbl), "nope"); err == nil {
+		t.Fatal("projecting unknown column accepted")
+	}
+}
+
+func TestLimit(t *testing.T) {
+	tbl := testTable(t, 100)
+	rows, err := Drain(NewLimit(NewTableScan(tbl), 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("limit returned %d rows", len(rows))
+	}
+}
+
+func TestOrderBy(t *testing.T) {
+	tbl := relation.New("T", "x")
+	for _, v := range []int64{5, 1, 9, 3} {
+		tbl.AppendRow(v)
+	}
+	o, err := NewOrderBy(NewTableScan(tbl), "x", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Drain(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{1, 3, 5, 9}
+	for i, r := range rows {
+		if r[0] != want[i] {
+			t.Fatalf("sorted rows = %v", rows)
+		}
+	}
+	desc, _ := NewOrderBy(NewTableScan(tbl), "x", true)
+	rows, _ = Drain(desc)
+	if rows[0][0] != 9 {
+		t.Fatalf("descending order wrong: %v", rows)
+	}
+}
+
+func TestGroupAgg(t *testing.T) {
+	tbl := relation.New("T", "g", "v")
+	data := [][2]int64{{1, 10}, {2, 5}, {1, 20}, {2, 7}, {3, 1}}
+	for _, d := range data {
+		tbl.AppendRow(d[0], d[1])
+	}
+	for _, c := range []struct {
+		fn   AggFunc
+		want map[int64]int64
+	}{
+		{AggCount, map[int64]int64{1: 2, 2: 2, 3: 1}},
+		{AggSum, map[int64]int64{1: 30, 2: 12, 3: 1}},
+		{AggMin, map[int64]int64{1: 10, 2: 5, 3: 1}},
+		{AggMax, map[int64]int64{1: 20, 2: 7, 3: 1}},
+	} {
+		g, err := NewGroupAgg(NewTableScan(tbl), "g", c.fn, "v")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows, err := Drain(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != 3 {
+			t.Fatalf("%v: %d groups", c.fn, len(rows))
+		}
+		for _, r := range rows {
+			if c.want[r[0]] != r[1] {
+				t.Fatalf("%v group %d = %d, want %d", c.fn, r[0], r[1], c.want[r[0]])
+			}
+		}
+	}
+}
+
+func TestHashJoinMatchesNestedLoop(t *testing.T) {
+	left := relation.New("L", "k", "a")
+	right := relation.New("R", "k", "b")
+	for i := int64(0); i < 30; i++ {
+		left.AppendRow(i%7, i)
+		right.AppendRow(i%5, i*2)
+	}
+	hj, err := NewHashJoin(NewRename(NewTableScan(left), "L"), NewRename(NewTableScan(right), "R"), "L.k", "R.k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := NewNestedLoopJoin(NewRename(NewTableScan(left), "L"), NewRename(NewTableScan(right), "R"), "L.k", "R.k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hrows, err := Drain(hj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nrows, err := Drain(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hrows) != len(nrows) {
+		t.Fatalf("hash join %d rows, nested loop %d", len(hrows), len(nrows))
+	}
+	canon := func(rows []Row) map[string]int {
+		m := make(map[string]int)
+		for _, r := range rows {
+			var sb strings.Builder
+			for _, v := range r {
+				sb.WriteString(strconv.FormatInt(v, 10))
+				sb.WriteByte(',')
+			}
+			m[sb.String()]++
+		}
+		return m
+	}
+	h, n := canon(hrows), canon(nrows)
+	for k, c := range h {
+		if n[k] != c {
+			t.Fatalf("row multiset differs at %q: %d vs %d", k, c, n[k])
+		}
+	}
+	// Join keys actually match.
+	for _, r := range hrows {
+		if r[0] != r[2] {
+			t.Fatalf("joined row %v has mismatched keys", r)
+		}
+	}
+}
+
+func TestJoinUnknownColumn(t *testing.T) {
+	tbl := testTable(t, 3)
+	if _, err := NewHashJoin(NewTableScan(tbl), NewTableScan(tbl), "zzz", "k"); err == nil {
+		t.Fatal("hash join on unknown column accepted")
+	}
+	if _, err := NewNestedLoopJoin(NewTableScan(tbl), NewTableScan(tbl), "k", "zzz"); err == nil {
+		t.Fatal("nested loop join on unknown column accepted")
+	}
+}
+
+func TestCountPrintMaterializeAgree(t *testing.T) {
+	tbl := testTable(t, 200)
+	term := expr.Term{{Col: "a", Op: expr.Lt, Val: 3}}
+	mk := func() Iterator {
+		f, err := NewFilter(NewTableScan(tbl), term)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+
+	n, err := Count(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	pn, err := Print(mk(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := catalog.New()
+	mt, err := Materialize(mk(), "newR", RowStoreTxn, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != pn || n != mt.Len() {
+		t.Fatalf("delivery modes disagree: count=%d print=%d materialize=%d", n, pn, mt.Len())
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != n {
+		t.Fatalf("printed %d lines, want %d", lines, n)
+	}
+	// Materialization registered the table transactionally.
+	if _, ok := cat.Table("newR"); !ok {
+		t.Fatal("materialized table not in catalog")
+	}
+	if cat.Stats().SchemaChanges == 0 {
+		t.Fatal("no schema change charged")
+	}
+	// Duplicate materialization must fail through the catalog.
+	if _, err := Materialize(mk(), "newR", RowStoreTxn, cat); err == nil {
+		t.Fatal("duplicate materialization succeeded")
+	}
+}
+
+func TestMaterializeWithoutCatalog(t *testing.T) {
+	tbl := testTable(t, 10)
+	out, err := Materialize(NewTableScan(tbl), "tmp", RowStoreLite, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 10 {
+		t.Fatalf("materialized %d rows", out.Len())
+	}
+}
+
+func TestProfilesList(t *testing.T) {
+	profs := Profiles()
+	if len(profs) != 3 {
+		t.Fatalf("profiles = %d", len(profs))
+	}
+	names := map[string]bool{}
+	for _, p := range profs {
+		names[p.Name] = true
+	}
+	for _, want := range []string{"rowstore-txn", "rowstore-lite", "colstore"} {
+		if !names[want] {
+			t.Fatalf("missing profile %q", want)
+		}
+	}
+	if !ColStore.Vectorized || RowStoreLite.Vectorized || RowStoreTxn.Vectorized {
+		t.Fatal("vectorized flags wrong")
+	}
+}
+
+func TestIteratorSchemas(t *testing.T) {
+	tbl := testTable(t, 3)
+	scan := NewTableScan(tbl)
+	f, err := NewFilter(scan, expr.Term{{Col: "a", Op: expr.Ge, Val: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lim := NewLimit(f, 2)
+	if got := lim.Schema(); len(got) != 2 || got[0] != "k" {
+		t.Fatalf("limit schema = %v", got)
+	}
+	o, err := NewOrderBy(lim, "a", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := o.Schema(); len(got) != 2 {
+		t.Fatalf("orderby schema = %v", got)
+	}
+	g, err := NewGroupAgg(NewTableScan(tbl), "a", AggSum, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Schema(); got[1] != "sum(k)" {
+		t.Fatalf("groupagg schema = %v", got)
+	}
+	if AggFunc(9).String() == "" {
+		t.Fatal("AggFunc fallback name empty")
+	}
+	// Unopened iterators refuse Next.
+	if _, _, err := o.Next(); err == nil {
+		t.Fatal("OrderBy Next before Open succeeded")
+	}
+	if _, _, err := g.Next(); err == nil {
+		t.Fatal("GroupAgg Next before Open succeeded")
+	}
+	hj, err := NewHashJoin(NewTableScan(tbl), NewTableScan(tbl), "k", "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := hj.Next(); err == nil {
+		t.Fatal("HashJoin Next before Open succeeded")
+	}
+	nl, err := NewNestedLoopJoin(NewTableScan(tbl), NewTableScan(tbl), "k", "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := nl.Next(); err == nil {
+		t.Fatal("NestedLoopJoin Next before Open succeeded")
+	}
+}

@@ -1,0 +1,167 @@
+package algebra
+
+// Join operators. HashJoin is the well-behaved equi-join; NestedLoopJoin
+// is the "default solution" classic optimizers fall back to when their
+// search space is exhausted (paper §5.1, Figure 9: "the effect is an
+// expensive nested-loop join or even breaking the system").
+
+// HashJoin is a build/probe equi-join: the right input is built into a
+// hash table, the left input probes it. Output schema is left ++ right.
+type HashJoin struct {
+	left, right        Iterator
+	leftCol, rightCol  int
+	schema             []string
+	table              map[int64][]Row
+	pendingLeft        Row
+	pendingMatches     []Row
+	pendingMatchOffset int
+	open               bool
+}
+
+// NewHashJoin joins left and right on leftCol = rightCol.
+func NewHashJoin(left, right Iterator, leftCol, rightCol string) (*HashJoin, error) {
+	li, err := colIndex(left.Schema(), leftCol)
+	if err != nil {
+		return nil, err
+	}
+	ri, err := colIndex(right.Schema(), rightCol)
+	if err != nil {
+		return nil, err
+	}
+	schema := append(append([]string{}, left.Schema()...), right.Schema()...)
+	return &HashJoin{left: left, right: right, leftCol: li, rightCol: ri, schema: schema}, nil
+}
+
+// Open builds the hash table from the right input.
+func (j *HashJoin) Open() error {
+	if err := j.left.Open(); err != nil {
+		return err
+	}
+	rows, err := Drain(j.right)
+	if err != nil {
+		return err
+	}
+	j.table = make(map[int64][]Row, len(rows))
+	for _, r := range rows {
+		k := r[j.rightCol]
+		j.table[k] = append(j.table[k], r)
+	}
+	j.pendingMatches = nil
+	j.open = true
+	return nil
+}
+
+// Next implements Iterator.
+func (j *HashJoin) Next() (Row, bool, error) {
+	if !j.open {
+		return nil, false, ErrNotOpen
+	}
+	for {
+		if j.pendingMatchOffset < len(j.pendingMatches) {
+			right := j.pendingMatches[j.pendingMatchOffset]
+			j.pendingMatchOffset++
+			out := make(Row, 0, len(j.pendingLeft)+len(right))
+			out = append(out, j.pendingLeft...)
+			out = append(out, right...)
+			return out, true, nil
+		}
+		left, ok, err := j.left.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		j.pendingLeft = left
+		j.pendingMatches = j.table[left[j.leftCol]]
+		j.pendingMatchOffset = 0
+	}
+}
+
+// Close implements Iterator.
+func (j *HashJoin) Close() error {
+	j.open = false
+	j.table = nil
+	return j.left.Close()
+}
+
+// Schema implements Iterator.
+func (j *HashJoin) Schema() []string { return j.schema }
+
+// NestedLoopJoin materializes the right input and compares every pair —
+// O(|L|·|R|).
+type NestedLoopJoin struct {
+	left, right       Iterator
+	leftCol, rightCol int
+	schema            []string
+	rightRows         []Row
+	pendingLeft       Row
+	rightPos          int
+	open              bool
+}
+
+// NewNestedLoopJoin joins left and right on leftCol = rightCol without
+// any build-side acceleration.
+func NewNestedLoopJoin(left, right Iterator, leftCol, rightCol string) (*NestedLoopJoin, error) {
+	li, err := colIndex(left.Schema(), leftCol)
+	if err != nil {
+		return nil, err
+	}
+	ri, err := colIndex(right.Schema(), rightCol)
+	if err != nil {
+		return nil, err
+	}
+	schema := append(append([]string{}, left.Schema()...), right.Schema()...)
+	return &NestedLoopJoin{left: left, right: right, leftCol: li, rightCol: ri, schema: schema}, nil
+}
+
+// Open materializes the right side.
+func (j *NestedLoopJoin) Open() error {
+	if err := j.left.Open(); err != nil {
+		return err
+	}
+	rows, err := Drain(j.right)
+	if err != nil {
+		return err
+	}
+	j.rightRows = rows
+	j.pendingLeft = nil
+	j.rightPos = 0
+	j.open = true
+	return nil
+}
+
+// Next implements Iterator.
+func (j *NestedLoopJoin) Next() (Row, bool, error) {
+	if !j.open {
+		return nil, false, ErrNotOpen
+	}
+	for {
+		if j.pendingLeft == nil {
+			left, ok, err := j.left.Next()
+			if err != nil || !ok {
+				return nil, false, err
+			}
+			j.pendingLeft = left
+			j.rightPos = 0
+		}
+		for j.rightPos < len(j.rightRows) {
+			right := j.rightRows[j.rightPos]
+			j.rightPos++
+			if j.pendingLeft[j.leftCol] == right[j.rightCol] {
+				out := make(Row, 0, len(j.pendingLeft)+len(right))
+				out = append(out, j.pendingLeft...)
+				out = append(out, right...)
+				return out, true, nil
+			}
+		}
+		j.pendingLeft = nil
+	}
+}
+
+// Close implements Iterator.
+func (j *NestedLoopJoin) Close() error {
+	j.open = false
+	j.rightRows = nil
+	return j.left.Close()
+}
+
+// Schema implements Iterator.
+func (j *NestedLoopJoin) Schema() []string { return j.schema }

@@ -1,0 +1,203 @@
+package algebra
+
+import (
+	"fmt"
+	"sort"
+)
+
+// OrderBy sorts the entire input on one column (materializing it),
+// streaming the result.
+type OrderBy struct {
+	in   Iterator
+	col  int
+	rows []Row
+	pos  int
+	open bool
+	desc bool
+}
+
+// NewOrderBy sorts ascending (or descending) on col.
+func NewOrderBy(in Iterator, col string, desc bool) (*OrderBy, error) {
+	i, err := colIndex(in.Schema(), col)
+	if err != nil {
+		return nil, err
+	}
+	return &OrderBy{in: in, col: i, desc: desc}, nil
+}
+
+// Open materializes and sorts the input.
+func (o *OrderBy) Open() error {
+	rows, err := Drain(o.in)
+	if err != nil {
+		return err
+	}
+	sort.SliceStable(rows, func(a, b int) bool {
+		if o.desc {
+			return rows[a][o.col] > rows[b][o.col]
+		}
+		return rows[a][o.col] < rows[b][o.col]
+	})
+	o.rows, o.pos, o.open = rows, 0, true
+	return nil
+}
+
+// Next implements Iterator.
+func (o *OrderBy) Next() (Row, bool, error) {
+	if !o.open {
+		return nil, false, ErrNotOpen
+	}
+	if o.pos >= len(o.rows) {
+		return nil, false, nil
+	}
+	row := o.rows[o.pos]
+	o.pos++
+	return row, true, nil
+}
+
+// Close implements Iterator.
+func (o *OrderBy) Close() error {
+	o.open = false
+	o.rows = nil
+	return nil
+}
+
+// Schema implements Iterator.
+func (o *OrderBy) Schema() []string { return o.in.Schema() }
+
+// AggFunc enumerates the aggregates GroupAgg supports.
+type AggFunc uint8
+
+// Aggregate functions.
+const (
+	AggCount AggFunc = iota
+	AggSum
+	AggMin
+	AggMax
+)
+
+// String names the aggregate.
+func (a AggFunc) String() string {
+	switch a {
+	case AggCount:
+		return "count"
+	case AggSum:
+		return "sum"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	default:
+		return fmt.Sprintf("AggFunc(%d)", uint8(a))
+	}
+}
+
+// GroupAgg is the γ operator: hash grouping on one column with one
+// aggregate over another. Output schema: [group, agg(col)].
+type GroupAgg struct {
+	in       Iterator
+	groupCol int
+	aggCol   int
+	fn       AggFunc
+	schema   []string
+	results  []Row
+	pos      int
+	open     bool
+}
+
+// NewGroupAgg groups on groupCol computing fn over aggCol (ignored for
+// AggCount).
+func NewGroupAgg(in Iterator, groupCol string, fn AggFunc, aggCol string) (*GroupAgg, error) {
+	gi, err := colIndex(in.Schema(), groupCol)
+	if err != nil {
+		return nil, err
+	}
+	ai := gi
+	if fn != AggCount {
+		ai, err = colIndex(in.Schema(), aggCol)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &GroupAgg{
+		in:       in,
+		groupCol: gi,
+		aggCol:   ai,
+		fn:       fn,
+		schema:   []string{groupCol, fn.String() + "(" + aggCol + ")"},
+	}, nil
+}
+
+// Open consumes the input and computes the aggregates.
+func (g *GroupAgg) Open() error {
+	rows, err := Drain(g.in)
+	if err != nil {
+		return err
+	}
+	type acc struct {
+		count    int64
+		sum      int64
+		min, max int64
+	}
+	groups := make(map[int64]*acc)
+	order := make([]int64, 0)
+	for _, r := range rows {
+		k := r[g.groupCol]
+		a, ok := groups[k]
+		if !ok {
+			a = &acc{min: r[g.aggCol], max: r[g.aggCol]}
+			groups[k] = a
+			order = append(order, k)
+		}
+		v := r[g.aggCol]
+		a.count++
+		a.sum += v
+		if v < a.min {
+			a.min = v
+		}
+		if v > a.max {
+			a.max = v
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	g.results = g.results[:0]
+	for _, k := range order {
+		a := groups[k]
+		var v int64
+		switch g.fn {
+		case AggCount:
+			v = a.count
+		case AggSum:
+			v = a.sum
+		case AggMin:
+			v = a.min
+		case AggMax:
+			v = a.max
+		}
+		g.results = append(g.results, Row{k, v})
+	}
+	g.pos, g.open = 0, true
+	return nil
+}
+
+// Next implements Iterator.
+func (g *GroupAgg) Next() (Row, bool, error) {
+	if !g.open {
+		return nil, false, ErrNotOpen
+	}
+	if g.pos >= len(g.results) {
+		return nil, false, nil
+	}
+	row := g.results[g.pos]
+	g.pos++
+	return row, true, nil
+}
+
+// Close implements Iterator.
+func (g *GroupAgg) Close() error {
+	g.open = false
+	g.results = nil
+	return nil
+}
+
+// Schema implements Iterator.
+func (g *GroupAgg) Schema() []string { return g.schema }

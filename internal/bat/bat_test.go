@@ -1,0 +1,411 @@
+package bat
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestAppendAndAccess(t *testing.T) {
+	b := NewInt("r_a", 4)
+	for i := int64(0); i < 10; i++ {
+		if err := b.AppendInt(i * 2); err != nil {
+			t.Fatalf("AppendInt: %v", err)
+		}
+	}
+	if b.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", b.Len())
+	}
+	for i := 0; i < 10; i++ {
+		if got := b.Int(i); got != int64(i*2) {
+			t.Errorf("Int(%d) = %d, want %d", i, got, i*2)
+		}
+		if got := b.OID(i); got != OID(i) {
+			t.Errorf("OID(%d) = %d, want %d", i, got, i)
+		}
+	}
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AppendStr on int BAT did not panic")
+		}
+	}()
+	NewInt("x", 0).AppendStr("boom")
+}
+
+func TestViewSharesStorage(t *testing.T) {
+	b := FromInts("base", []int64{10, 20, 30, 40, 50})
+	v := b.View(1, 4)
+	if v.Len() != 3 {
+		t.Fatalf("view len = %d, want 3", v.Len())
+	}
+	if !v.IsView() || v.Parent() != b {
+		t.Fatal("view lineage not recorded")
+	}
+	if v.HSeqBase() != 1 {
+		t.Fatalf("view hseq = %d, want 1", v.HSeqBase())
+	}
+	if got := v.OID(0); got != 1 {
+		t.Fatalf("view OID(0) = %d, want 1", got)
+	}
+	// A write through the view must be visible in the parent: the cracker
+	// shuffles tuples inside view windows.
+	v.SetInt(0, 99)
+	if b.Int(1) != 99 {
+		t.Fatalf("parent did not observe view write: %d", b.Int(1))
+	}
+	if err := v.AppendInt(1); err == nil {
+		t.Fatal("append to view succeeded, want error")
+	}
+}
+
+func TestViewBoundsPanics(t *testing.T) {
+	b := FromInts("base", []int64{1, 2, 3})
+	for _, c := range [][2]int{{-1, 2}, {0, 4}, {2, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("View(%d,%d) did not panic", c[0], c[1])
+				}
+			}()
+			b.View(c[0], c[1])
+		}()
+	}
+}
+
+func TestMinMaxAndSorted(t *testing.T) {
+	b := FromInts("m", []int64{5, -3, 12, 7})
+	mn, mx, ok := b.MinMax()
+	if !ok || mn != -3 || mx != 12 {
+		t.Fatalf("MinMax = %d,%d,%v", mn, mx, ok)
+	}
+	if b.Sorted() {
+		t.Fatal("unsorted BAT reported sorted")
+	}
+	s := FromInts("s", []int64{1, 2, 2, 9})
+	if !s.Sorted() {
+		t.Fatal("sorted BAT not detected")
+	}
+	var empty BAT
+	if _, _, ok := empty.MinMax(); ok {
+		t.Fatal("empty MinMax ok")
+	}
+}
+
+func TestKey(t *testing.T) {
+	if !FromInts("k", []int64{3, 1, 2}).Key() {
+		t.Fatal("duplicate-free BAT not key")
+	}
+	if FromInts("d", []int64{1, 2, 1}).Key() {
+		t.Fatal("duplicated BAT reported key")
+	}
+}
+
+func TestSelectRangeScanVsSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	vals := make([]int64, 500)
+	for i := range vals {
+		vals[i] = int64(rng.Intn(100))
+	}
+	b := FromInts("u", vals)
+	sorted, _ := b.OrderBy("u_sorted")
+
+	for _, q := range []struct {
+		lo, hi         int64
+		loIncl, hiIncl bool
+	}{
+		{10, 20, true, false},
+		{0, 99, true, true},
+		{50, 50, true, true},
+		{30, 40, false, true},
+		{90, 10, true, true}, // empty
+	} {
+		want := 0
+		for _, v := range vals {
+			if inRange(v, q.lo, q.hi, q.loIncl, q.hiIncl) {
+				want++
+			}
+		}
+		if got := len(b.SelectRange(q.lo, q.hi, q.loIncl, q.hiIncl)); got != want {
+			t.Errorf("scan SelectRange(%+v) = %d, want %d", q, got, want)
+		}
+		if got := len(sorted.SelectRange(q.lo, q.hi, q.loIncl, q.hiIncl)); got != want {
+			t.Errorf("sorted SelectRange(%+v) = %d, want %d", q, got, want)
+		}
+		if got := b.CountRange(q.lo, q.hi, q.loIncl, q.hiIncl); got != want {
+			t.Errorf("CountRange(%+v) = %d, want %d", q, got, want)
+		}
+	}
+}
+
+func TestOrderByPermutation(t *testing.T) {
+	vals := []int64{30, 10, 20, 10}
+	b := FromInts("p", vals)
+	sorted, order := b.OrderBy("p_sorted")
+	if !sort.SliceIsSorted(sorted.Ints(), func(i, j int) bool {
+		return sorted.Int(i) < sorted.Int(j)
+	}) {
+		t.Fatal("OrderBy result not sorted")
+	}
+	if !sorted.Sorted() {
+		t.Fatal("sorted property not set")
+	}
+	for i := 0; i < sorted.Len(); i++ {
+		if vals[order[i]] != sorted.Int(i) {
+			t.Fatalf("order[%d]=%d maps to %d, want %d", i, order[i], vals[order[i]], sorted.Int(i))
+		}
+	}
+	// Receiver unchanged.
+	if b.Int(0) != 30 {
+		t.Fatal("OrderBy mutated its receiver")
+	}
+}
+
+func TestHashIndex(t *testing.T) {
+	b := FromInts("h", []int64{4, 2, 4, 9})
+	h := b.BuildHash()
+	if h.Cardinality() != 3 {
+		t.Fatalf("Cardinality = %d, want 3", h.Cardinality())
+	}
+	if got := h.Lookup(4); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("Lookup(4) = %v", got)
+	}
+	if h.Contains(5) {
+		t.Fatal("Contains(5) true")
+	}
+	// Mutation invalidates the accelerator.
+	b.AppendInt(5)
+	if b.hash != nil {
+		t.Fatal("hash accelerator survived a mutation")
+	}
+}
+
+func TestHeapDedup(t *testing.T) {
+	h := NewHeap()
+	a := h.Put("hello")
+	bOff := h.Put("world")
+	c := h.Put("hello")
+	if a != c {
+		t.Fatal("identical strings not deduplicated")
+	}
+	if h.Get(a) != "hello" || h.Get(bOff) != "world" {
+		t.Fatal("heap Get returned wrong strings")
+	}
+	clone := h.Clone()
+	if clone.Get(a) != "hello" {
+		t.Fatal("clone lost data")
+	}
+}
+
+func TestStrBAT(t *testing.T) {
+	b := NewStr("names", 2)
+	for _, s := range []string{"r", "s", "r"} {
+		if err := b.AppendStr(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.Len() != 3 || b.Str(2) != "r" {
+		t.Fatalf("str BAT contents wrong: len=%d", b.Len())
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	b := FromInts("orig", []int64{1, 2, 3})
+	c := b.Clone("copy")
+	c.SetInt(0, 42)
+	if b.Int(0) != 1 {
+		t.Fatal("clone shares storage with original")
+	}
+}
+
+func TestPersistRoundTripInt(t *testing.T) {
+	b := FromInts("disk", []int64{-5, 0, 7, 1 << 40})
+	var buf bytes.Buffer
+	if _, err := b.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBAT("disk", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != b.Len() {
+		t.Fatalf("len = %d, want %d", got.Len(), b.Len())
+	}
+	for i := 0; i < b.Len(); i++ {
+		if got.Int(i) != b.Int(i) {
+			t.Fatalf("pos %d: %d != %d", i, got.Int(i), b.Int(i))
+		}
+	}
+}
+
+func TestPersistRoundTripStr(t *testing.T) {
+	b := NewStr("sdisk", 0)
+	for _, s := range []string{"alpha", "beta", "alpha", ""} {
+		b.AppendStr(s)
+	}
+	var buf bytes.Buffer
+	if _, err := b.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBAT("sdisk", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < b.Len(); i++ {
+		if got.Str(i) != b.Str(i) {
+			t.Fatalf("pos %d: %q != %q", i, got.Str(i), b.Str(i))
+		}
+	}
+}
+
+func TestPersistDetectsTruncation(t *testing.T) {
+	b := FromInts("t", []int64{1, 2, 3, 4, 5})
+	var buf bytes.Buffer
+	if _, err := b.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{1, 4, len(full) / 2, len(full) - 1} {
+		if _, err := ReadBAT("t", bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+func TestPersistDetectsCorruption(t *testing.T) {
+	b := FromInts("c", []int64{9, 8, 7})
+	var buf bytes.Buffer
+	if _, err := b.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	img := buf.Bytes()
+	img[len(img)/2] ^= 0xff
+	if _, err := ReadBAT("c", bytes.NewReader(img)); err == nil {
+		t.Fatal("bit flip not detected")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	b := FromInts("file", []int64{11, 22, 33})
+	path := dir + "/file.bat"
+	if err := b.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load("file", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 3 || got.Int(1) != 22 {
+		t.Fatal("file round trip lost data")
+	}
+}
+
+// Property: persistence round-trips arbitrary integer vectors.
+func TestQuickPersistRoundTrip(t *testing.T) {
+	f := func(vals []int64) bool {
+		b := FromInts("q", vals)
+		var buf bytes.Buffer
+		if _, err := b.WriteTo(&buf); err != nil {
+			return false
+		}
+		got, err := ReadBAT("q", &buf)
+		if err != nil {
+			return false
+		}
+		if got.Len() != len(vals) {
+			return false
+		}
+		for i, v := range vals {
+			if got.Int(i) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: OrderBy output is sorted and is a permutation of the input.
+func TestQuickOrderBy(t *testing.T) {
+	f := func(vals []int64) bool {
+		b := FromInts("q", append([]int64(nil), vals...))
+		sorted, order := b.OrderBy("qs")
+		if sorted.Len() != len(vals) || len(order) != len(vals) {
+			return false
+		}
+		seen := make(map[OID]bool, len(order))
+		for i := 0; i < sorted.Len(); i++ {
+			if i > 0 && sorted.Int(i-1) > sorted.Int(i) {
+				return false
+			}
+			if seen[order[i]] {
+				return false
+			}
+			seen[order[i]] = true
+			if vals[order[i]] != sorted.Int(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNamingAndTypeAccessors(t *testing.T) {
+	b := NewInt("orig", 0)
+	if b.Name() != "orig" || b.TailType() != TypeInt {
+		t.Fatalf("accessors: %q %v", b.Name(), b.TailType())
+	}
+	b.SetName("renamed")
+	if b.Name() != "renamed" {
+		t.Fatalf("SetName failed: %q", b.Name())
+	}
+	if TypeStr.String() != "str" || TypeInt.String() != "int" || Type(9).String() == "" {
+		t.Fatal("Type.String wrong")
+	}
+	if got := b.String(); got != "bat[void,int]renamed#0" {
+		t.Fatalf("String = %q", got)
+	}
+	v := FromInts("x", []int64{1}).View(0, 1)
+	if got := v.String(); got != "view[void,int]x[0:1]#1" {
+		t.Fatalf("view String = %q", got)
+	}
+}
+
+func TestAppendInts(t *testing.T) {
+	b := NewInt("bulk", 0)
+	if err := b.AppendInts(3, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 3 || b.Int(2) != 2 {
+		t.Fatal("AppendInts lost data")
+	}
+	if err := b.View(0, 1).AppendInts(9); err == nil {
+		t.Fatal("AppendInts on view succeeded")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AppendInts on str BAT did not panic")
+		}
+	}()
+	NewStr("s", 0).AppendInts(1)
+}
+
+func TestSaveFailsOnBadPath(t *testing.T) {
+	b := FromInts("x", []int64{1})
+	if err := b.Save("/nonexistent-dir-zzz/x.bat"); err == nil {
+		t.Fatal("Save to bad path succeeded")
+	}
+	if _, err := Load("x", "/nonexistent-dir-zzz/x.bat"); err == nil {
+		t.Fatal("Load from bad path succeeded")
+	}
+}

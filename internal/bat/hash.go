@@ -1,0 +1,37 @@
+package bat
+
+// HashIndex is the lazily built hash-table accelerator a BAT carries
+// (paper Figure 7: "automatically maintained search accelerators"). It
+// maps tail values to the positions holding them and is invalidated by
+// any mutation of the BAT.
+type HashIndex struct {
+	buckets map[int64][]int32
+}
+
+// BuildHash returns the BAT's hash accelerator, constructing it on first
+// use. Only integer tails support hashing.
+func (b *BAT) BuildHash() *HashIndex {
+	if b.typ != TypeInt {
+		panic("bat: BuildHash on non-int BAT " + b.name)
+	}
+	if b.hash == nil {
+		h := &HashIndex{buckets: make(map[int64][]int32, len(b.ints))}
+		for i, v := range b.ints {
+			h.buckets[v] = append(h.buckets[v], int32(i))
+		}
+		b.hash = h
+	}
+	return b.hash
+}
+
+// Lookup returns the positions holding value v.
+func (h *HashIndex) Lookup(v int64) []int32 { return h.buckets[v] }
+
+// Contains reports whether value v occurs.
+func (h *HashIndex) Contains(v int64) bool {
+	_, ok := h.buckets[v]
+	return ok
+}
+
+// Cardinality returns the number of distinct tail values.
+func (h *HashIndex) Cardinality() int { return len(h.buckets) }

@@ -1,0 +1,55 @@
+package bat
+
+// Heap is a variable-sized atom heap: the storage area MonetDB keeps
+// beside a BAT for variable-length tail values (paper Figure 7). Strings
+// are appended once and addressed by byte offset; identical strings are
+// deduplicated through a small dictionary, which both bounds heap growth
+// and makes offset equality imply value equality.
+type Heap struct {
+	data []byte
+	dict map[string]int32
+}
+
+// NewHeap returns an empty atom heap.
+func NewHeap() *Heap {
+	return &Heap{dict: make(map[string]int32)}
+}
+
+// Put stores s in the heap and returns its offset. Repeated values share
+// one entry.
+func (h *Heap) Put(s string) int32 {
+	if off, ok := h.dict[s]; ok {
+		return off
+	}
+	off := int32(len(h.data))
+	// Length-prefixed entry: varint-free fixed 4-byte little-endian length
+	// keeps Get O(1) without scanning for terminators.
+	n := len(s)
+	h.data = append(h.data,
+		byte(n), byte(n>>8), byte(n>>16), byte(n>>24))
+	h.data = append(h.data, s...)
+	h.dict[s] = off
+	return off
+}
+
+// Get returns the string stored at offset off.
+func (h *Heap) Get(off int32) string {
+	n := int(h.data[off]) | int(h.data[off+1])<<8 | int(h.data[off+2])<<16 | int(h.data[off+3])<<24
+	start := int(off) + 4
+	return string(h.data[start : start+n])
+}
+
+// Size returns the heap size in bytes.
+func (h *Heap) Size() int { return len(h.data) }
+
+// Clone returns a deep copy of the heap.
+func (h *Heap) Clone() *Heap {
+	c := &Heap{
+		data: append([]byte(nil), h.data...),
+		dict: make(map[string]int32, len(h.dict)),
+	}
+	for k, v := range h.dict {
+		c.dict[k] = v
+	}
+	return c
+}

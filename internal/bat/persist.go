@@ -1,0 +1,197 @@
+package bat
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// Binary persistence for BATs. The on-disk format is:
+//
+//	magic   [4]byte  "BAT1"
+//	type    uint8    TypeInt or TypeStr
+//	hseq    uint32   head sequence base
+//	n       uint64   number of BUNs
+//	tail    n × int64            (TypeInt)
+//	      | n × int32 offsets,
+//	        heapLen uint64, heap bytes   (TypeStr)
+//	crc     uint32   CRC-32 (IEEE) of everything above
+//
+// The trailing checksum lets Load detect truncated or corrupted stores,
+// which the persistence failure-injection tests exercise.
+
+var magic = [4]byte{'B', 'A', 'T', '1'}
+
+// ErrCorrupt is returned when a persisted BAT fails validation.
+var ErrCorrupt = errors.New("bat: corrupt or truncated BAT image")
+
+// WriteTo serializes the BAT. It implements io.WriterTo.
+func (b *BAT) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w, crc: crc32.NewIEEE()}
+	mw := io.MultiWriter(cw, cw.crc)
+
+	if _, err := mw.Write(magic[:]); err != nil {
+		return cw.n, err
+	}
+	hdr := make([]byte, 1+4+8)
+	hdr[0] = byte(b.typ)
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(b.hseq))
+	binary.LittleEndian.PutUint64(hdr[5:], uint64(b.Len()))
+	if _, err := mw.Write(hdr); err != nil {
+		return cw.n, err
+	}
+
+	buf := make([]byte, 8)
+	switch b.typ {
+	case TypeInt:
+		for _, v := range b.ints {
+			binary.LittleEndian.PutUint64(buf, uint64(v))
+			if _, err := mw.Write(buf); err != nil {
+				return cw.n, err
+			}
+		}
+	case TypeStr:
+		for _, off := range b.offs {
+			binary.LittleEndian.PutUint32(buf[:4], uint32(off))
+			if _, err := mw.Write(buf[:4]); err != nil {
+				return cw.n, err
+			}
+		}
+		binary.LittleEndian.PutUint64(buf, uint64(b.heap.Size()))
+		if _, err := mw.Write(buf); err != nil {
+			return cw.n, err
+		}
+		if _, err := mw.Write(b.heap.data); err != nil {
+			return cw.n, err
+		}
+	}
+
+	binary.LittleEndian.PutUint32(buf[:4], cw.crc.Sum32())
+	if _, err := cw.w.Write(buf[:4]); err != nil {
+		return cw.n, err
+	}
+	cw.n += 4
+	return cw.n, nil
+}
+
+type countingWriter struct {
+	w   io.Writer
+	n   int64
+	crc interface {
+		io.Writer
+		Sum32() uint32
+	}
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+// ReadBAT deserializes a BAT written by WriteTo, validating the checksum.
+func ReadBAT(name string, r io.Reader) (*BAT, error) {
+	crc := crc32.NewIEEE()
+	tr := io.TeeReader(r, crc)
+
+	var m [4]byte
+	if _, err := io.ReadFull(tr, m[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, m)
+	}
+	hdr := make([]byte, 1+4+8)
+	if _, err := io.ReadFull(tr, hdr); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	typ := Type(hdr[0])
+	hseq := OID(binary.LittleEndian.Uint32(hdr[1:]))
+	n := binary.LittleEndian.Uint64(hdr[5:])
+	if n > 1<<40 {
+		return nil, fmt.Errorf("%w: implausible BUN count %d", ErrCorrupt, n)
+	}
+
+	b := &BAT{name: name, typ: typ, hseq: hseq}
+	buf := make([]byte, 8)
+	switch typ {
+	case TypeInt:
+		b.ints = make([]int64, 0, n)
+		for i := uint64(0); i < n; i++ {
+			if _, err := io.ReadFull(tr, buf); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			}
+			b.ints = append(b.ints, int64(binary.LittleEndian.Uint64(buf)))
+		}
+	case TypeStr:
+		b.offs = make([]int32, 0, n)
+		for i := uint64(0); i < n; i++ {
+			if _, err := io.ReadFull(tr, buf[:4]); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			}
+			b.offs = append(b.offs, int32(binary.LittleEndian.Uint32(buf[:4])))
+		}
+		if _, err := io.ReadFull(tr, buf); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		heapLen := binary.LittleEndian.Uint64(buf)
+		if heapLen > 1<<40 {
+			return nil, fmt.Errorf("%w: implausible heap size %d", ErrCorrupt, heapLen)
+		}
+		data := make([]byte, heapLen)
+		if _, err := io.ReadFull(tr, data); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		b.heap = &Heap{data: data, dict: make(map[string]int32)}
+	default:
+		return nil, fmt.Errorf("%w: unknown tail type %d", ErrCorrupt, typ)
+	}
+
+	want := crc.Sum32()
+	if _, err := io.ReadFull(r, buf[:4]); err != nil {
+		return nil, fmt.Errorf("%w: missing checksum: %v", ErrCorrupt, err)
+	}
+	if got := binary.LittleEndian.Uint32(buf[:4]); got != want {
+		return nil, fmt.Errorf("%w: checksum mismatch (got %08x want %08x)", ErrCorrupt, got, want)
+	}
+	return b, nil
+}
+
+// Save writes the BAT to path atomically (write to temp file, then rename).
+func (b *BAT) Save(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if _, err := b.WriteTo(w); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Load reads a BAT from path.
+func Load(name, path string) (*BAT, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadBAT(name, bufio.NewReader(f))
+}

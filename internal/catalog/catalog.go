@@ -1,0 +1,240 @@
+// Package catalog implements the system catalog of the store: the
+// registry of tables, their columns, and — central to the paper — the
+// registry of table fragments (pieces) produced by cracking.
+//
+// The paper observes (§3.2) that administering pieces through a classic
+// partitioned-table catalog is expensive: "each creation or removal of a
+// partition is a change to the table's schema and catalog entries. It
+// requires locking a critical resource and may force recompilation of
+// cached queries". The catalog therefore keeps explicit cost counters
+// (schema changes, lock acquisitions, plan invalidations) so experiments
+// can charge that overhead, while the cracker index itself lives as a
+// cheap in-memory auxiliary structure (package core).
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ColumnDef describes one column of a registered table.
+type ColumnDef struct {
+	Name string
+	Type string // "int" or "str"
+}
+
+// TableEntry is the catalog record for a table.
+type TableEntry struct {
+	Name      string
+	Columns   []ColumnDef
+	Rows      int
+	Fragments []string // names of registered fragments, in creation order
+}
+
+// FragmentEntry records the lineage and statistics of one piece, the
+// information the paper's cracker index keeps per piece: "the (min,max)
+// bounds of the (range) attributes, its size, and its location" (§3.2).
+type FragmentEntry struct {
+	Name   string // e.g. "R[4]"
+	Table  string // base table
+	Parent string // fragment (or table) this piece was cracked from
+	Op     string // "Ξ", "Ψ", "^", "Ω"
+	Col    string // attribute the cracker applied to ("" for Ψ)
+	Lo, Hi int    // physical location: position range within the store
+	Min    int64  // value bounds of the range attribute within the piece
+	Max    int64
+	Size   int
+}
+
+// Stats aggregates the maintenance cost the catalog has absorbed.
+type Stats struct {
+	SchemaChanges     int // fragment/table creations and drops
+	Lookups           int // navigations through catalog entries
+	LockAcquisitions  int // critical-resource locks taken
+	PlanInvalidations int // cached plans forced to recompile
+}
+
+// Catalog is a concurrency-safe system catalog. The zero value is not
+// ready; use New.
+type Catalog struct {
+	mu        sync.Mutex
+	tables    map[string]*TableEntry
+	fragments map[string]*FragmentEntry
+	plans     int // number of "cached plans" currently registered
+	stats     Stats
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{
+		tables:    make(map[string]*TableEntry),
+		fragments: make(map[string]*FragmentEntry),
+	}
+}
+
+// CreateTable registers a table. It fails if the name is taken.
+func (c *Catalog) CreateTable(name string, cols ...ColumnDef) (*TableEntry, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.LockAcquisitions++
+	if _, ok := c.tables[name]; ok {
+		return nil, fmt.Errorf("catalog: table %q already exists", name)
+	}
+	t := &TableEntry{Name: name, Columns: append([]ColumnDef(nil), cols...)}
+	c.tables[name] = t
+	c.schemaChangeLocked()
+	return t, nil
+}
+
+// DropTable removes a table and all its fragments.
+func (c *Catalog) DropTable(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.LockAcquisitions++
+	t, ok := c.tables[name]
+	if !ok {
+		return fmt.Errorf("catalog: table %q does not exist", name)
+	}
+	for _, f := range t.Fragments {
+		delete(c.fragments, f)
+		c.schemaChangeLocked()
+	}
+	delete(c.tables, name)
+	c.schemaChangeLocked()
+	return nil
+}
+
+// Table looks up a table entry.
+func (c *Catalog) Table(name string) (*TableEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.Lookups++
+	t, ok := c.tables[name]
+	return t, ok
+}
+
+// SetRows records the cardinality of a table.
+func (c *Catalog) SetRows(name string, rows int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t, ok := c.tables[name]
+	if !ok {
+		return fmt.Errorf("catalog: table %q does not exist", name)
+	}
+	t.Rows = rows
+	return nil
+}
+
+// RegisterFragment records a new piece. This is the expensive, fully
+// transactional path the paper contrasts with the in-memory cracker
+// index: it takes the catalog lock, bumps the schema version, and
+// invalidates cached plans.
+func (c *Catalog) RegisterFragment(f FragmentEntry) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.LockAcquisitions++
+	if _, dup := c.fragments[f.Name]; dup {
+		return fmt.Errorf("catalog: fragment %q already exists", f.Name)
+	}
+	t, ok := c.tables[f.Table]
+	if !ok {
+		return fmt.Errorf("catalog: fragment %q references unknown table %q", f.Name, f.Table)
+	}
+	entry := f
+	c.fragments[f.Name] = &entry
+	t.Fragments = append(t.Fragments, f.Name)
+	c.schemaChangeLocked()
+	return nil
+}
+
+// DropFragment removes a piece (used by fusion).
+func (c *Catalog) DropFragment(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.LockAcquisitions++
+	f, ok := c.fragments[name]
+	if !ok {
+		return fmt.Errorf("catalog: fragment %q does not exist", name)
+	}
+	if t, ok := c.tables[f.Table]; ok {
+		for i, fn := range t.Fragments {
+			if fn == name {
+				t.Fragments = append(t.Fragments[:i], t.Fragments[i+1:]...)
+				break
+			}
+		}
+	}
+	delete(c.fragments, name)
+	c.schemaChangeLocked()
+	return nil
+}
+
+// Fragment looks up a piece.
+func (c *Catalog) Fragment(name string) (*FragmentEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.Lookups++
+	f, ok := c.fragments[name]
+	return f, ok
+}
+
+// FragmentsOf returns the pieces of a table in creation order.
+func (c *Catalog) FragmentsOf(table string) []*FragmentEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.Lookups++
+	t, ok := c.tables[table]
+	if !ok {
+		return nil
+	}
+	out := make([]*FragmentEntry, 0, len(t.Fragments))
+	for _, name := range t.Fragments {
+		if f, ok := c.fragments[name]; ok {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Tables returns all table names, sorted.
+func (c *Catalog) Tables() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	names := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RegisterPlan records a cached query plan; schema changes invalidate all
+// registered plans, modelling the recompilation cost the paper warns of.
+func (c *Catalog) RegisterPlan() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.plans++
+}
+
+// schemaChangeLocked bumps the schema-change counter and charges plan
+// invalidations. Callers hold c.mu.
+func (c *Catalog) schemaChangeLocked() {
+	c.stats.SchemaChanges++
+	c.stats.PlanInvalidations += c.plans
+	c.plans = 0
+}
+
+// Stats returns a snapshot of the accumulated maintenance cost.
+func (c *Catalog) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// ResetStats zeroes the counters (between experiment runs).
+func (c *Catalog) ResetStats() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats = Stats{}
+}

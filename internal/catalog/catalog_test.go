@@ -1,0 +1,162 @@
+package catalog
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func intCols(names ...string) []ColumnDef {
+	cols := make([]ColumnDef, len(names))
+	for i, n := range names {
+		cols[i] = ColumnDef{Name: n, Type: "int"}
+	}
+	return cols
+}
+
+func TestCreateAndLookupTable(t *testing.T) {
+	c := New()
+	if _, err := c.CreateTable("R", intCols("k", "a")...); err != nil {
+		t.Fatal(err)
+	}
+	entry, ok := c.Table("R")
+	if !ok || entry.Name != "R" || len(entry.Columns) != 2 {
+		t.Fatalf("Table lookup wrong: %+v ok=%v", entry, ok)
+	}
+	if _, err := c.CreateTable("R"); err == nil {
+		t.Fatal("duplicate CreateTable succeeded")
+	}
+	if err := c.SetRows("R", 100); err != nil {
+		t.Fatal(err)
+	}
+	entry, _ = c.Table("R")
+	if entry.Rows != 100 {
+		t.Fatalf("Rows = %d", entry.Rows)
+	}
+	if err := c.SetRows("nope", 1); err == nil {
+		t.Fatal("SetRows on missing table succeeded")
+	}
+}
+
+func TestFragmentLifecycle(t *testing.T) {
+	c := New()
+	if _, err := c.CreateTable("R", intCols("a")...); err != nil {
+		t.Fatal(err)
+	}
+	f := FragmentEntry{Name: "R[1]", Table: "R", Parent: "R", Op: "Ξ", Col: "a", Lo: 0, Hi: 10, Min: 0, Max: 9, Size: 10}
+	if err := c.RegisterFragment(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterFragment(f); err == nil {
+		t.Fatal("duplicate fragment registration succeeded")
+	}
+	if err := c.RegisterFragment(FragmentEntry{Name: "X[1]", Table: "nope"}); err == nil {
+		t.Fatal("fragment on unknown table succeeded")
+	}
+	got, ok := c.Fragment("R[1]")
+	if !ok || got.Op != "Ξ" || got.Size != 10 {
+		t.Fatalf("Fragment lookup wrong: %+v", got)
+	}
+	frags := c.FragmentsOf("R")
+	if len(frags) != 1 || frags[0].Name != "R[1]" {
+		t.Fatalf("FragmentsOf = %v", frags)
+	}
+	if err := c.DropFragment("R[1]"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Fragment("R[1]"); ok {
+		t.Fatal("fragment survived drop")
+	}
+	if len(c.FragmentsOf("R")) != 0 {
+		t.Fatal("table still lists dropped fragment")
+	}
+	if err := c.DropFragment("R[1]"); err == nil {
+		t.Fatal("double drop succeeded")
+	}
+}
+
+func TestDropTableCascades(t *testing.T) {
+	c := New()
+	c.CreateTable("R", intCols("a")...)
+	c.RegisterFragment(FragmentEntry{Name: "R[1]", Table: "R"})
+	c.RegisterFragment(FragmentEntry{Name: "R[2]", Table: "R"})
+	if err := c.DropTable("R"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Fragment("R[1]"); ok {
+		t.Fatal("fragment survived table drop")
+	}
+	if err := c.DropTable("R"); err == nil {
+		t.Fatal("double table drop succeeded")
+	}
+}
+
+func TestCostCounters(t *testing.T) {
+	c := New()
+	c.CreateTable("R", intCols("a")...)
+	base := c.Stats()
+	if base.SchemaChanges != 1 {
+		t.Fatalf("SchemaChanges after create = %d, want 1", base.SchemaChanges)
+	}
+	// Plans cached before a schema change get invalidated by it.
+	c.RegisterPlan()
+	c.RegisterPlan()
+	c.RegisterFragment(FragmentEntry{Name: "R[1]", Table: "R"})
+	s := c.Stats()
+	if s.PlanInvalidations != 2 {
+		t.Fatalf("PlanInvalidations = %d, want 2", s.PlanInvalidations)
+	}
+	if s.SchemaChanges != 2 {
+		t.Fatalf("SchemaChanges = %d, want 2", s.SchemaChanges)
+	}
+	if s.LockAcquisitions == 0 {
+		t.Fatal("lock acquisitions not counted")
+	}
+	c.Table("R")
+	if c.Stats().Lookups == 0 {
+		t.Fatal("lookups not counted")
+	}
+	c.ResetStats()
+	if c.Stats() != (Stats{}) {
+		t.Fatal("ResetStats did not zero counters")
+	}
+}
+
+func TestTablesSorted(t *testing.T) {
+	c := New()
+	for _, n := range []string{"S", "R", "T"} {
+		c.CreateTable(n)
+	}
+	got := c.Tables()
+	want := []string{"R", "S", "T"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Tables() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New()
+	c.CreateTable("R", intCols("a")...)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				name := fmt.Sprintf("R[%d-%d]", g, i)
+				if err := c.RegisterFragment(FragmentEntry{Name: name, Table: "R"}); err != nil {
+					t.Errorf("RegisterFragment(%s): %v", name, err)
+					return
+				}
+				c.Fragment(name)
+				c.FragmentsOf("R")
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := len(c.FragmentsOf("R")); got != 400 {
+		t.Fatalf("fragments = %d, want 400", got)
+	}
+}

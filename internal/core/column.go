@@ -1,0 +1,654 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"crackdb/internal/bat"
+	"crackdb/internal/expr"
+)
+
+// Column is a cracker column: a copy of one attribute vector, aligned
+// with the surrogate OIDs of its tuples, that is physically reorganized
+// as a side effect of every selection it answers (paper §2: "every query
+// is first analyzed for its contribution to break the database into
+// multiple pieces"). The cracker index records the accumulated cuts.
+//
+// All exported methods are safe for concurrent use; cracking serializes
+// on an internal mutex, standing in for MonetDB's reliance on its memory
+// manager for transaction isolation during the in-place shuffle (§3.4.2).
+type Column struct {
+	mu   sync.Mutex
+	name string
+
+	vals []int64   // the cracked value vector
+	oids []bat.OID // oids[i] is the tuple identity of vals[i]
+
+	idx    *Index
+	lin    *Lineage
+	sorted bool // whole column sorted: cuts become binary searches
+
+	maxPieces      int // fusion threshold; 0 disables fusion
+	minPieceSize   int // pieces smaller than this are not cracked further
+	updateStrategy UpdateStrategy
+
+	nextOID bat.OID
+	pending []pendingInsert
+	deleted map[bat.OID]struct{}
+
+	stats Stats
+}
+
+type pendingInsert struct {
+	oid bat.OID
+	val int64
+}
+
+// Stats counts the physical work a column has absorbed. TuplesMoved is
+// the number of element writes performed by crack partitioning — the
+// quantity Figure 2 plots — and TuplesTouched the number inspected.
+type Stats struct {
+	Queries        int
+	Cracks         int   // partition passes executed
+	IndexLookups   int   // cut lookups answered without cracking
+	TuplesMoved    int64 // element writes during partitioning
+	TuplesTouched  int64 // element reads during partitioning
+	Fusions        int   // cuts removed to respect MaxPieces
+	Consolidations int   // pending-update merges
+}
+
+// Option configures a Column.
+type Option func(*Column)
+
+// WithMaxPieces bounds the cracker index size; when exceeded, adjacent
+// pieces are fused (paper §3.2: "fusion of pieces becomes a necessity").
+func WithMaxPieces(n int) Option {
+	return func(c *Column) { c.maxPieces = n }
+}
+
+// WithMinPieceSize sets the cracking cut-off granularity (paper §3.4.2:
+// "possible cut-off points to consider are the disk-blocks, being the
+// slowest granularity in the system"). Pieces smaller than n are still
+// partitioned to answer a query — the answer stays a contiguous view —
+// but the new cut is not registered, so the index stops refining below
+// the granule size.
+func WithMinPieceSize(n int) Option {
+	return func(c *Column) { c.minPieceSize = n }
+}
+
+// NewColumn builds a cracker column from a raw value vector. The i-th
+// value receives OID i. The vector is copied: the base table stays
+// untouched while the cracker copy is shuffled.
+func NewColumn(name string, vals []int64, opts ...Option) *Column {
+	c := &Column{
+		name:    name,
+		vals:    append([]int64(nil), vals...),
+		oids:    make([]bat.OID, len(vals)),
+		idx:     &Index{},
+		lin:     NewLineage(name),
+		nextOID: bat.OID(len(vals)),
+		deleted: make(map[bat.OID]struct{}),
+	}
+	for i := range c.oids {
+		c.oids[i] = bat.OID(i)
+	}
+	c.lin.Root(0, len(vals))
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// FromBAT builds a cracker column from an integer BAT.
+func FromBAT(b *bat.BAT, opts ...Option) *Column {
+	return NewColumn(b.Name(), b.Ints(), opts...)
+}
+
+// Name returns the column name.
+func (c *Column) Name() string { return c.name }
+
+// Len returns the number of live values (including pending inserts).
+func (c *Column) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.vals) + len(c.pending) - len(c.deleted)
+}
+
+// Pieces returns the current number of pieces the column is cracked into.
+func (c *Column) Pieces() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.idx.Len() + 1
+}
+
+// Stats returns a snapshot of the accumulated work counters.
+func (c *Column) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// ResetStats zeroes the counters.
+func (c *Column) ResetStats() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats = Stats{}
+}
+
+// Lineage returns the lineage DAG (rendered by crackdemo).
+func (c *Column) Lineage() *Lineage {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lin
+}
+
+// Index exposes the cracker index for inspection (tests, ablations).
+func (c *Column) Index() *Index {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.idx
+}
+
+// View is a zero-copy window [Lo, Hi) over a cracker column: the answer
+// of a cracked selection, equivalent to a MonetDB BAT view over the
+// consecutive matching area.
+type View struct {
+	col    *Column
+	Lo, Hi int
+}
+
+// Len returns the number of tuples in the view.
+func (v View) Len() int { return v.Hi - v.Lo }
+
+// Values returns the value window. Callers must treat it as read-only;
+// it aliases the column until the next crack touches the region.
+func (v View) Values() []int64 {
+	if v.col == nil {
+		return nil
+	}
+	return v.col.vals[v.Lo:v.Hi:v.Hi]
+}
+
+// OIDs returns the tuple identities in the view (aliased, read-only).
+func (v View) OIDs() []bat.OID {
+	if v.col == nil {
+		return nil
+	}
+	return v.col.oids[v.Lo:v.Hi:v.Hi]
+}
+
+// Materialize copies the view out of the column, detaching it from
+// future cracking.
+func (v View) Materialize() (vals []int64, oids []bat.OID) {
+	return append([]int64(nil), v.Values()...), append([]bat.OID(nil), v.OIDs()...)
+}
+
+// Select answers the range query low θ_lo attr θ_hi high by cracking —
+// the Ξ operator of §3.1. The result is a contiguous window of the
+// column; pieces at the predicate boundaries are cracked as a byproduct,
+// so the same range (and every sub-range) is answered by pure index
+// lookups afterwards.
+func (c *Column) Select(low, high int64, lowIncl, highIncl bool) View {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.selectLocked(low, high, lowIncl, highIncl)
+}
+
+// SelectCopy answers like Select but returns copies of the qualifying
+// values and OIDs, taken while the column lock is still held. This is
+// the safe form under concurrent cracking: a View's windows alias the
+// column and may be shuffled by cracks that run after Select returns.
+func (c *Column) SelectCopy(low, high int64, lowIncl, highIncl bool) ([]int64, []bat.OID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v := c.selectLocked(low, high, lowIncl, highIncl)
+	return append([]int64(nil), c.vals[v.Lo:v.Hi]...),
+		append([]bat.OID(nil), c.oids[v.Lo:v.Hi]...)
+}
+
+// SelectRangeCopy is SelectCopy for an expr.Range.
+func (c *Column) SelectRangeCopy(r expr.Range) ([]int64, []bat.OID) {
+	return c.SelectCopy(r.Low, r.High, r.LowIncl, r.HighIncl)
+}
+
+func (c *Column) selectLocked(low, high int64, lowIncl, highIncl bool) View {
+	c.consolidateLocked()
+	c.stats.Queries++
+
+	// The lower cut separates non-qualifying prefix from answer; the
+	// upper cut separates answer from non-qualifying suffix.
+	loVal, loIncl := low, !lowIncl
+	hiVal, hiIncl := high, highIncl
+	if cmpCut(loVal, loIncl, hiVal, hiIncl) >= 0 { // empty or inverted range
+		return View{col: c}
+	}
+
+	// Cuts at the domain extremes are trivial: nothing is below the
+	// minimum or above the maximum, so no cracking (or index entry) is
+	// needed for an unbounded side.
+	posLo, okLo := 0, loVal == math.MinInt64 && !loIncl
+	posHi, okHi := len(c.vals), hiVal == math.MaxInt64 && hiIncl
+	if !okLo {
+		posLo, okLo = c.idx.Find(loVal, loIncl)
+	}
+	if !okHi {
+		posHi, okHi = c.idx.Find(hiVal, hiIncl)
+	}
+	if okLo && okHi {
+		c.stats.IndexLookups += 2
+		return View{col: c, Lo: posLo, Hi: posHi}
+	}
+
+	// Crack-in-three when both cuts are new and land in the same piece:
+	// the paper's three-piece Ξ variant for double-sided ranges. Sorted
+	// columns skip it — their cuts are pure binary searches.
+	if !okLo && !okHi && !c.sorted {
+		lo1, hi1 := c.pieceBounds(loVal, loIncl)
+		lo2, hi2 := c.pieceBounds(hiVal, hiIncl)
+		if lo1 == lo2 && hi1 == hi2 {
+			m1, m2 := c.crackInThree(lo1, hi1, loVal, loIncl, hiVal, hiIncl)
+			return View{col: c, Lo: m1, Hi: m2}
+		}
+	}
+
+	if okLo {
+		c.stats.IndexLookups++
+	} else {
+		posLo = c.cut(loVal, loIncl)
+	}
+	if okHi {
+		c.stats.IndexLookups++
+	} else {
+		posHi = c.cut(hiVal, hiIncl)
+	}
+	if posHi < posLo {
+		// Can only happen for ranges empty under the column's value set.
+		posHi = posLo
+	}
+	return View{col: c, Lo: posLo, Hi: posHi}
+}
+
+// SelectRange answers an expr.Range.
+func (c *Column) SelectRange(r expr.Range) View {
+	return c.Select(r.Low, r.High, r.LowIncl, r.HighIncl)
+}
+
+// SelectPred answers a simple θ-predicate. All operators except Ne yield
+// one view; Ne yields the two complement views around the point.
+func (c *Column) SelectPred(p expr.Pred) []View {
+	if r, ok := expr.RangeOf(p); ok {
+		return []View{c.SelectRange(r)}
+	}
+	// attr != v: complement of the point query.
+	left := c.Select(math.MinInt64, p.Val, true, false)
+	right := c.Select(p.Val, math.MaxInt64, false, true)
+	return []View{left, right}
+}
+
+// Count returns the number of qualifying tuples; cracking still happens
+// (the query is also advice), but no result is materialized, matching the
+// paper's observation that count-only queries need no fragment storage.
+func (c *Column) Count(low, high int64, lowIncl, highIncl bool) int {
+	return c.Select(low, high, lowIncl, highIncl).Len()
+}
+
+// SortAll sorts the whole column. This is the paper's alternative
+// strategy "to completely sort or index the table upfront" (§2.2) that
+// Figure 11 compares cracking against; after SortAll every cut is a
+// binary search and no tuple is ever moved again.
+func (c *Column) SortAll() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.consolidateLocked()
+	c.sortLocked("sort")
+}
+
+func (c *Column) sortLocked(detail string) {
+	sort.Sort(&valOIDSort{vals: c.vals, oids: c.oids})
+	c.stats.TuplesMoved += int64(len(c.vals)) * int64(ceilLog2(len(c.vals))) // N log N write estimate
+	c.stats.TuplesTouched += int64(len(c.vals)) * int64(ceilLog2(len(c.vals)))
+	c.idx.Reset()
+	c.sorted = true
+	c.lin = NewLineage(c.name)
+	root := c.lin.Root(0, len(c.vals))
+	root.Detail = detail
+}
+
+func ceilLog2(n int) int {
+	l := 0
+	for v := 1; v < n; v <<= 1 {
+		l++
+	}
+	return l
+}
+
+type valOIDSort struct {
+	vals []int64
+	oids []bat.OID
+}
+
+func (s *valOIDSort) Len() int           { return len(s.vals) }
+func (s *valOIDSort) Less(i, j int) bool { return s.vals[i] < s.vals[j] }
+func (s *valOIDSort) Swap(i, j int) {
+	s.vals[i], s.vals[j] = s.vals[j], s.vals[i]
+	s.oids[i], s.oids[j] = s.oids[j], s.oids[i]
+}
+
+// pieceBounds returns the piece [lo, hi) the cut (val, incl) falls into.
+func (c *Column) pieceBounds(val int64, incl bool) (lo, hi int) {
+	lo, hi = 0, len(c.vals)
+	if _, _, p, ok := c.idx.Floor(val, incl); ok {
+		lo = p
+	}
+	if _, _, p, ok := c.idx.Ceil(val, incl); ok {
+		hi = p
+	}
+	return lo, hi
+}
+
+// cut ensures the cut (val, incl) exists, cracking the containing piece
+// in two if needed, and returns its position.
+func (c *Column) cut(val int64, incl bool) int {
+	if pos, ok := c.idx.Find(val, incl); ok {
+		c.stats.IndexLookups++
+		return pos
+	}
+	lo, hi := c.pieceBounds(val, incl)
+	var m int
+	if c.sorted {
+		// Sorted pieces need no data movement: binary search the cut.
+		m = lo + sort.Search(hi-lo, func(i int) bool {
+			if incl {
+				return c.vals[lo+i] > val
+			}
+			return c.vals[lo+i] >= val
+		})
+	} else {
+		m = c.crackInTwo(lo, hi, val, incl)
+	}
+	if hi-lo < c.minPieceSize {
+		// Below the cut-off granularity: the partition answered the
+		// query but the cut is not worth remembering.
+		return m
+	}
+	c.idx.Insert(val, incl, m)
+	c.recordCrack(lo, hi, fmt.Sprintf("%s %s %d", c.name, cutOpString(incl), val),
+		[2]int{lo, m}, [2]int{m, hi})
+	c.fuseLocked()
+	return m
+}
+
+func cutOpString(incl bool) string {
+	if incl {
+		return "<="
+	}
+	return "<"
+}
+
+// crackInTwo partitions vals[lo:hi) so that elements satisfying the cut
+// predicate (< val, or <= val when incl) precede the rest, returning the
+// split position. It is the in-place "shuffle-exchange" of §3.4.2.
+func (c *Column) crackInTwo(lo, hi int, val int64, incl bool) int {
+	goesLeft := func(e int64) bool {
+		if incl {
+			return e <= val
+		}
+		return e < val
+	}
+	i, j := lo, hi-1
+	for i <= j {
+		for i <= j && goesLeft(c.vals[i]) {
+			i++
+		}
+		for i <= j && !goesLeft(c.vals[j]) {
+			j--
+		}
+		if i < j {
+			c.swap(i, j)
+			i++
+			j--
+		}
+	}
+	c.stats.Cracks++
+	c.stats.TuplesTouched += int64(hi - lo)
+	return i
+}
+
+// crackInThree partitions vals[lo:hi) into three pieces in a single pass
+// (Dutch national flag): values before the lower cut, values inside the
+// range, values past the upper cut. It registers both cuts and returns
+// the answer window [m1, m2).
+func (c *Column) crackInThree(lo, hi int, loVal int64, loIncl bool, hiVal int64, hiIncl bool) (m1, m2 int) {
+	goesLeft := func(e int64) bool {
+		if loIncl {
+			return e <= loVal
+		}
+		return e < loVal
+	}
+	goesRight := func(e int64) bool {
+		if hiIncl {
+			return e > hiVal
+		}
+		return e >= hiVal
+	}
+	lt, gt, i := lo, hi-1, lo
+	for i <= gt {
+		switch e := c.vals[i]; {
+		case goesLeft(e):
+			if i != lt {
+				c.swap(i, lt)
+			}
+			lt++
+			i++
+		case goesRight(e):
+			c.swap(i, gt)
+			gt--
+		default:
+			i++
+		}
+	}
+	m1, m2 = lt, gt+1
+	c.stats.Cracks++
+	c.stats.TuplesTouched += int64(hi - lo)
+	if hi-lo < c.minPieceSize {
+		return m1, m2 // below the cut-off granularity: answer, don't index
+	}
+	c.idx.Insert(loVal, loIncl, m1)
+	c.idx.Insert(hiVal, hiIncl, m2)
+	c.recordCrack(lo, hi,
+		fmt.Sprintf("%s ∈ cut(%d,%d)", c.name, loVal, hiVal),
+		[2]int{lo, m1}, [2]int{m1, m2}, [2]int{m2, hi})
+	c.fuseLocked()
+	return m1, m2
+}
+
+func (c *Column) swap(i, j int) {
+	c.vals[i], c.vals[j] = c.vals[j], c.vals[i]
+	c.oids[i], c.oids[j] = c.oids[j], c.oids[i]
+	c.stats.TuplesMoved += 2
+}
+
+// recordCrack attaches child pieces to the lineage leaf covering [lo, hi).
+func (c *Column) recordCrack(lo, hi int, detail string, ranges ...[2]int) {
+	for _, leaf := range c.lin.Leaves() {
+		if leaf.Lo <= lo && hi <= leaf.Hi {
+			// Only split the leaf when the ranges are non-trivial.
+			kept := ranges[:0:0]
+			for _, r := range ranges {
+				if r[1] > r[0] {
+					kept = append(kept, r)
+				}
+			}
+			if len(kept) > 1 {
+				c.lin.Crack(leaf, "Ξ", detail, kept...)
+			}
+			return
+		}
+	}
+}
+
+// fuseLocked enforces MaxPieces by repeatedly removing the cut whose
+// removal produces the smallest merged piece — trading index size for
+// coarser pieces, exactly the resource-management compromise §3.2 calls
+// for. Data never moves during fusion.
+func (c *Column) fuseLocked() {
+	if c.maxPieces <= 0 {
+		return
+	}
+	for c.idx.Len()+1 > c.maxPieces {
+		cuts := c.idx.Cuts()
+		if len(cuts) == 0 {
+			return
+		}
+		bestI, bestSize := -1, math.MaxInt
+		for i := range cuts {
+			lo := 0
+			if i > 0 {
+				lo = cuts[i-1].Pos
+			}
+			hi := len(c.vals)
+			if i+1 < len(cuts) {
+				hi = cuts[i+1].Pos
+			}
+			if merged := hi - lo; merged < bestSize {
+				bestSize = merged
+				bestI = i
+			}
+		}
+		c.idx.Delete(cuts[bestI].Val, cuts[bestI].Incl)
+		c.stats.Fusions++
+	}
+}
+
+// Insert queues a new value; it becomes visible to the next query, when
+// pending updates are consolidated into the cracker store. It returns
+// the OID assigned to the new tuple.
+func (c *Column) Insert(val int64) bat.OID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	oid := c.nextOID
+	c.nextOID++
+	c.pending = append(c.pending, pendingInsert{oid: oid, val: val})
+	return oid
+}
+
+// Delete queues removal of the tuple with the given OID. It reports
+// whether the OID is (still) known.
+func (c *Column) Delete(oid bat.OID) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, gone := c.deleted[oid]; gone {
+		return false
+	}
+	if oid >= c.nextOID {
+		return false
+	}
+	c.deleted[oid] = struct{}{}
+	return true
+}
+
+// consolidateLocked folds pending inserts and deletes into the value
+// vector, resetting the cracker index: the merge-complete strategy for
+// the update question the paper leaves open (§7). Sortedness is
+// preserved by re-sorting when the column had been fully sorted.
+func (c *Column) consolidateLocked() {
+	if len(c.pending) == 0 && len(c.deleted) == 0 {
+		return
+	}
+	// Ripple merging pays O(pieces) per update and keeps the index; it
+	// wins for trickle updates on a cracked column. A virgin (or fully
+	// sorted) column gains nothing from rippling — rebuild instead.
+	if c.updateStrategy == MergeRipple && c.idx.Len() > 0 && !c.sorted {
+		c.consolidateRippleLocked()
+		return
+	}
+	keepVals := make([]int64, 0, len(c.vals)+len(c.pending))
+	keepOIDs := make([]bat.OID, 0, len(c.vals)+len(c.pending))
+	for i, oid := range c.oids {
+		if _, gone := c.deleted[oid]; gone {
+			continue
+		}
+		keepVals = append(keepVals, c.vals[i])
+		keepOIDs = append(keepOIDs, oid)
+	}
+	for _, p := range c.pending {
+		if _, gone := c.deleted[p.oid]; gone {
+			continue
+		}
+		keepVals = append(keepVals, p.val)
+		keepOIDs = append(keepOIDs, p.oid)
+	}
+	c.vals, c.oids = keepVals, keepOIDs
+	c.pending = nil
+	c.deleted = make(map[bat.OID]struct{})
+	c.idx.Reset()
+	wasSorted := c.sorted
+	c.sorted = false
+	c.lin = NewLineage(c.name)
+	c.lin.Root(0, len(c.vals))
+	c.stats.Consolidations++
+	if wasSorted {
+		c.sortLocked("re-sort after consolidation")
+	}
+}
+
+// ByOID returns the live values keyed by OID — the loss-less
+// reconstruction witness used by the property tests.
+func (c *Column) ByOID() map[bat.OID]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[bat.OID]int64, len(c.vals)+len(c.pending))
+	for i, oid := range c.oids {
+		if _, gone := c.deleted[oid]; gone {
+			continue
+		}
+		out[oid] = c.vals[i]
+	}
+	for _, p := range c.pending {
+		if _, gone := c.deleted[p.oid]; gone {
+			continue
+		}
+		out[p.oid] = p.val
+	}
+	return out
+}
+
+// Verify checks the cracker invariants and returns the first violation:
+// cut positions must be sorted consistently with their keys, and every
+// element must be on the correct side of every cut. Tests and the
+// failure-injection suite call it after every operation batch.
+func (c *Column) Verify() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cuts := c.idx.Cuts()
+	prevPos := 0
+	for i, cut := range cuts {
+		if cut.Pos < prevPos || cut.Pos > len(c.vals) {
+			return fmt.Errorf("core: cut %d/%v at position %d out of order (prev %d, n %d)",
+				i, cut, cut.Pos, prevPos, len(c.vals))
+		}
+		prevPos = cut.Pos
+		for p := 0; p < cut.Pos; p++ {
+			if cut.Incl && c.vals[p] > cut.Val {
+				return fmt.Errorf("core: vals[%d]=%d violates left side of cut <=%d@%d", p, c.vals[p], cut.Val, cut.Pos)
+			}
+			if !cut.Incl && c.vals[p] >= cut.Val {
+				return fmt.Errorf("core: vals[%d]=%d violates left side of cut <%d@%d", p, c.vals[p], cut.Val, cut.Pos)
+			}
+		}
+		for p := cut.Pos; p < len(c.vals); p++ {
+			if cut.Incl && c.vals[p] <= cut.Val {
+				return fmt.Errorf("core: vals[%d]=%d violates right side of cut <=%d@%d", p, c.vals[p], cut.Val, cut.Pos)
+			}
+			if !cut.Incl && c.vals[p] < cut.Val {
+				return fmt.Errorf("core: vals[%d]=%d violates right side of cut <%d@%d", p, c.vals[p], cut.Val, cut.Pos)
+			}
+		}
+	}
+	if len(c.vals) != len(c.oids) {
+		return fmt.Errorf("core: vals/oids length mismatch %d != %d", len(c.vals), len(c.oids))
+	}
+	return nil
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMinPieceSizeBoundsIndexGrowth(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	vals := make([]int64, 4000)
+	for i := range vals {
+		vals[i] = rng.Int63n(4000)
+	}
+	granule := 256
+	c := NewColumn("a", vals, WithMinPieceSize(granule))
+	for q := 0; q < 300; q++ {
+		lo := rng.Int63n(3800)
+		hi := lo + rng.Int63n(200)
+		got := sortedCopy(c.Select(lo, hi, true, true).Values())
+		want := naiveSelect(vals, lo, hi, true, true)
+		if !equalInts(got, want) {
+			t.Fatalf("query %d [%d,%d]: wrong answer under cut-off", q, lo, hi)
+		}
+		if err := c.Verify(); err != nil {
+			t.Fatalf("query %d: %v", q, err)
+		}
+	}
+	// A registered cut can split an above-threshold piece into a small
+	// and a large part, so pieces below the granule exist; but since
+	// sub-granule pieces are never split again, growth stalls well below
+	// the unrestricted regime. Allow a generous constant factor.
+	maxPieces := 4 * len(vals) / granule
+	if got := c.Pieces(); got > maxPieces {
+		t.Fatalf("pieces = %d, expected cut-off to bound them near %d", got, maxPieces)
+	}
+
+	// Without the cut-off, the same workload refines much further.
+	free := NewColumn("b", vals)
+	rng = rand.New(rand.NewSource(23))
+	for q := 0; q < 300; q++ {
+		lo := rng.Int63n(3800)
+		free.Select(lo, lo+rng.Int63n(200), true, true)
+	}
+	if free.Pieces() <= c.Pieces() {
+		t.Fatalf("cut-off column has %d pieces, unrestricted has %d — cut-off had no effect",
+			c.Pieces(), free.Pieces())
+	}
+}
+
+func TestMinPieceSizeStillAnswersPoints(t *testing.T) {
+	vals := []int64{9, 1, 7, 3, 5, 3, 8, 2}
+	c := NewColumn("a", vals, WithMinPieceSize(100)) // everything below cut-off
+	checkView(t, c.Select(3, 3, true, true), []int64{3, 3})
+	checkView(t, c.Select(2, 7, true, false), []int64{2, 3, 3, 5})
+	if c.Pieces() != 1 {
+		t.Fatalf("pieces = %d, want 1 (nothing indexed below cut-off)", c.Pieces())
+	}
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"crackdb/internal/bat"
+	"crackdb/internal/expr"
+)
+
+// Selectivity estimation from the cracker index alone — the §3.3
+// observation that after cracking "the pieces of interest for query
+// evaluation are all available with precise statistics", so the
+// optimizer can cost plans without touching data.
+
+// Estimate bounds the number of qualifying tuples for a range using only
+// piece boundaries: pieces whose value interval lies inside the range
+// count fully (Min), pieces merely intersecting it add their size to the
+// upper bound (Max). The true count always satisfies Min <= n <= Max,
+// and the gap narrows as the column cracks.
+type Estimate struct {
+	Min int
+	Max int
+}
+
+// EstimateRange bounds the answer size of a range query without reading
+// or moving any data. O(p) in the number of pieces.
+func (c *Column) EstimateRange(r expr.Range) Estimate {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	n := len(c.vals) + len(c.pending) - len(c.deleted)
+	if n <= 0 || r.Empty() {
+		return Estimate{}
+	}
+	// Pending updates blur the picture: widen by the pending counts.
+	blur := len(c.pending) + len(c.deleted)
+
+	cuts := c.idx.Cuts()
+	if len(cuts) == 0 {
+		return Estimate{Min: 0, Max: n}
+	}
+
+	est := Estimate{}
+	// Piece i spans positions [pos_i, pos_{i+1}) with values v bounded by
+	// the enclosing cuts: left cut (val,incl) ⇒ v >= val (v > val when
+	// incl); right cut ⇒ v < val (v <= val when incl). The first piece
+	// has no lower value bound, the last none above.
+	for i := 0; i <= len(cuts); i++ {
+		lo, hi := 0, len(c.vals)
+		pieceRange := expr.FullRange(r.Col)
+		if i > 0 {
+			left := cuts[i-1]
+			lo = left.Pos
+			pieceRange.Low = left.Val
+			pieceRange.LowIncl = !left.Incl // incl cut: left side took = val
+		}
+		if i < len(cuts) {
+			right := cuts[i]
+			hi = right.Pos
+			pieceRange.High = right.Val
+			pieceRange.HighIncl = right.Incl
+		}
+		size := hi - lo
+		if size <= 0 {
+			continue
+		}
+		switch {
+		case r.Contains(pieceRange):
+			est.Min += size
+			est.Max += size
+		case !r.Intersect(pieceRange).Empty():
+			est.Max += size
+		}
+	}
+	est.Min -= blur
+	if est.Min < 0 {
+		est.Min = 0
+	}
+	est.Max += blur
+	if est.Max > n {
+		est.Max = n
+	}
+	return est
+}
+
+// EstimateTerm bounds a conjunctive term by the tightest single-column
+// estimate among its crack advice.
+func (ct *CrackedTable) EstimateTerm(term expr.Term) Estimate {
+	advice := expr.CrackAdvice(term)
+	best := Estimate{Min: 0, Max: ct.baseLen()}
+	for col, r := range advice {
+		ct.mu.Lock()
+		c, tracked := ct.cols[col]
+		ct.mu.Unlock()
+		if !tracked {
+			continue // never cracked: no statistics yet
+		}
+		e := c.EstimateRange(r)
+		if e.Max < best.Max {
+			best = e
+		}
+	}
+	return best
+}
+
+// SelectTermPlanned answers a conjunctive term like SelectTerm, but uses
+// index statistics to pick the driving column before cracking: only the
+// column with the smallest estimated answer is cracked, the rest of the
+// conjunction is evaluated on its candidates. Columns without statistics
+// are estimated at full size, so a cracked column is preferred over a
+// virgin one — unless the planner has nothing better, in which case the
+// first advised column is cracked (and gains statistics for next time).
+func (ct *CrackedTable) SelectTermPlanned(term expr.Term) ([]bat.OID, *Column, error) {
+	advice := expr.CrackAdvice(term)
+	if len(advice) == 0 {
+		oids, err := ct.filterOIDs(allOIDs(ct.baseLen()), term)
+		return oids, nil, err
+	}
+
+	// Iterate the advice in sorted column order so estimate ties break
+	// deterministically.
+	cols := make([]string, 0, len(advice))
+	for col := range advice {
+		cols = append(cols, col)
+	}
+	sort.Strings(cols)
+	bestCol, bestEst := "", Estimate{Max: math.MaxInt}
+	for _, col := range cols {
+		ct.mu.Lock()
+		c, tracked := ct.cols[col]
+		ct.mu.Unlock()
+		est := Estimate{Min: 0, Max: ct.baseLen()}
+		if tracked {
+			est = c.EstimateRange(advice[col])
+		}
+		if est.Max < bestEst.Max || bestCol == "" {
+			bestCol, bestEst = col, est
+		}
+	}
+
+	col, err := ct.ColumnFor(bestCol)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Copy under the column lock: view windows would alias state that a
+	// concurrent crack may shuffle.
+	_, cands := col.SelectRangeCopy(advice[bestCol])
+	oids, err := ct.filterOIDs(cands, term)
+	if err != nil {
+		return nil, nil, err
+	}
+	return oids, col, nil
+}

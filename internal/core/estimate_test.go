@@ -1,0 +1,202 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"crackdb/internal/expr"
+)
+
+func TestEstimateRangeBracketsTruth(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	vals := make([]int64, 2000)
+	for i := range vals {
+		vals[i] = rng.Int63n(1000)
+	}
+	c := NewColumn("a", vals)
+
+	// Virgin column: no statistics, estimate is [0, N].
+	e := c.EstimateRange(rangeOf("a", 100, 200))
+	if e.Min != 0 || e.Max != 2000 {
+		t.Fatalf("virgin estimate = %+v", e)
+	}
+
+	// Crack a bit, then check brackets on many random ranges.
+	for q := 0; q < 10; q++ {
+		lo := rng.Int63n(900)
+		c.Select(lo, lo+rng.Int63n(100), true, true)
+	}
+	for q := 0; q < 100; q++ {
+		lo := rng.Int63n(900)
+		hi := lo + rng.Int63n(200)
+		r := rangeOf("a", lo, hi)
+		est := c.EstimateRange(r)
+		truth := c.Count(lo, hi, true, true) // note: cracks further
+		if truth < est.Min || truth > est.Max {
+			t.Fatalf("range [%d,%d]: truth %d outside estimate [%d,%d]", lo, hi, truth, est.Min, est.Max)
+		}
+	}
+}
+
+func TestEstimateSharpensWithCracking(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	vals := make([]int64, 5000)
+	for i := range vals {
+		vals[i] = rng.Int63n(1000)
+	}
+	c := NewColumn("a", vals)
+	r := rangeOf("a", 300, 500)
+
+	before := c.EstimateRange(r)
+	c.Select(300, 500, true, true)
+	after := c.EstimateRange(r)
+	// After cracking the exact range, the estimate is exact.
+	if after.Min != after.Max {
+		t.Fatalf("estimate not exact after cracking its range: %+v", after)
+	}
+	if after.Max-after.Min >= before.Max-before.Min {
+		t.Fatal("estimate did not sharpen")
+	}
+	truth := c.Count(300, 500, true, true)
+	if after.Min != truth {
+		t.Fatalf("exact estimate %d != truth %d", after.Min, truth)
+	}
+}
+
+func TestEstimateWithPendingUpdatesStaysSound(t *testing.T) {
+	c := NewColumn("a", []int64{10, 20, 30, 40, 50})
+	c.Select(15, 45, true, true)
+	c.Insert(25)
+	c.Delete(0)
+	r := rangeOf("a", 15, 45)
+	est := c.EstimateRange(r)
+	truth := c.Count(15, 45, true, true)
+	if truth < est.Min || truth > est.Max {
+		t.Fatalf("truth %d outside estimate [%d,%d] under pending updates", truth, est.Min, est.Max)
+	}
+}
+
+// Property: estimates always bracket the truth on random workloads.
+func TestQuickEstimateSound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		vals := make([]int64, 300+rng.Intn(300))
+		for i := range vals {
+			vals[i] = rng.Int63n(500)
+		}
+		c := NewColumn("a", vals)
+		for q := 0; q < 15; q++ {
+			lo := rng.Int63n(450)
+			c.Select(lo, lo+rng.Int63n(100), true, true)
+			r := rangeOf("a", rng.Int63n(450), rng.Int63n(450)+rng.Int63n(100))
+			est := c.EstimateRange(r)
+			truth := 0
+			for _, v := range vals {
+				if r.Match(v) {
+					truth++
+				}
+			}
+			if truth < est.Min || truth > est.Max {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectTermPlannedCracksOnlyBestColumn(t *testing.T) {
+	tbl := buildTable(t) // k: 0..19, a: 0..190 step 10, b: 100-k
+	ct := NewCrackedTable(tbl)
+
+	// Give column a statistics by cracking it narrowly; b stays virgin.
+	if _, err := ct.Select(rangeOf("a", 50, 60)); err != nil {
+		t.Fatal(err)
+	}
+
+	term := expr.Term{
+		{Col: "a", Op: expr.Ge, Val: 50},
+		{Col: "a", Op: expr.Le, Val: 60},
+		{Col: "b", Op: expr.Ge, Val: 0}, // advice on b too, but unselective
+	}
+	oids, driver, err := ct.SelectTermPlanned(term)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(oids) != 2 { // a ∈ {50, 60}
+		t.Fatalf("planned select found %d, want 2", len(oids))
+	}
+	if driver == nil || driver.Name() != "R.a" {
+		t.Fatalf("planner drove with %v, want R.a (it has sharp statistics)", driver)
+	}
+	// b must not have been cracked by the planned select.
+	for _, col := range ct.CrackedColumns() {
+		if col == "b" {
+			t.Fatal("planner cracked the unselective column")
+		}
+	}
+}
+
+func TestSelectTermPlannedMatchesUnplanned(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	tbl := buildTable(t)
+	planned := NewCrackedTable(tbl)
+	unplanned := NewCrackedTable(tbl)
+	for q := 0; q < 40; q++ {
+		lo := rng.Int63n(150)
+		term := termGE_LT("a", lo, lo+40)
+		if rng.Intn(2) == 0 {
+			term = append(term, expr.Pred{Col: "k", Op: expr.Lt, Val: rng.Int63n(20)})
+		}
+		a, _, err := planned.SelectTermPlanned(term)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := unplanned.SelectTerm(term)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("query %d: planned %d oids, unplanned %d", q, len(a), len(b))
+		}
+	}
+}
+
+func TestSelectTermPlannedNoAdvice(t *testing.T) {
+	tbl := buildTable(t)
+	ct := NewCrackedTable(tbl)
+	// Ne-only term has no crackable advice: full scan post-filter.
+	oids, driver, err := ct.SelectTermPlanned(expr.Term{{Col: "k", Op: expr.Ne, Val: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if driver != nil {
+		t.Fatal("driver column for adviceless term")
+	}
+	if len(oids) != 19 {
+		t.Fatalf("found %d, want 19", len(oids))
+	}
+}
+
+func TestEstimateTerm(t *testing.T) {
+	tbl := buildTable(t)
+	ct := NewCrackedTable(tbl)
+	if _, err := ct.Select(rangeOf("a", 50, 100)); err != nil {
+		t.Fatal(err)
+	}
+	est := ct.EstimateTerm(termGE_LT("a", 50, 101))
+	if est.Max > tbl.Len() || est.Min > est.Max {
+		t.Fatalf("estimate malformed: %+v", est)
+	}
+	if est.Max == tbl.Len() {
+		t.Fatal("estimate not sharpened by cracked column")
+	}
+	// Terms with no tracked columns estimate at full size.
+	full := ct.EstimateTerm(termGE_LT("b", 0, 10))
+	if full.Max != tbl.Len() {
+		t.Fatalf("untracked estimate = %+v", full)
+	}
+}

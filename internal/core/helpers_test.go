@@ -1,0 +1,20 @@
+package core
+
+import "crackdb/internal/expr"
+
+// Shared test helpers for building predicates tersely.
+
+func rangeOf(col string, lo, hi int64) expr.Range {
+	return expr.Range{Col: col, Low: lo, High: hi, LowIncl: true, HighIncl: true}
+}
+
+func termGE_LT(col string, lo, hi int64) expr.Term {
+	return expr.Term{
+		{Col: col, Op: expr.Ge, Val: lo},
+		{Col: col, Op: expr.Lt, Val: hi},
+	}
+}
+
+func predLT(col string, v int64) expr.Term {
+	return expr.Term{{Col: col, Op: expr.Lt, Val: v}}
+}

@@ -1,0 +1,293 @@
+// Package core implements the paper's primary contribution: database
+// cracking. A cracker column is a copy of an attribute BAT that is
+// physically reorganized a little more by every query, together with a
+// cracker index — the in-memory "decorated interval tree" (paper §5.2)
+// that records, for each piece, its value bounds, size, and location in
+// the store.
+//
+// The package provides the four cracker operators of §3.1:
+//
+//   - Ξ (selection cracking): Column.Select and friends,
+//   - Ψ (projection cracking): PsiCrack,
+//   - ^ (join cracking): JoinCrack,
+//   - Ω (group cracking): GroupCrack,
+//
+// plus the lineage administration of §3.2 (Figures 5 and 6), piece fusion
+// when the index outgrows its budget, and a pending-update extension for
+// the volatility question §7 leaves open.
+package core
+
+import "fmt"
+
+// A cut is the boundary knowledge one crack step leaves behind. The cut
+// (val, incl=false) at position pos means: every element before pos is
+// < val and every element from pos on is >= val. With incl=true the
+// partition is <= val / > val. Cuts are totally ordered by (val, incl)
+// with incl=false sorting before incl=true, matching the element order
+// they induce.
+//
+// Cut positions never move: cracking only reorders elements within a
+// piece, never across an existing cut.
+
+// Index is the cracker index over one column: an AVL tree of cuts keyed
+// by (value, inclusive). Lookups, floor/ceiling navigation, insertion and
+// deletion are O(log p) for p registered cuts.
+//
+// Index is not safe for concurrent use; Column serializes access.
+type Index struct {
+	root *inode
+	size int
+}
+
+type inode struct {
+	val    int64
+	incl   bool
+	pos    int
+	left   *inode
+	right  *inode
+	height int
+}
+
+// cmpCut orders cuts by (value, inclusive) with false < true.
+func cmpCut(v1 int64, i1 bool, v2 int64, i2 bool) int {
+	switch {
+	case v1 < v2:
+		return -1
+	case v1 > v2:
+		return 1
+	case i1 == i2:
+		return 0
+	case !i1:
+		return -1
+	default:
+		return 1
+	}
+}
+
+// Len returns the number of registered cuts.
+func (ix *Index) Len() int { return ix.size }
+
+// Reset drops all cuts.
+func (ix *Index) Reset() { ix.root, ix.size = nil, 0 }
+
+// Find returns the position of the exact cut (val, incl), if registered.
+func (ix *Index) Find(val int64, incl bool) (pos int, ok bool) {
+	n := ix.root
+	for n != nil {
+		switch cmpCut(val, incl, n.val, n.incl) {
+		case 0:
+			return n.pos, true
+		case -1:
+			n = n.left
+		default:
+			n = n.right
+		}
+	}
+	return 0, false
+}
+
+// Floor returns the greatest cut with key <= (val, incl).
+func (ix *Index) Floor(val int64, incl bool) (cutVal int64, cutIncl bool, pos int, ok bool) {
+	n := ix.root
+	var best *inode
+	for n != nil {
+		if cmpCut(n.val, n.incl, val, incl) <= 0 {
+			best = n
+			n = n.right
+		} else {
+			n = n.left
+		}
+	}
+	if best == nil {
+		return 0, false, 0, false
+	}
+	return best.val, best.incl, best.pos, true
+}
+
+// Ceil returns the smallest cut with key > (val, incl).
+func (ix *Index) Ceil(val int64, incl bool) (cutVal int64, cutIncl bool, pos int, ok bool) {
+	n := ix.root
+	var best *inode
+	for n != nil {
+		if cmpCut(n.val, n.incl, val, incl) > 0 {
+			best = n
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	if best == nil {
+		return 0, false, 0, false
+	}
+	return best.val, best.incl, best.pos, true
+}
+
+// Insert registers a new cut. Inserting an existing key overwrites its
+// position (which, by the cut invariant, is always the same value).
+func (ix *Index) Insert(val int64, incl bool, pos int) {
+	var inserted bool
+	ix.root, inserted = insertNode(ix.root, val, incl, pos)
+	if inserted {
+		ix.size++
+	}
+}
+
+func insertNode(n *inode, val int64, incl bool, pos int) (*inode, bool) {
+	if n == nil {
+		return &inode{val: val, incl: incl, pos: pos, height: 1}, true
+	}
+	var inserted bool
+	switch cmpCut(val, incl, n.val, n.incl) {
+	case 0:
+		n.pos = pos
+		return n, false
+	case -1:
+		n.left, inserted = insertNode(n.left, val, incl, pos)
+	default:
+		n.right, inserted = insertNode(n.right, val, incl, pos)
+	}
+	return rebalance(n), inserted
+}
+
+// Delete removes a cut (piece fusion). It reports whether the key existed.
+func (ix *Index) Delete(val int64, incl bool) bool {
+	var deleted bool
+	ix.root, deleted = deleteNode(ix.root, val, incl)
+	if deleted {
+		ix.size--
+	}
+	return deleted
+}
+
+func deleteNode(n *inode, val int64, incl bool) (*inode, bool) {
+	if n == nil {
+		return nil, false
+	}
+	var deleted bool
+	switch cmpCut(val, incl, n.val, n.incl) {
+	case -1:
+		n.left, deleted = deleteNode(n.left, val, incl)
+	case 1:
+		n.right, deleted = deleteNode(n.right, val, incl)
+	default:
+		deleted = true
+		switch {
+		case n.left == nil:
+			return n.right, true
+		case n.right == nil:
+			return n.left, true
+		default:
+			// Replace with in-order successor.
+			succ := n.right
+			for succ.left != nil {
+				succ = succ.left
+			}
+			n.val, n.incl, n.pos = succ.val, succ.incl, succ.pos
+			n.right, _ = deleteNode(n.right, succ.val, succ.incl)
+		}
+	}
+	return rebalance(n), deleted
+}
+
+// Cut is the exported form of one registered boundary.
+type Cut struct {
+	Val  int64
+	Incl bool
+	Pos  int
+}
+
+// Cuts returns all cuts in key order.
+func (ix *Index) Cuts() []Cut {
+	out := make([]Cut, 0, ix.size)
+	var walk func(*inode)
+	walk = func(n *inode) {
+		if n == nil {
+			return
+		}
+		walk(n.left)
+		out = append(out, Cut{Val: n.val, Incl: n.incl, Pos: n.pos})
+		walk(n.right)
+	}
+	walk(ix.root)
+	return out
+}
+
+// Pieces returns the piece position boundaries induced by the cuts over a
+// column of n elements: a sorted list of [lo, hi) pairs tiling [0, n).
+func (ix *Index) Pieces(n int) [][2]int {
+	cuts := ix.Cuts()
+	out := make([][2]int, 0, len(cuts)+1)
+	lo := 0
+	for _, c := range cuts {
+		if c.Pos > lo { // collapse duplicate and boundary positions
+			out = append(out, [2]int{lo, c.Pos})
+			lo = c.Pos
+		}
+	}
+	if lo < n || n == 0 && len(out) == 0 {
+		out = append(out, [2]int{lo, n})
+	}
+	return out
+}
+
+// Height returns the tree height (for balance tests).
+func (ix *Index) Height() int { return height(ix.root) }
+
+func height(n *inode) int {
+	if n == nil {
+		return 0
+	}
+	return n.height
+}
+
+func rebalance(n *inode) *inode {
+	n.height = 1 + max(height(n.left), height(n.right))
+	switch bf := height(n.left) - height(n.right); {
+	case bf > 1:
+		if height(n.left.left) < height(n.left.right) {
+			n.left = rotateLeft(n.left)
+		}
+		return rotateRight(n)
+	case bf < -1:
+		if height(n.right.right) < height(n.right.left) {
+			n.right = rotateRight(n.right)
+		}
+		return rotateLeft(n)
+	default:
+		return n
+	}
+}
+
+func rotateRight(n *inode) *inode {
+	l := n.left
+	n.left = l.right
+	l.right = n
+	n.height = 1 + max(height(n.left), height(n.right))
+	l.height = 1 + max(height(l.left), height(l.right))
+	return l
+}
+
+func rotateLeft(n *inode) *inode {
+	r := n.right
+	n.right = r.left
+	r.left = n
+	n.height = 1 + max(height(n.left), height(n.right))
+	r.height = 1 + max(height(r.left), height(r.right))
+	return r
+}
+
+// String renders the cuts for diagnostics.
+func (ix *Index) String() string {
+	s := "index{"
+	for i, c := range ix.Cuts() {
+		if i > 0 {
+			s += " "
+		}
+		op := "<"
+		if c.Incl {
+			op = "<="
+		}
+		s += fmt.Sprintf("%s%d@%d", op, c.Val, c.Pos)
+	}
+	return s + "}"
+}

@@ -1,0 +1,224 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestIndexInsertFind(t *testing.T) {
+	ix := &Index{}
+	ix.Insert(10, false, 3)
+	ix.Insert(10, true, 5)
+	ix.Insert(20, false, 8)
+
+	if ix.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", ix.Len())
+	}
+	if pos, ok := ix.Find(10, false); !ok || pos != 3 {
+		t.Fatalf("Find(10,false) = %d,%v", pos, ok)
+	}
+	if pos, ok := ix.Find(10, true); !ok || pos != 5 {
+		t.Fatalf("Find(10,true) = %d,%v", pos, ok)
+	}
+	if _, ok := ix.Find(15, false); ok {
+		t.Fatal("Find(15) should miss")
+	}
+	// Overwrite does not grow the tree.
+	ix.Insert(10, false, 3)
+	if ix.Len() != 3 {
+		t.Fatalf("Len after overwrite = %d, want 3", ix.Len())
+	}
+}
+
+func TestIndexFloorCeil(t *testing.T) {
+	ix := &Index{}
+	ix.Insert(10, false, 3)
+	ix.Insert(20, false, 8)
+	ix.Insert(20, true, 9)
+
+	// Floor of an existing key is the key itself.
+	if v, incl, pos, ok := ix.Floor(20, false); !ok || v != 20 || incl || pos != 8 {
+		t.Fatalf("Floor(20,false) = %d,%v,%d,%v", v, incl, pos, ok)
+	}
+	// Floor between keys.
+	if v, _, pos, ok := ix.Floor(15, true); !ok || v != 10 || pos != 3 {
+		t.Fatalf("Floor(15,true) = %d,%d,%v", v, pos, ok)
+	}
+	// (20,false) < (20,true): incl ordering.
+	if v, incl, _, ok := ix.Floor(20, true); !ok || v != 20 || !incl {
+		t.Fatalf("Floor(20,true) = %d,%v", v, incl)
+	}
+	// Nothing below the smallest key.
+	if _, _, _, ok := ix.Floor(5, true); ok {
+		t.Fatal("Floor(5) should miss")
+	}
+	// Ceil is strictly greater.
+	if v, incl, pos, ok := ix.Ceil(10, false); !ok || v != 20 || incl || pos != 8 {
+		t.Fatalf("Ceil(10,false) = %d,%v,%d,%v", v, incl, pos, ok)
+	}
+	if v, incl, _, ok := ix.Ceil(20, false); !ok || v != 20 || !incl {
+		t.Fatalf("Ceil(20,false) = %d,%v", v, incl)
+	}
+	if _, _, _, ok := ix.Ceil(20, true); ok {
+		t.Fatal("Ceil past largest key should miss")
+	}
+}
+
+func TestIndexDelete(t *testing.T) {
+	ix := &Index{}
+	for i := 0; i < 20; i++ {
+		ix.Insert(int64(i), false, i)
+	}
+	if !ix.Delete(7, false) {
+		t.Fatal("Delete(7) failed")
+	}
+	if ix.Delete(7, false) {
+		t.Fatal("double Delete(7) succeeded")
+	}
+	if _, ok := ix.Find(7, false); ok {
+		t.Fatal("deleted key still found")
+	}
+	if ix.Len() != 19 {
+		t.Fatalf("Len = %d, want 19", ix.Len())
+	}
+	// Remaining keys intact and ordered.
+	cuts := ix.Cuts()
+	if len(cuts) != 19 {
+		t.Fatalf("Cuts = %d", len(cuts))
+	}
+	for i := 1; i < len(cuts); i++ {
+		if cmpCut(cuts[i-1].Val, cuts[i-1].Incl, cuts[i].Val, cuts[i].Incl) >= 0 {
+			t.Fatal("cuts out of order after delete")
+		}
+	}
+}
+
+func TestIndexPieces(t *testing.T) {
+	ix := &Index{}
+	if got := ix.Pieces(10); len(got) != 1 || got[0] != [2]int{0, 10} {
+		t.Fatalf("empty index Pieces = %v", got)
+	}
+	ix.Insert(5, false, 3)
+	ix.Insert(9, false, 7)
+	got := ix.Pieces(10)
+	want := [][2]int{{0, 3}, {3, 7}, {7, 10}}
+	if len(got) != len(want) {
+		t.Fatalf("Pieces = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Pieces = %v, want %v", got, want)
+		}
+	}
+	// Cuts at duplicate positions collapse to a single boundary.
+	ix.Insert(5, true, 3)
+	if got := ix.Pieces(10); len(got) != 3 {
+		t.Fatalf("Pieces with duplicate position = %v", got)
+	}
+}
+
+func TestIndexBalance(t *testing.T) {
+	ix := &Index{}
+	// Adversarial ascending insertion must stay logarithmic.
+	const n = 1 << 12
+	for i := 0; i < n; i++ {
+		ix.Insert(int64(i), false, i)
+	}
+	if h := ix.Height(); h > 2*13 {
+		t.Fatalf("AVL height %d too large for %d keys", h, n)
+	}
+	// Random deletions keep it balanced.
+	rng := rand.New(rand.NewSource(1))
+	perm := rng.Perm(n)
+	for _, i := range perm[:n/2] {
+		if !ix.Delete(int64(i), false) {
+			t.Fatalf("Delete(%d) failed", i)
+		}
+	}
+	if ix.Len() != n/2 {
+		t.Fatalf("Len = %d, want %d", ix.Len(), n/2)
+	}
+	if h := ix.Height(); h > 2*12 {
+		t.Fatalf("AVL height %d too large after deletions", h)
+	}
+}
+
+func TestIndexRandomizedAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	ix := &Index{}
+	type key struct {
+		val  int64
+		incl bool
+	}
+	ref := make(map[key]int)
+
+	for step := 0; step < 5000; step++ {
+		k := key{val: int64(rng.Intn(200)), incl: rng.Intn(2) == 0}
+		switch rng.Intn(3) {
+		case 0, 1:
+			pos := rng.Intn(1000)
+			ix.Insert(k.val, k.incl, pos)
+			ref[k] = pos
+		case 2:
+			_, want := ref[k]
+			if got := ix.Delete(k.val, k.incl); got != want {
+				t.Fatalf("step %d: Delete(%v) = %v, want %v", step, k, got, want)
+			}
+			delete(ref, k)
+		}
+	}
+	if ix.Len() != len(ref) {
+		t.Fatalf("Len = %d, want %d", ix.Len(), len(ref))
+	}
+	// Every reference key must be findable with the right position, and
+	// the in-order walk must be sorted.
+	for k, pos := range ref {
+		if got, ok := ix.Find(k.val, k.incl); !ok || got != pos {
+			t.Fatalf("Find(%v) = %d,%v want %d", k, got, ok, pos)
+		}
+	}
+	cuts := ix.Cuts()
+	if !sort.SliceIsSorted(cuts, func(i, j int) bool {
+		return cmpCut(cuts[i].Val, cuts[i].Incl, cuts[j].Val, cuts[j].Incl) < 0
+	}) {
+		t.Fatal("in-order walk not sorted")
+	}
+	// Floor/Ceil agree with a linear scan of the sorted cuts.
+	for trial := 0; trial < 200; trial++ {
+		v, incl := int64(rng.Intn(220)-10), rng.Intn(2) == 0
+		var wantFloor, wantCeil *Cut
+		for i := range cuts {
+			c := cuts[i]
+			if cmpCut(c.Val, c.Incl, v, incl) <= 0 {
+				wantFloor = &cuts[i]
+			}
+			if cmpCut(c.Val, c.Incl, v, incl) > 0 && wantCeil == nil {
+				wantCeil = &cuts[i]
+			}
+		}
+		gv, gi, gp, ok := ix.Floor(v, incl)
+		if (wantFloor != nil) != ok {
+			t.Fatalf("Floor(%d,%v) presence = %v", v, incl, ok)
+		}
+		if ok && (gv != wantFloor.Val || gi != wantFloor.Incl || gp != wantFloor.Pos) {
+			t.Fatalf("Floor(%d,%v) = %d,%v,%d want %+v", v, incl, gv, gi, gp, *wantFloor)
+		}
+		gv, gi, gp, ok = ix.Ceil(v, incl)
+		if (wantCeil != nil) != ok {
+			t.Fatalf("Ceil(%d,%v) presence = %v", v, incl, ok)
+		}
+		if ok && (gv != wantCeil.Val || gi != wantCeil.Incl || gp != wantCeil.Pos) {
+			t.Fatalf("Ceil(%d,%v) = %d,%v,%d want %+v", v, incl, gv, gi, gp, *wantCeil)
+		}
+	}
+}
+
+func TestIndexString(t *testing.T) {
+	ix := &Index{}
+	ix.Insert(5, false, 2)
+	ix.Insert(5, true, 4)
+	if got := ix.String(); got != "index{<5@2 <=5@4}" {
+		t.Fatalf("String = %q", got)
+	}
+}

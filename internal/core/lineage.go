@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Lineage is the administration of where pieces came from: "we have to
+// administer the lineage of each piece, i.e. its source and the Ξ, Ψ, ^
+// or Ω operators applied" (paper §3.2). It is a DAG of piece nodes whose
+// rendering reproduces the trees of Figures 5 and 6, and it supports the
+// loss-less reconstruction guarantee: the original table is recoverable
+// from the leaves.
+type Lineage struct {
+	table string
+	seq   int
+	roots []*PieceNode
+	byID  map[string]*PieceNode
+}
+
+// PieceNode is one piece in the lineage DAG.
+type PieceNode struct {
+	ID       string // e.g. "R[4]"
+	Op       string // cracker that produced it: "Ξ", "Ψ", "^", "Ω"; "" for roots
+	Detail   string // human-readable predicate or operand, e.g. "a < 10"
+	Lo, Hi   int    // physical location at creation time
+	Parent   *PieceNode
+	Children []*PieceNode
+}
+
+// NewLineage starts lineage tracking for a table (or cracker column).
+func NewLineage(table string) *Lineage {
+	l := &Lineage{table: table, byID: make(map[string]*PieceNode)}
+	return l
+}
+
+// Root registers a root piece covering [lo, hi) and returns it.
+func (l *Lineage) Root(lo, hi int) *PieceNode {
+	n := &PieceNode{ID: l.nextID(), Lo: lo, Hi: hi}
+	l.roots = append(l.roots, n)
+	l.byID[n.ID] = n
+	return n
+}
+
+// Crack records that parent was broken by op into the given position
+// ranges and returns the child nodes, in order.
+func (l *Lineage) Crack(parent *PieceNode, op, detail string, ranges ...[2]int) []*PieceNode {
+	children := make([]*PieceNode, 0, len(ranges))
+	for _, r := range ranges {
+		c := &PieceNode{
+			ID:     l.nextID(),
+			Op:     op,
+			Detail: detail,
+			Lo:     r[0],
+			Hi:     r[1],
+			Parent: parent,
+		}
+		parent.Children = append(parent.Children, c)
+		l.byID[c.ID] = c
+		children = append(children, c)
+	}
+	return children
+}
+
+func (l *Lineage) nextID() string {
+	l.seq++
+	return fmt.Sprintf("%s[%d]", l.table, l.seq)
+}
+
+// Node looks up a piece by ID.
+func (l *Lineage) Node(id string) (*PieceNode, bool) {
+	n, ok := l.byID[id]
+	return n, ok
+}
+
+// Leaves returns the current pieces (nodes without children), sorted by
+// physical position. Their position ranges tile the union of the roots —
+// the loss-less property.
+func (l *Lineage) Leaves() []*PieceNode {
+	var out []*PieceNode
+	var walk func(*PieceNode)
+	walk = func(n *PieceNode) {
+		if len(n.Children) == 0 {
+			out = append(out, n)
+			return
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	for _, r := range l.roots {
+		walk(r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Lo < out[j].Lo })
+	return out
+}
+
+// Size returns the total number of registered pieces.
+func (l *Lineage) Size() int { return len(l.byID) }
+
+// Render draws the lineage as an indented tree, the textual analogue of
+// the paper's Figure 5 / Figure 6 graphs.
+func (l *Lineage) Render() string {
+	var b strings.Builder
+	var walk func(n *PieceNode, depth int)
+	walk = func(n *PieceNode, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		if n.Op != "" {
+			fmt.Fprintf(&b, "%s %s(%s) [%d,%d)\n", n.ID, n.Op, n.Detail, n.Lo, n.Hi)
+		} else {
+			fmt.Fprintf(&b, "%s [%d,%d)\n", n.ID, n.Lo, n.Hi)
+		}
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range l.roots {
+		walk(r, 0)
+	}
+	return b.String()
+}

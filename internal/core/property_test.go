@@ -1,0 +1,237 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// The property tests pin down the paper's core guarantees:
+//
+//  1. loss-less cracking: any sequence of Ξ cracks preserves the
+//     (oid, value) multiset;
+//  2. answer correctness: every cracked answer equals the scan answer;
+//  3. partition invariant: pieces tile [0, n) and every element is on
+//     the correct side of every cut (Column.Verify);
+//  4. convergence: once a cut exists, re-using it moves no tuples.
+
+func TestQuickCrackedAnswersEqualScan(t *testing.T) {
+	f := func(seed int64, queries []struct{ Lo, Span uint16 }) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 200 + rng.Intn(300)
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = rng.Int63n(500)
+		}
+		c := NewColumn("a", vals)
+		for _, q := range queries {
+			lo := int64(q.Lo % 500)
+			hi := lo + int64(q.Span%100)
+			got := sortedCopy(c.Select(lo, hi, true, false).Values())
+			want := naiveSelect(vals, lo, hi, true, false)
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+			if c.Verify() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickLossLessUnderCrackSequences(t *testing.T) {
+	f := func(seed int64, nq uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 100 + rng.Intn(400)
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = rng.Int63n(1000)
+		}
+		c := NewColumn("a", vals)
+		for q := 0; q < int(nq%50); q++ {
+			lo := rng.Int63n(1000)
+			c.Select(lo, lo+rng.Int63n(300), rng.Intn(2) == 0, rng.Intn(2) == 0)
+		}
+		// Multiset and oid alignment preserved.
+		got := c.ByOID()
+		if len(got) != n {
+			return false
+		}
+		for oid, v := range got {
+			if vals[int(oid)] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickPiecesTile(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 50 + rng.Intn(200)
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = rng.Int63n(100)
+		}
+		c := NewColumn("a", vals)
+		for q := 0; q < 30; q++ {
+			lo := rng.Int63n(100)
+			c.Select(lo, lo+rng.Int63n(30), true, true)
+		}
+		pieces := c.Index().Pieces(n)
+		pos := 0
+		for _, p := range pieces {
+			if p[0] != pos || p[1] < p[0] {
+				return false
+			}
+			pos = p[1]
+		}
+		return pos == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickConvergence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		vals := make([]int64, 300)
+		for i := range vals {
+			vals[i] = rng.Int63n(100)
+		}
+		c := NewColumn("a", vals)
+		lo, hi := rng.Int63n(50), int64(0)
+		hi = lo + rng.Int63n(50)
+		c.Select(lo, hi, true, true)
+		moved := c.Stats().TuplesMoved
+		for rep := 0; rep < 5; rep++ {
+			c.Select(lo, hi, true, true)
+		}
+		return c.Stats().TuplesMoved == moved
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickJoinCrackLossless(t *testing.T) {
+	f := func(rseed, sseed int64) bool {
+		rrng := rand.New(rand.NewSource(rseed))
+		srng := rand.New(rand.NewSource(sseed))
+		rvals := make([]int64, 50+rrng.Intn(100))
+		for i := range rvals {
+			rvals[i] = rrng.Int63n(60)
+		}
+		svals := make([]int64, 50+srng.Intn(100))
+		for i := range svals {
+			svals[i] = srng.Int63n(60)
+		}
+		r := NewColumn("R.k", rvals)
+		s := NewColumn("S.k", svals)
+		pieces := JoinCrack(View{col: r, Lo: 0, Hi: len(rvals)}, View{col: s, Lo: 0, Hi: len(svals)})
+
+		sSet := make(map[int64]bool)
+		for _, v := range svals {
+			sSet[v] = true
+		}
+		for _, v := range pieces.RMatch.Values() {
+			if !sSet[v] {
+				return false
+			}
+		}
+		for _, v := range pieces.RRest.Values() {
+			if sSet[v] {
+				return false
+			}
+		}
+		union := append(append([]int64(nil), pieces.RMatch.Values()...), pieces.RRest.Values()...)
+		return equalInts(sortedCopy(union), sortedCopy(rvals))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickGroupCrackPartition(t *testing.T) {
+	f := func(seed int64, domain uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := int64(domain%20) + 1
+		vals := make([]int64, 100)
+		for i := range vals {
+			vals[i] = rng.Int63n(d)
+		}
+		c := NewColumn("g", vals)
+		groups := GroupCrack(c)
+		seen := make(map[int64]bool)
+		total := 0
+		for _, g := range groups {
+			if seen[g.Value] {
+				return false // groups must be disjoint singleton-value pieces
+			}
+			seen[g.Value] = true
+			total += g.View.Len()
+			for _, v := range g.View.Values() {
+				if v != g.Value {
+					return false
+				}
+			}
+		}
+		return total == len(vals)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Concurrent selects must serialize safely (run with -race).
+func TestConcurrentSelects(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	vals := make([]int64, 5000)
+	for i := range vals {
+		vals[i] = rng.Int63n(1000)
+	}
+	c := NewColumn("a", vals)
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			grng := rand.New(rand.NewSource(seed))
+			for q := 0; q < 50; q++ {
+				lo := grng.Int63n(900)
+				v := c.Select(lo, lo+grng.Int63n(100), true, true)
+				_ = v.Len()
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if err := c.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// Answers remain correct after the storm.
+	got := sortedCopy(c.Select(100, 200, true, true).Values())
+	want := naiveSelect(vals, 100, 200, true, true)
+	if !equalInts(got, want) {
+		t.Fatal("post-concurrency answer wrong")
+	}
+}

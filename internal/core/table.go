@@ -1,0 +1,222 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"crackdb/internal/bat"
+	"crackdb/internal/expr"
+	"crackdb/internal/relation"
+)
+
+// CrackedTable adapts cracking to an n-ary relation: each attribute gets
+// its own cracker column, created lazily the first time a query filters
+// on it. This mirrors the paper's position of the cracker "between the
+// semantic analyzer and the query optimizer": the selection predicates of
+// each incoming query are used as cracking advice for the columns they
+// touch, and other attributes are fetched through the surrogate OIDs.
+type CrackedTable struct {
+	mu   sync.Mutex // guards cols
+	base *relation.Table
+	cols map[string]*Column
+	opts []Option
+
+	// baseMu guards the base relation: queries read it concurrently
+	// (attribute fetches, post-filtering, cracker-column creation) while
+	// AppendRows extends it exclusively. Lock order: mu before baseMu.
+	baseMu sync.RWMutex
+}
+
+// NewCrackedTable wraps a relation for adaptive querying. Options are
+// applied to every cracker column the table creates.
+func NewCrackedTable(t *relation.Table, opts ...Option) *CrackedTable {
+	return &CrackedTable{base: t, cols: make(map[string]*Column), opts: opts}
+}
+
+// Base returns the underlying relation. Callers must not mutate it while
+// queries run; use AppendRows for growth.
+func (ct *CrackedTable) Base() *relation.Table { return ct.base }
+
+// baseLen reads the base cardinality under the read lock.
+func (ct *CrackedTable) baseLen() int {
+	ct.baseMu.RLock()
+	defer ct.baseMu.RUnlock()
+	return ct.base.Len()
+}
+
+// ColumnFor returns (creating on first use) the cracker column for attr.
+func (ct *CrackedTable) ColumnFor(attr string) (*Column, error) {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	if c, ok := ct.cols[attr]; ok {
+		return c, nil
+	}
+	b, err := ct.base.Column(attr)
+	if err != nil {
+		return nil, err
+	}
+	ct.baseMu.RLock()
+	c := NewColumn(ct.base.Name+"."+attr, b.Ints(), ct.opts...)
+	ct.baseMu.RUnlock()
+	ct.cols[attr] = c
+	return c, nil
+}
+
+// CrackedColumns returns the attributes that currently have a cracker
+// column (i.e. have been filtered on at least once).
+func (ct *CrackedTable) CrackedColumns() []string {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	out := make([]string, 0, len(ct.cols))
+	for name := range ct.cols {
+		out = append(out, name)
+	}
+	return out
+}
+
+// Select answers a range query over one attribute by cracking that
+// attribute's column. The returned view aliases the column; concurrent
+// callers should use SelectCopy.
+func (ct *CrackedTable) Select(r expr.Range) (View, error) {
+	c, err := ct.ColumnFor(r.Col)
+	if err != nil {
+		return View{}, err
+	}
+	return c.SelectRange(r), nil
+}
+
+// SelectCopy answers a range query returning copies of the qualifying
+// values and OIDs, taken under the column lock — safe under concurrent
+// cracking of the same column.
+func (ct *CrackedTable) SelectCopy(r expr.Range) ([]int64, []bat.OID, error) {
+	c, err := ct.ColumnFor(r.Col)
+	if err != nil {
+		return nil, nil, err
+	}
+	vals, oids := c.SelectRangeCopy(r)
+	return vals, oids, nil
+}
+
+// SelectTerm answers a conjunctive term: the term's crack advice is
+// applied to the most selective advised column (smallest resulting
+// piece), and the remaining conjuncts are evaluated by fetching attribute
+// values through the OIDs — a select-push-down the Ξ cracker "effectively
+// realizes" for the optimizer (§3.3).
+func (ct *CrackedTable) SelectTerm(term expr.Term) ([]bat.OID, error) {
+	advice := expr.CrackAdvice(term)
+	if len(advice) == 0 {
+		// No crackable range: scan everything and post-filter.
+		return ct.filterOIDs(allOIDs(ct.baseLen()), term)
+	}
+	var best []bat.OID
+	bestCol := ""
+	for col, r := range advice {
+		c, err := ct.ColumnFor(r.Col)
+		if err != nil {
+			return nil, err
+		}
+		_, oids := c.SelectRangeCopy(r)
+		if bestCol == "" || len(oids) < len(best) {
+			best, bestCol = oids, col
+		}
+	}
+	return ct.filterOIDs(best, term)
+}
+
+// filterOIDs applies the full term to candidate OIDs via the base table.
+func (ct *CrackedTable) filterOIDs(cands []bat.OID, term expr.Term) ([]bat.OID, error) {
+	ct.baseMu.RLock()
+	defer ct.baseMu.RUnlock()
+	var out []bat.OID
+	for _, oid := range cands {
+		row := ct.base.RowMap(int(oid))
+		if term.Match(row) {
+			out = append(out, oid)
+		}
+	}
+	return out, nil
+}
+
+func allOIDs(n int) []bat.OID {
+	out := make([]bat.OID, n)
+	for i := range out {
+		out[i] = bat.OID(i)
+	}
+	return out
+}
+
+// Fetch materializes the requested attributes for the given OIDs, in OID
+// argument order — tuple reconstruction through the surrogate key.
+func (ct *CrackedTable) Fetch(oids []bat.OID, attrs ...string) (*relation.Table, error) {
+	ct.baseMu.RLock()
+	defer ct.baseMu.RUnlock()
+	out := relation.New(ct.base.Name+"_result", attrs...)
+	bats := make([]*bat.BAT, len(attrs))
+	for i, a := range attrs {
+		b, err := ct.base.Column(a)
+		if err != nil {
+			return nil, err
+		}
+		bats[i] = b
+	}
+	row := make([]int64, len(attrs))
+	for _, oid := range oids {
+		if int(oid) >= ct.base.Len() {
+			return nil, fmt.Errorf("core: fetch of unknown oid %d", oid)
+		}
+		for i, b := range bats {
+			row[i] = b.Int(int(oid))
+		}
+		if err := out.AppendRow(row...); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// AppendRows extends the base relation and queues the new values as
+// pending inserts on every existing cracker column, preserving OID
+// alignment (a column's next OID equals the base length at its creation,
+// and every append is forwarded exactly once). Columns created later see
+// the grown base directly. Appends exclude concurrent readers of the
+// base table; cracker columns synchronize on their own mutexes.
+func (ct *CrackedTable) AppendRows(rows [][]int64) error {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	ct.baseMu.Lock()
+	defer ct.baseMu.Unlock()
+	fromLen := ct.base.Len()
+	for i, r := range rows {
+		if err := ct.base.AppendRow(r...); err != nil {
+			return fmt.Errorf("core: append row %d: %w", i, err)
+		}
+	}
+	for attr, col := range ct.cols {
+		b, err := ct.base.Column(attr)
+		if err != nil {
+			return err
+		}
+		for i := fromLen; i < b.Len(); i++ {
+			col.Insert(b.Int(i))
+		}
+	}
+	return nil
+}
+
+// Stats aggregates the work counters over all cracker columns.
+func (ct *CrackedTable) Stats() Stats {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	var total Stats
+	for _, c := range ct.cols {
+		s := c.Stats()
+		total.Queries += s.Queries
+		total.Cracks += s.Cracks
+		total.IndexLookups += s.IndexLookups
+		total.TuplesMoved += s.TuplesMoved
+		total.TuplesTouched += s.TuplesTouched
+		total.Fusions += s.Fusions
+		total.Consolidations += s.Consolidations
+	}
+	return total
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"sort"
+
+	"crackdb/internal/bat"
+)
+
+// Update strategies for cracked columns. The paper leaves volatility as
+// future work (§7: "what are the effects of updates on the scheme
+// proposed?"); two strategies are provided:
+//
+//   - MergeComplete rebuilds the column from scratch when pending
+//     updates exist, discarding the cracker index. Simple, and optimal
+//     when updates arrive in large batches.
+//
+//   - MergeRipple inserts (and deletes) tuples piece by piece: a hole is
+//     rippled across the pieces between the array end and the target
+//     piece, moving ONE tuple per crossed piece and keeping the entire
+//     cracker index valid. Cost O(pieces) per update instead of a full
+//     rebuild — the right choice under trickle updates.
+//
+// Both preserve the loss-less invariant; the property tests run the same
+// interleaved workloads against both.
+
+// UpdateStrategy selects how pending updates are folded in.
+type UpdateStrategy uint8
+
+// Update strategies.
+const (
+	MergeComplete UpdateStrategy = iota
+	MergeRipple
+)
+
+// String names the strategy.
+func (u UpdateStrategy) String() string {
+	if u == MergeRipple {
+		return "merge-ripple"
+	}
+	return "merge-complete"
+}
+
+// WithUpdateStrategy selects the column's update folding strategy.
+func WithUpdateStrategy(u UpdateStrategy) Option {
+	return func(c *Column) { c.updateStrategy = u }
+}
+
+// rippleInsert physically inserts (oid, val) while keeping every
+// registered cut valid. The value belongs to the piece whose value range
+// covers it; a hole is created at the array end and rippled left across
+// piece boundaries: each crossed piece donates its first element to its
+// own end, and the crossed cut shifts right by one. The caller holds
+// c.mu.
+func (c *Column) rippleInsert(oid bat.OID, val int64) {
+	cuts := c.idx.Cuts()
+
+	// Grow by one: the hole starts at the new last slot.
+	c.vals = append(c.vals, 0)
+	c.oids = append(c.oids, 0)
+	hole := len(c.vals) - 1
+
+	// Walk the cuts from the largest key down. Every cut whose key puts
+	// val on its left must shift right by one; the piece right of it
+	// donates its first element to the hole sitting at that piece's end.
+	// The first cut that keeps val on its right stops the walk — the
+	// hole is now inside val's piece. Selecting by key order (not by
+	// position) also handles twin cuts at equal positions (empty pieces)
+	// and cuts parked at the array end.
+	for i := len(cuts) - 1; i >= 0; i-- {
+		cut := cuts[i]
+		leftOfCut := val < cut.Val || (cut.Incl && val == cut.Val)
+		if !leftOfCut {
+			break
+		}
+		if cut.Pos < hole {
+			c.vals[hole] = c.vals[cut.Pos]
+			c.oids[hole] = c.oids[cut.Pos]
+			c.stats.TuplesMoved++
+			hole = cut.Pos
+		}
+		c.idx.Insert(cut.Val, cut.Incl, cut.Pos+1)
+	}
+	c.vals[hole] = val
+	c.oids[hole] = oid
+	c.stats.TuplesMoved++
+	c.sorted = false // intra-piece order is not maintained
+}
+
+// rippleDelete removes the element at position pos, keeping all cuts
+// valid: the hole is rippled right to the array end (each crossed piece
+// donates its last element to its own start, each crossed cut shifts
+// left by one), then the array shrinks by one. The caller holds c.mu.
+func (c *Column) rippleDelete(pos int) {
+	cuts := c.idx.Cuts()
+	hole := pos
+	// Cuts at positions <= pos are unaffected. Process the others left
+	// to right.
+	i := sort.Search(len(cuts), func(j int) bool { return cuts[j].Pos > pos })
+	for ; i < len(cuts); i++ {
+		cut := cuts[i]
+		// Fill the hole with the last element of the piece left of the
+		// cut, moving the hole to that piece's end.
+		if cut.Pos-1 != hole {
+			c.vals[hole] = c.vals[cut.Pos-1]
+			c.oids[hole] = c.oids[cut.Pos-1]
+			c.stats.TuplesMoved++
+			hole = cut.Pos - 1
+		}
+		c.idx.Insert(cut.Val, cut.Incl, cut.Pos-1)
+	}
+	// Fill with the overall last element, then shrink.
+	last := len(c.vals) - 1
+	if hole != last {
+		c.vals[hole] = c.vals[last]
+		c.oids[hole] = c.oids[last]
+		c.stats.TuplesMoved++
+	}
+	c.vals = c.vals[:last]
+	c.oids = c.oids[:last]
+	c.sorted = false
+}
+
+// consolidateRippleLocked folds pending updates piece by piece. The
+// caller holds c.mu.
+func (c *Column) consolidateRippleLocked() {
+	// Deletes first: locate each victim's position by oid.
+	if len(c.deleted) > 0 {
+		// One pass builds the position of every victim currently in the
+		// store (pending inserts that were deleted never materialize).
+		for pos := 0; pos < len(c.vals); {
+			if _, gone := c.deleted[c.oids[pos]]; gone {
+				delete(c.deleted, c.oids[pos])
+				c.rippleDelete(pos)
+				// Re-examine pos: a new element rippled into it.
+				continue
+			}
+			pos++
+		}
+	}
+	for _, p := range c.pending {
+		if _, gone := c.deleted[p.oid]; gone {
+			delete(c.deleted, p.oid)
+			continue
+		}
+		c.rippleInsert(p.oid, p.val)
+	}
+	c.pending = nil
+	for oid := range c.deleted {
+		delete(c.deleted, oid) // deletes of unknown/never-arriving oids
+	}
+	c.stats.Consolidations++
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"crackdb/internal/bat"
+)
+
+func TestInsertVisibleToNextQuery(t *testing.T) {
+	c := NewColumn("a", []int64{10, 20, 30})
+	c.Select(5, 25, true, true) // crack a bit first
+	oid := c.Insert(15)
+	if oid != 3 {
+		t.Fatalf("insert oid = %d, want 3", oid)
+	}
+	v := c.Select(10, 20, true, true)
+	checkView(t, v, []int64{10, 15, 20})
+	if c.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", c.Len())
+	}
+	if err := c.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteHidesTuple(t *testing.T) {
+	c := NewColumn("a", []int64{10, 20, 30, 20})
+	if !c.Delete(1) {
+		t.Fatal("Delete(1) failed")
+	}
+	if c.Delete(1) {
+		t.Fatal("double delete succeeded")
+	}
+	if c.Delete(99) {
+		t.Fatal("delete of unknown oid succeeded")
+	}
+	v := c.Select(0, 100, true, true)
+	checkView(t, v, []int64{10, 20, 30})
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", c.Len())
+	}
+}
+
+func TestDeletePendingInsert(t *testing.T) {
+	c := NewColumn("a", []int64{1, 2})
+	oid := c.Insert(50)
+	if !c.Delete(oid) {
+		t.Fatal("delete of pending insert failed")
+	}
+	v := c.Select(0, 100, true, true)
+	checkView(t, v, []int64{1, 2})
+}
+
+func TestConsolidationPreservesSortedness(t *testing.T) {
+	c := NewColumn("a", []int64{5, 1, 9, 3})
+	c.SortAll()
+	c.Insert(4)
+	v := c.Select(0, 10, true, true)
+	checkView(t, v, []int64{1, 3, 4, 5, 9})
+	// Column must still behave as sorted: no movement on next select.
+	moved := c.Stats().TuplesMoved
+	c.Select(2, 6, true, true)
+	if c.Stats().TuplesMoved != moved {
+		t.Fatal("select after consolidated sort moved tuples")
+	}
+}
+
+func TestInterleavedQueriesAndUpdates(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	n := 500
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = rng.Int63n(1000)
+	}
+	c := NewColumn("a", vals)
+
+	// Reference state: oid → value.
+	ref := make(map[bat.OID]int64, n)
+	for i, v := range vals {
+		ref[bat.OID(i)] = v
+	}
+
+	liveOIDs := func() []bat.OID {
+		out := make([]bat.OID, 0, len(ref))
+		for oid := range ref {
+			out = append(out, oid)
+		}
+		return out
+	}
+
+	for step := 0; step < 300; step++ {
+		switch rng.Intn(4) {
+		case 0: // insert
+			v := rng.Int63n(1000)
+			oid := c.Insert(v)
+			ref[oid] = v
+		case 1: // delete a live tuple
+			oids := liveOIDs()
+			if len(oids) == 0 {
+				continue
+			}
+			victim := oids[rng.Intn(len(oids))]
+			if !c.Delete(victim) {
+				t.Fatalf("step %d: delete of live oid %d failed", step, victim)
+			}
+			delete(ref, victim)
+		default: // range query, checked against the reference
+			lo := rng.Int63n(1000)
+			hi := lo + rng.Int63n(200)
+			want := 0
+			for _, v := range ref {
+				if v >= lo && v <= hi {
+					want++
+				}
+			}
+			if got := c.Count(lo, hi, true, true); got != want {
+				t.Fatalf("step %d: Count(%d,%d) = %d, want %d", step, lo, hi, got, want)
+			}
+			if err := c.Verify(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+	}
+
+	// Final loss-less check: ByOID equals the reference map exactly.
+	got := c.ByOID()
+	if len(got) != len(ref) {
+		t.Fatalf("ByOID has %d entries, want %d", len(got), len(ref))
+	}
+	for oid, v := range ref {
+		if got[oid] != v {
+			t.Fatalf("oid %d = %d, want %d", oid, got[oid], v)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+// Package costsim implements the small-scale simulation of paper §2.2:
+// "consider a database represented as a vector where the elements denote
+// the granule of interest, i.e. tuples or disk pages. From this vector we
+// draw at random a range with fixed σ and update the cracker index.
+// During each step we only touch the pieces that should be cracked to
+// solve the query."
+//
+// The simulator counts granule reads and writes per step, producing the
+// two series the paper plots:
+//
+//   - Figure 2: the fractional write overhead induced by cracking — the
+//     granules rewritten during cracking that are not part of the answer,
+//     as a fraction of N. The first query rewrites essentially the whole
+//     vector ((1−σ)N extra writes); within a handful of steps the
+//     overhead dwindles below the answer size.
+//
+//   - Figure 3: the cumulative read+write cost relative to the scan
+//     baseline (read N granules per query = 1.0). Cracking starts around
+//     2× and drops below the baseline after a few queries.
+//
+// Only piece *boundaries* matter for these counts, so the simulator
+// tracks boundary positions rather than data, making million-granule
+// simulations instant.
+package costsim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Sim is a cracker-cost simulation over a vector of n granules.
+type Sim struct {
+	n          int
+	boundaries []int // sorted piece start positions, excluding 0 and n
+	rng        *rand.Rand
+}
+
+// New creates a simulation over n granules.
+func New(n int, seed int64) *Sim {
+	if n <= 0 {
+		panic(fmt.Sprintf("costsim: vector size %d", n))
+	}
+	return &Sim{n: n, rng: rand.New(rand.NewSource(seed))}
+}
+
+// N returns the vector size.
+func (s *Sim) N() int { return s.n }
+
+// Pieces returns the current number of pieces.
+func (s *Sim) Pieces() int { return len(s.boundaries) + 1 }
+
+// StepCost is the accounting of one query step.
+type StepCost struct {
+	Answer      int // granules in the answer (σN)
+	CrackReads  int // granules read from the pieces that had to be cracked
+	CrackWrites int // granules rewritten while cracking those pieces
+	AnswerReads int // answer granules read outside the cracked pieces
+	Overhead    int // cracked writes not part of the answer
+}
+
+// Reads returns all granule reads of the step.
+func (c StepCost) Reads() int { return c.CrackReads + c.AnswerReads }
+
+// Writes returns all granule writes of the step.
+func (c StepCost) Writes() int { return c.CrackWrites }
+
+// pieceAt returns the bounds [lo, hi) of the piece containing position p.
+func (s *Sim) pieceAt(p int) (lo, hi int) {
+	i := sort.SearchInts(s.boundaries, p+1)
+	lo = 0
+	if i > 0 {
+		lo = s.boundaries[i-1]
+	}
+	hi = s.n
+	if i < len(s.boundaries) {
+		hi = s.boundaries[i]
+	}
+	return lo, hi
+}
+
+// addBoundary registers a new piece boundary.
+func (s *Sim) addBoundary(p int) {
+	if p <= 0 || p >= s.n {
+		return
+	}
+	i := sort.SearchInts(s.boundaries, p)
+	if i < len(s.boundaries) && s.boundaries[i] == p {
+		return
+	}
+	s.boundaries = append(s.boundaries, 0)
+	copy(s.boundaries[i+1:], s.boundaries[i:])
+	s.boundaries[i] = p
+}
+
+// Step executes one range query [lo, hi) over granule positions,
+// cracking the boundary pieces and charging reads/writes. Pieces fully
+// inside the answer are read (to deliver the answer) but not rewritten.
+func (s *Sim) Step(lo, hi int) StepCost {
+	if lo < 0 || hi > s.n || lo >= hi {
+		panic(fmt.Sprintf("costsim: step [%d,%d) out of range (n=%d)", lo, hi, s.n))
+	}
+	cost := StepCost{Answer: hi - lo}
+
+	// The piece containing each query bound must be cracked: it is read
+	// and rewritten in full.
+	loPieceLo, loPieceHi := s.pieceAt(lo)
+	cracked := [][2]int{{loPieceLo, loPieceHi}}
+	if hi-1 >= loPieceHi { // upper bound in a different piece
+		hiPieceLo, hiPieceHi := s.pieceAt(hi - 1)
+		cracked = append(cracked, [2]int{hiPieceLo, hiPieceHi})
+	}
+	inAnswer := 0
+	for _, p := range cracked {
+		size := p[1] - p[0]
+		cost.CrackReads += size
+		cost.CrackWrites += size
+		// Overlap of this piece with the answer range.
+		oLo, oHi := max(p[0], lo), min(p[1], hi)
+		if oHi > oLo {
+			inAnswer += oHi - oLo
+		}
+	}
+	cost.Overhead = cost.CrackWrites - inAnswer
+	if cost.Overhead < 0 {
+		cost.Overhead = 0
+	}
+	// Interior answer granules are read for delivery without rewriting.
+	cost.AnswerReads = cost.Answer - inAnswer
+	if cost.AnswerReads < 0 {
+		cost.AnswerReads = 0
+	}
+
+	s.addBoundary(lo)
+	s.addBoundary(hi)
+	return cost
+}
+
+// RandomStep draws a uniformly placed range of selectivity sigma and
+// executes it.
+func (s *Sim) RandomStep(sigma float64) StepCost {
+	w := int(sigma * float64(s.n))
+	if w < 1 {
+		w = 1
+	}
+	if w > s.n {
+		w = s.n
+	}
+	lo := 0
+	if s.n-w > 0 {
+		lo = s.rng.Intn(s.n - w + 1)
+	}
+	return s.Step(lo, lo+w)
+}
+
+// Series runs a k-step uniform random sequence at fixed selectivity and
+// returns the per-step costs.
+func Series(n, k int, sigma float64, seed int64) []StepCost {
+	s := New(n, seed)
+	out := make([]StepCost, k)
+	for i := range out {
+		out[i] = s.RandomStep(sigma)
+	}
+	return out
+}
+
+// FractionalOverhead maps a step series to Figure 2's y-axis: overhead
+// writes as a fraction of the vector size.
+func FractionalOverhead(n int, steps []StepCost) []float64 {
+	out := make([]float64, len(steps))
+	for i, c := range steps {
+		out[i] = float64(c.Overhead) / float64(n)
+	}
+	return out
+}
+
+// CumulativeRelativeCost maps a step series to Figure 3's y-axis: the
+// accumulated read+write cost of cracking divided by the accumulated scan
+// baseline (N reads per query).
+func CumulativeRelativeCost(n int, steps []StepCost) []float64 {
+	out := make([]float64, len(steps))
+	total := 0
+	for i, c := range steps {
+		total += c.Reads() + c.Writes()
+		out[i] = float64(total) / (float64(n) * float64(i+1))
+	}
+	return out
+}

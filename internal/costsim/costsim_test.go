@@ -1,0 +1,194 @@
+package costsim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFirstStepRewritesWholeVector(t *testing.T) {
+	s := New(1000, 1)
+	c := s.Step(100, 150)
+	if c.CrackWrites != 1000 {
+		t.Fatalf("first-step writes = %d, want 1000 (virgin vector)", c.CrackWrites)
+	}
+	if c.Answer != 50 {
+		t.Fatalf("answer = %d, want 50", c.Answer)
+	}
+	// Overhead = writes beyond the answer: (1-σ)N.
+	if c.Overhead != 950 {
+		t.Fatalf("overhead = %d, want 950", c.Overhead)
+	}
+	if s.Pieces() != 3 {
+		t.Fatalf("pieces = %d, want 3", s.Pieces())
+	}
+}
+
+func TestRepeatedQueryTouchesBoundariesOnly(t *testing.T) {
+	s := New(1000, 1)
+	s.Step(100, 150)
+	c := s.Step(100, 150)
+	// Bounds already registered → boundary pieces are the answer piece
+	// itself plus nothing new; cost collapses to near the answer size.
+	if c.CrackWrites > 50 {
+		t.Fatalf("repeat writes = %d, want ≤ answer size", c.CrackWrites)
+	}
+	if c.Overhead != 0 {
+		t.Fatalf("repeat overhead = %d, want 0", c.Overhead)
+	}
+}
+
+func TestOverheadDwindles(t *testing.T) {
+	// Paper §2.2: "already after a query sequence of 5 steps and a
+	// selectivity of 5%, the writing overhead due to cracking has
+	// dwindled to less than the answer size."
+	const n = 100000
+	const sigma = 0.05
+	steps := Series(n, 20, sigma, 7)
+	if steps[0].Overhead < int(0.9*(1-sigma)*n) {
+		t.Fatalf("first-step overhead %d, want ≈ (1-σ)N = %d", steps[0].Overhead, int((1-sigma)*float64(n)))
+	}
+	// The exact step where overhead first dips below the answer size is
+	// seed-dependent; the stable shape is that the tail of the sequence
+	// sits below it on average and far below the first step.
+	answer := int(sigma * n)
+	tail := 0
+	for i := 10; i < 20; i++ {
+		tail += steps[i].Overhead
+	}
+	if avg := tail / 10; avg > 2*answer {
+		t.Fatalf("steps 10..19 average overhead %d far above answer size %d", avg, answer)
+	}
+	if steps[19].Overhead > steps[0].Overhead/5 {
+		t.Fatalf("overhead did not collapse: first=%d last=%d", steps[0].Overhead, steps[19].Overhead)
+	}
+}
+
+func TestCumulativeCostBreaksEven(t *testing.T) {
+	// Paper Figure 3: the break-even point against scanning is reached
+	// after a handful of queries.
+	const n = 100000
+	steps := Series(n, 20, 0.10, 3)
+	rel := CumulativeRelativeCost(n, steps)
+	if rel[0] < 1.5 {
+		t.Fatalf("first-step relative cost %g, want ≈2 (read + rewrite)", rel[0])
+	}
+	if rel[len(rel)-1] >= 1.0 {
+		t.Fatalf("relative cost after 20 steps = %g, want < 1.0 (beneficial)", rel[len(rel)-1])
+	}
+	// Monotone improvement after the first step.
+	for i := 1; i < len(rel); i++ {
+		if rel[i] > rel[i-1]+0.25 {
+			t.Fatalf("relative cost jumped at step %d: %g → %g", i, rel[i-1], rel[i])
+		}
+	}
+}
+
+func TestSmallerSigmaLargerFirstOverhead(t *testing.T) {
+	const n = 100000
+	s1 := Series(n, 1, 0.01, 5)[0]
+	s80 := Series(n, 1, 0.80, 5)[0]
+	if s1.Overhead <= s80.Overhead {
+		t.Fatalf("overhead(σ=1%%) = %d should exceed overhead(σ=80%%) = %d", s1.Overhead, s80.Overhead)
+	}
+}
+
+func TestStepValidation(t *testing.T) {
+	s := New(100, 1)
+	for _, bad := range [][2]int{{-1, 10}, {0, 101}, {50, 50}, {60, 40}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Step(%d,%d) did not panic", bad[0], bad[1])
+				}
+			}()
+			s.Step(bad[0], bad[1])
+		}()
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0) did not panic")
+		}
+	}()
+	New(0, 1)
+}
+
+func TestFullVectorQuery(t *testing.T) {
+	s := New(100, 1)
+	c := s.Step(0, 100)
+	if c.Answer != 100 || c.Overhead != 0 {
+		t.Fatalf("full query: answer=%d overhead=%d", c.Answer, c.Overhead)
+	}
+	// No interior boundaries registered for the trivial query.
+	if s.Pieces() != 1 {
+		t.Fatalf("pieces = %d, want 1", s.Pieces())
+	}
+}
+
+func TestFractionalOverheadSeriesShape(t *testing.T) {
+	const n = 50000
+	fo := FractionalOverhead(n, Series(n, 20, 0.20, 9))
+	if fo[0] < 0.7 || fo[0] > 1.0 {
+		t.Fatalf("fractional overhead step 1 = %g, want ≈0.8", fo[0])
+	}
+	// The tail must be far below the head.
+	if fo[19] > fo[0]/4 {
+		t.Fatalf("fractional overhead did not collapse: first=%g last=%g", fo[0], fo[19])
+	}
+}
+
+// Property: accounting identities hold for arbitrary query positions.
+func TestQuickAccountingIdentities(t *testing.T) {
+	f := func(seed int64, steps uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1000 + rng.Intn(10000)
+		s := New(n, seed)
+		for q := 0; q < int(steps%40)+1; q++ {
+			w := 1 + rng.Intn(n/2)
+			lo := rng.Intn(n - w + 1)
+			c := s.Step(lo, lo+w)
+			if c.Answer != w {
+				return false
+			}
+			if c.Overhead < 0 || c.Overhead > c.CrackWrites {
+				return false
+			}
+			if c.Reads() < c.Answer { // every answer granule is read
+				return false
+			}
+			if c.CrackWrites > 2*n { // at most both boundary pieces
+				return false
+			}
+			if s.Pieces() > 2*(q+1)+1 {
+				return false // each step adds at most 2 boundaries
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: piece boundaries stay sorted and in range.
+func TestQuickBoundariesSorted(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 500 + rng.Intn(2000)
+		s := New(n, seed)
+		for q := 0; q < 50; q++ {
+			s.RandomStep(0.01 + rng.Float64()*0.5)
+		}
+		prev := 0
+		for _, b := range s.boundaries {
+			if b <= prev || b >= n {
+				return false
+			}
+			prev = b
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,79 @@
+package figures
+
+import (
+	"fmt"
+
+	"crackdb/internal/costsim"
+)
+
+// Figures 2 and 3: the granule-vector simulation of §2.2.
+
+// DefaultSimSelectivities are the σ values the paper plots.
+func DefaultSimSelectivities() []float64 {
+	return []float64{0.01, 0.05, 0.10, 0.20, 0.40, 0.60, 0.80}
+}
+
+// Fig2Config parameterizes the simulation.
+type Fig2Config struct {
+	N             int // granules in the vector
+	K             int // sequence steps (paper: 20)
+	Selectivities []float64
+	Seed          int64
+}
+
+func (c *Fig2Config) defaults() {
+	if c.N <= 0 {
+		c.N = 1_000_000
+	}
+	if c.K <= 0 {
+		c.K = 20
+	}
+	if len(c.Selectivities) == 0 {
+		c.Selectivities = DefaultSimSelectivities()
+	}
+}
+
+// Fig2 reproduces "Cracking overhead": fractional write overhead per
+// sequence step, one series per selectivity.
+func Fig2(cfg Fig2Config) Figure {
+	cfg.defaults()
+	fig := Figure{
+		ID:     "fig2",
+		Title:  fmt.Sprintf("Cracking overhead with n%% cracking (N=%d)", cfg.N),
+		XLabel: "sequence step",
+		YLabel: "fractional overhead induced",
+	}
+	for _, sigma := range cfg.Selectivities {
+		steps := costsim.Series(cfg.N, cfg.K, sigma, cfg.Seed)
+		fo := costsim.FractionalOverhead(cfg.N, steps)
+		s := Series{Label: fmt.Sprintf("%g %%", sigma*100)}
+		for i, y := range fo {
+			s.Points = append(s.Points, Point{X: float64(i + 1), Y: y})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig
+}
+
+// Fig3 reproduces "Accumulated overhead": cumulative read+write cost of
+// cracking relative to the scan baseline (1.0), one series per
+// selectivity.
+func Fig3(cfg Fig2Config) Figure {
+	cfg.defaults()
+	fig := Figure{
+		ID:     "fig3",
+		Title:  fmt.Sprintf("Cumulative cost of cracking versus scans (N=%d)", cfg.N),
+		XLabel: "sequence length",
+		YLabel: "relative accumulated cost (scan = 1.0)",
+	}
+	for _, sigma := range cfg.Selectivities {
+		steps := costsim.Series(cfg.N, cfg.K, sigma, cfg.Seed)
+		rel := costsim.CumulativeRelativeCost(cfg.N, steps)
+		s := Series{Label: fmt.Sprintf("%g %%", sigma*100)}
+		for i, y := range rel {
+			s.Points = append(s.Points, Point{X: float64(i + 1), Y: y})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig
+}

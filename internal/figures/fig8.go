@@ -1,0 +1,45 @@
+package figures
+
+import (
+	"fmt"
+
+	"crackdb/internal/mqs"
+)
+
+// Figure 8: the three selectivity distribution functions ρ(i, k, σ) for
+// σ = 0.2, k = 20, plus the flat target-selectivity line.
+
+// Fig8Config parameterizes the analytic plot.
+type Fig8Config struct {
+	K     int     // sequence length (paper: 20)
+	Sigma float64 // target selectivity (paper: 0.2)
+}
+
+// Fig8 evaluates the contraction models.
+func Fig8(cfg Fig8Config) Figure {
+	if cfg.K <= 0 {
+		cfg.K = 20
+	}
+	if cfg.Sigma <= 0 {
+		cfg.Sigma = 0.2
+	}
+	fig := Figure{
+		ID:     "fig8",
+		Title:  fmt.Sprintf("Selectivity distribution (σ=%g, k=%d)", cfg.Sigma, cfg.K),
+		XLabel: "steps",
+		YLabel: "selectivity",
+	}
+	for _, d := range []mqs.Dist{mqs.Linear, mqs.Exponential, mqs.Logarithmic} {
+		s := Series{Label: d.String() + " contraction"}
+		for i := 0; i <= cfg.K; i++ {
+			s.Points = append(s.Points, Point{X: float64(i), Y: mqs.Rho(d, i, cfg.K, cfg.Sigma)})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	target := Series{Label: "target selectivity"}
+	for i := 0; i <= cfg.K; i++ {
+		target.Points = append(target.Points, Point{X: float64(i), Y: cfg.Sigma})
+	}
+	fig.Series = append(fig.Series, target)
+	return fig
+}

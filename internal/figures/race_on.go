@@ -1,0 +1,8 @@
+//go:build race
+
+package figures
+
+// raceEnabled reports whether the race detector instruments this build;
+// wall-clock shape tests skip themselves under it (instrumented timing
+// does not reflect the figures' real cost structure).
+const raceEnabled = true

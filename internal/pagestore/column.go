@@ -1,0 +1,151 @@
+package pagestore
+
+import "fmt"
+
+// PagedColumn stores an int64 column across disk pages, accessed through
+// a buffer pool. Scans report the page I/O they caused — the granule
+// accounting the paper's §2.2 simulation abstracts.
+type PagedColumn struct {
+	pool  *Pool
+	pages []PageID
+	n     int
+}
+
+// NewPagedColumn creates an empty column over the pool.
+func NewPagedColumn(pool *Pool) *PagedColumn {
+	return &PagedColumn{pool: pool}
+}
+
+// Len returns the number of values.
+func (c *PagedColumn) Len() int { return c.n }
+
+// PageCount returns the number of pages the column spans.
+func (c *PagedColumn) PageCount() int { return len(c.pages) }
+
+// Append adds a value at the end of the column.
+func (c *PagedColumn) Append(v int64) error {
+	if len(c.pages) == 0 || c.n%SlotsPerPage == 0 && c.n/SlotsPerPage == len(c.pages) {
+		id, err := c.pool.pager.Alloc()
+		if err != nil {
+			return err
+		}
+		c.pages = append(c.pages, id)
+	}
+	p, err := c.pool.Pin(c.pages[c.n/SlotsPerPage])
+	if err != nil {
+		return err
+	}
+	defer c.pool.Unpin(p)
+	p.Slots[c.n%SlotsPerPage] = v
+	p.Count = c.n%SlotsPerPage + 1
+	p.MarkDirty()
+	c.n++
+	return nil
+}
+
+// AppendAll bulk-loads values.
+func (c *PagedColumn) AppendAll(vals []int64) error {
+	for _, v := range vals {
+		if err := c.Append(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Get returns the value at position i.
+func (c *PagedColumn) Get(i int) (int64, error) {
+	if i < 0 || i >= c.n {
+		return 0, fmt.Errorf("pagestore: position %d out of range (len %d)", i, c.n)
+	}
+	p, err := c.pool.Pin(c.pages[i/SlotsPerPage])
+	if err != nil {
+		return 0, err
+	}
+	defer c.pool.Unpin(p)
+	return p.Slots[i%SlotsPerPage], nil
+}
+
+// Set overwrites the value at position i.
+func (c *PagedColumn) Set(i int, v int64) error {
+	if i < 0 || i >= c.n {
+		return fmt.Errorf("pagestore: position %d out of range (len %d)", i, c.n)
+	}
+	p, err := c.pool.Pin(c.pages[i/SlotsPerPage])
+	if err != nil {
+		return err
+	}
+	defer c.pool.Unpin(p)
+	p.Slots[i%SlotsPerPage] = v
+	p.MarkDirty()
+	return nil
+}
+
+// ScanCost reports the physical work of one ScanRange.
+type ScanCost struct {
+	Matches   int
+	PagesRead int // distinct pages touched by the scan
+}
+
+// ScanRange counts values in [low, high] (inclusive), reporting page
+// granule cost. The whole column is read — the paper's baseline table
+// scan at disk-page granularity.
+func (c *PagedColumn) ScanRange(low, high int64) (ScanCost, error) {
+	var cost ScanCost
+	for pi, id := range c.pages {
+		p, err := c.pool.Pin(id)
+		if err != nil {
+			return cost, err
+		}
+		cost.PagesRead++
+		limit := SlotsPerPage
+		if pi == len(c.pages)-1 {
+			limit = c.n - pi*SlotsPerPage
+		}
+		for s := 0; s < limit; s++ {
+			if v := p.Slots[s]; v >= low && v <= high {
+				cost.Matches++
+			}
+		}
+		c.pool.Unpin(p)
+	}
+	return cost, nil
+}
+
+// ScanPositions counts values in [low, high] touching only the page
+// range [fromPos, toPos) — what a cracked store reads once the cracker
+// index has narrowed the answer to a consecutive region (contrast with
+// ScanRange's full sweep).
+func (c *PagedColumn) ScanPositions(fromPos, toPos int, low, high int64) (ScanCost, error) {
+	var cost ScanCost
+	if fromPos < 0 || toPos > c.n || fromPos > toPos {
+		return cost, fmt.Errorf("pagestore: scan range [%d,%d) out of bounds (len %d)", fromPos, toPos, c.n)
+	}
+	if fromPos == toPos {
+		return cost, nil
+	}
+	firstPage := fromPos / SlotsPerPage
+	lastPage := (toPos - 1) / SlotsPerPage
+	for pi := firstPage; pi <= lastPage; pi++ {
+		p, err := c.pool.Pin(c.pages[pi])
+		if err != nil {
+			return cost, err
+		}
+		cost.PagesRead++
+		start := 0
+		if pi == firstPage {
+			start = fromPos % SlotsPerPage
+		}
+		end := SlotsPerPage
+		if pi == lastPage {
+			end = (toPos-1)%SlotsPerPage + 1
+		}
+		for s := start; s < end; s++ {
+			if v := p.Slots[s]; v >= low && v <= high {
+				cost.Matches++
+			}
+		}
+		c.pool.Unpin(p)
+	}
+	return cost, nil
+}

@@ -1,0 +1,403 @@
+package pagestore
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func newPager(t *testing.T) *Pager {
+	t.Helper()
+	pg, err := Create(filepath.Join(t.TempDir(), "store.pg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pg.Close() })
+	return pg
+}
+
+func TestPagerAllocReadWrite(t *testing.T) {
+	pg := newPager(t)
+	id, err := pg.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Page{ID: id, Count: 3}
+	p.Slots[0], p.Slots[1], p.Slots[2] = 10, -20, 30
+	if err := pg.WritePage(p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := pg.ReadPage(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Count != 3 || got.Slots[1] != -20 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	if _, err := pg.ReadPage(99); err == nil {
+		t.Fatal("read of unallocated page succeeded")
+	}
+	if err := pg.WritePage(&Page{ID: 99}); err == nil {
+		t.Fatal("write of unallocated page succeeded")
+	}
+	if pg.Stats().PageReads == 0 || pg.Stats().PageWrites == 0 {
+		t.Fatal("I/O not counted")
+	}
+}
+
+func TestPagerReopen(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.pg")
+	pg, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := pg.Alloc()
+	p := &Page{ID: id, Count: 1}
+	p.Slots[0] = 42
+	if err := pg.WritePage(p); err != nil {
+		t.Fatal(err)
+	}
+	pg.Close()
+
+	re, err := OpenPager(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.NumPages() != 1 {
+		t.Fatalf("reopened pages = %d", re.NumPages())
+	}
+	got, err := re.ReadPage(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Slots[0] != 42 {
+		t.Fatal("reopen lost data")
+	}
+}
+
+func TestPagerDetectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.pg")
+	pg, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := pg.Alloc()
+	p := &Page{ID: id, Count: 2}
+	p.Slots[0] = 7
+	pg.WritePage(p)
+	pg.Close()
+
+	// Flip a payload byte on disk.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[100] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenPager(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if _, err := re.ReadPage(id); err == nil {
+		t.Fatal("corrupt page read succeeded")
+	}
+}
+
+func TestPoolHitMissEviction(t *testing.T) {
+	pg := newPager(t)
+	var ids []PageID
+	for i := 0; i < 4; i++ {
+		id, err := pg.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	pool := NewPool(pg, 2)
+
+	p0, err := pool.Pin(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Unpin(p0)
+	// Hit.
+	p0b, _ := pool.Pin(ids[0])
+	pool.Unpin(p0b)
+	if pool.Stats().Hits != 1 {
+		t.Fatalf("hits = %d", pool.Stats().Hits)
+	}
+	// Fill and overflow: evictions must happen, LRU first.
+	p1, _ := pool.Pin(ids[1])
+	pool.Unpin(p1)
+	p2, _ := pool.Pin(ids[2]) // evicts ids[0] (LRU)
+	pool.Unpin(p2)
+	if pool.Stats().Evictions != 1 {
+		t.Fatalf("evictions = %d", pool.Stats().Evictions)
+	}
+	if _, ok := pool.frames[ids[0]]; ok {
+		t.Fatal("LRU page not evicted")
+	}
+}
+
+func TestPoolDirtyWriteBackOnEvict(t *testing.T) {
+	pg := newPager(t)
+	idA, _ := pg.Alloc()
+	idB, _ := pg.Alloc()
+	pool := NewPool(pg, 1)
+
+	p, err := pool.Pin(idA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Slots[0] = 77
+	p.Count = 1
+	p.MarkDirty()
+	pool.Unpin(p)
+
+	// Pinning B evicts A, which must be written back.
+	pb, err := pool.Pin(idB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Unpin(pb)
+	got, err := pg.ReadPage(idA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Slots[0] != 77 {
+		t.Fatal("dirty page lost on eviction")
+	}
+}
+
+func TestPoolAllPinned(t *testing.T) {
+	pg := newPager(t)
+	idA, _ := pg.Alloc()
+	idB, _ := pg.Alloc()
+	pool := NewPool(pg, 1)
+	p, err := pool.Pin(idA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.Pin(idB); err == nil {
+		t.Fatal("pin with all frames pinned succeeded")
+	}
+	pool.Unpin(p)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double unpin did not panic")
+		}
+	}()
+	pool.Unpin(p)
+}
+
+func TestPagedColumnAppendGetSet(t *testing.T) {
+	pg := newPager(t)
+	pool := NewPool(pg, 8)
+	col := NewPagedColumn(pool)
+
+	n := SlotsPerPage*2 + 37 // span three pages
+	for i := 0; i < n; i++ {
+		if err := col.Append(int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if col.Len() != n || col.PageCount() != 3 {
+		t.Fatalf("len=%d pages=%d", col.Len(), col.PageCount())
+	}
+	v, err := col.Get(SlotsPerPage + 5)
+	if err != nil || v != int64(SlotsPerPage+5) {
+		t.Fatalf("Get = %d, %v", v, err)
+	}
+	if err := col.Set(0, -1); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := col.Get(0); v != -1 {
+		t.Fatal("Set not visible")
+	}
+	if _, err := col.Get(n); err == nil {
+		t.Fatal("out-of-range Get succeeded")
+	}
+	if err := col.Set(-1, 0); err == nil {
+		t.Fatal("out-of-range Set succeeded")
+	}
+}
+
+func TestScanRangeVsScanPositions(t *testing.T) {
+	pg := newPager(t)
+	pool := NewPool(pg, 16)
+	col := NewPagedColumn(pool)
+	rng := rand.New(rand.NewSource(3))
+
+	n := SlotsPerPage * 8
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = rng.Int63n(1000)
+	}
+	if err := col.AppendAll(vals); err != nil {
+		t.Fatal(err)
+	}
+
+	full, err := col.ScanRange(100, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, v := range vals {
+		if v >= 100 && v <= 200 {
+			want++
+		}
+	}
+	if full.Matches != want {
+		t.Fatalf("ScanRange matches = %d, want %d", full.Matches, want)
+	}
+	if full.PagesRead != 8 {
+		t.Fatalf("full scan read %d pages, want 8", full.PagesRead)
+	}
+
+	// A narrowed scan (what the cracker index enables) touches only the
+	// covering pages.
+	narrow, err := col.ScanPositions(SlotsPerPage, SlotsPerPage*2, 0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if narrow.PagesRead != 1 {
+		t.Fatalf("narrow scan read %d pages, want 1", narrow.PagesRead)
+	}
+	if narrow.Matches != SlotsPerPage {
+		t.Fatalf("narrow matches = %d", narrow.Matches)
+	}
+	// Empty and invalid ranges.
+	if c, err := col.ScanPositions(5, 5, 0, 10); err != nil || c.PagesRead != 0 {
+		t.Fatalf("empty scan: %+v, %v", c, err)
+	}
+	if _, err := col.ScanPositions(10, 5, 0, 10); err == nil {
+		t.Fatal("inverted scan succeeded")
+	}
+}
+
+func TestPagedColumnSurvivesPoolPressure(t *testing.T) {
+	pg := newPager(t)
+	pool := NewPool(pg, 2) // tiny pool forces constant eviction
+	col := NewPagedColumn(pool)
+	n := SlotsPerPage * 6
+	for i := 0; i < n; i++ {
+		if err := col.Append(int64(i % 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cost, err := col.ScanRange(0, 49)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for i := 0; i < n; i++ {
+		if i%100 <= 49 {
+			want++
+		}
+	}
+	if cost.Matches != want {
+		t.Fatalf("matches under pressure = %d, want %d", cost.Matches, want)
+	}
+	if pool.Stats().Evictions == 0 {
+		t.Fatal("no evictions under a tiny pool")
+	}
+	// Spot-check values after all that eviction traffic.
+	for _, i := range []int{0, SlotsPerPage * 3, n - 1} {
+		v, err := col.Get(i)
+		if err != nil || v != int64(i%100) {
+			t.Fatalf("Get(%d) = %d, %v", i, v, err)
+		}
+	}
+}
+
+func TestFlush(t *testing.T) {
+	pg := newPager(t)
+	id, _ := pg.Alloc()
+	pool := NewPool(pg, 4)
+	p, _ := pool.Pin(id)
+	p.Slots[0] = 5
+	p.Count = 1
+	p.MarkDirty()
+	pool.Unpin(p)
+	if err := pool.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := pg.ReadPage(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Slots[0] != 5 {
+		t.Fatal("flush did not persist")
+	}
+}
+
+// Property: a paged column behaves exactly like an in-memory slice under
+// random operation sequences, for any pool size.
+func TestQuickPagedColumnMatchesSlice(t *testing.T) {
+	f := func(seed int64, poolRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dir := t.TempDir()
+		pg, err := Create(dir + "/q.pg")
+		if err != nil {
+			return false
+		}
+		defer pg.Close()
+		pool := NewPool(pg, int(poolRaw%8)+1)
+		col := NewPagedColumn(pool)
+		var ref []int64
+
+		for op := 0; op < 200; op++ {
+			switch rng.Intn(4) {
+			case 0, 1: // append
+				v := rng.Int63n(1000)
+				if err := col.Append(v); err != nil {
+					return false
+				}
+				ref = append(ref, v)
+			case 2: // set
+				if len(ref) == 0 {
+					continue
+				}
+				i := rng.Intn(len(ref))
+				v := rng.Int63n(1000)
+				if err := col.Set(i, v); err != nil {
+					return false
+				}
+				ref[i] = v
+			case 3: // get
+				if len(ref) == 0 {
+					continue
+				}
+				i := rng.Intn(len(ref))
+				v, err := col.Get(i)
+				if err != nil || v != ref[i] {
+					return false
+				}
+			}
+		}
+		// Final scan agrees with the reference.
+		lo, hi := int64(200), int64(700)
+		cost, err := col.ScanRange(lo, hi)
+		if err != nil {
+			return false
+		}
+		want := 0
+		for _, v := range ref {
+			if v >= lo && v <= hi {
+				want++
+			}
+		}
+		return cost.Matches == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,131 @@
+// Package sql implements a small SQL front-end over the cracking store:
+// lexer, recursive-descent parser, and executor for the dialect the
+// paper's experiments are written in (CREATE TABLE / INSERT / SELECT with
+// range predicates, GROUP BY, ORDER BY, LIMIT; SELECT INTO for the §5.1
+// SQL-level cracking experiment).
+//
+// The front-end occupies the position the paper assigns the cracker
+// component: "between the semantic analyzer and the query optimizer"
+// (§3) — WHERE conjunctions are handed to the store as cracking advice
+// before any further planning.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies lexer output.
+type TokenKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokKeyword
+	TokNumber
+	TokSymbol // ( ) , ; *
+	TokOp     // < <= = >= > <>
+)
+
+// Token is one lexical unit. Keywords are upper-cased; identifiers keep
+// their original spelling.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Pos  int // byte offset in the input, for error messages
+}
+
+// keywords of the dialect.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "AND": true,
+	"GROUP": true, "BY": true, "ORDER": true, "LIMIT": true,
+	"ASC": true, "DESC": true, "INSERT": true, "INTO": true,
+	"VALUES": true, "CREATE": true, "TABLE": true, "DROP": true,
+	"INT": true, "INTEGER": true, "COUNT": true, "SUM": true,
+	"MIN": true, "MAX": true, "BETWEEN": true, "AS": true,
+}
+
+// Lex tokenizes the input. Errors carry the byte position of the
+// offending rune.
+func Lex(input string) ([]Token, error) {
+	var toks []Token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := rune(input[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '-' && i+1 < n && input[i+1] == '-': // line comment
+			for i < n && input[i] != '\n' {
+				i++
+			}
+		case isIdentStart(c):
+			start := i
+			for i < n && isIdentPart(rune(input[i])) {
+				i++
+			}
+			word := input[start:i]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				toks = append(toks, Token{Kind: TokKeyword, Text: up, Pos: start})
+			} else {
+				toks = append(toks, Token{Kind: TokIdent, Text: word, Pos: start})
+			}
+		case unicode.IsDigit(c) || (c == '-' && i+1 < n && unicode.IsDigit(rune(input[i+1]))):
+			start := i
+			i++ // sign or first digit
+			for i < n && unicode.IsDigit(rune(input[i])) {
+				i++
+			}
+			toks = append(toks, Token{Kind: TokNumber, Text: input[start:i], Pos: start})
+		case c == '(' || c == ')' || c == ',' || c == ';' || c == '*':
+			toks = append(toks, Token{Kind: TokSymbol, Text: string(c), Pos: i})
+			i++
+		case c == '<':
+			switch {
+			case i+1 < n && input[i+1] == '=':
+				toks = append(toks, Token{Kind: TokOp, Text: "<=", Pos: i})
+				i += 2
+			case i+1 < n && input[i+1] == '>':
+				toks = append(toks, Token{Kind: TokOp, Text: "<>", Pos: i})
+				i += 2
+			default:
+				toks = append(toks, Token{Kind: TokOp, Text: "<", Pos: i})
+				i++
+			}
+		case c == '>':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, Token{Kind: TokOp, Text: ">=", Pos: i})
+				i += 2
+			} else {
+				toks = append(toks, Token{Kind: TokOp, Text: ">", Pos: i})
+				i++
+			}
+		case c == '=':
+			toks = append(toks, Token{Kind: TokOp, Text: "=", Pos: i})
+			i++
+		case c == '!':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, Token{Kind: TokOp, Text: "<>", Pos: i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("sql: stray '!' at offset %d", i)
+			}
+		default:
+			return nil, fmt.Errorf("sql: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Pos: n})
+	return toks, nil
+}
+
+func isIdentStart(c rune) bool {
+	return unicode.IsLetter(c) || c == '_'
+}
+
+func isIdentPart(c rune) bool {
+	return unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_' || c == '.'
+}

@@ -1,0 +1,105 @@
+package crackdb
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"crackdb/internal/bat"
+	"crackdb/internal/relation"
+)
+
+// Store persistence: each column is saved as one checksummed BAT image,
+// bound together by a JSON manifest. Cracked state is an auxiliary
+// structure and is deliberately not persisted, matching the paper's
+// prototype: "each table comes with its own cracker index and they are
+// not saved between sessions" (§5.2).
+
+// manifest is the on-disk description of a store.
+type manifest struct {
+	Version int             `json:"version"`
+	Tables  []manifestTable `json:"tables"`
+}
+
+type manifestTable struct {
+	Name    string   `json:"name"`
+	Columns []string `json:"columns"`
+	Rows    int      `json:"rows"`
+}
+
+const manifestName = "crackdb.json"
+
+// Save writes the store to a directory (created if missing). The write
+// is not atomic across files; callers wanting atomicity should save to a
+// fresh directory and rename it.
+func (s *Store) Save(dir string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	var m manifest
+	m.Version = 1
+	for name, t := range s.tables {
+		mt := manifestTable{Name: name, Columns: t.ColumnNames(), Rows: t.Len()}
+		for _, col := range mt.Columns {
+			b, err := t.Column(col)
+			if err != nil {
+				return err
+			}
+			if err := b.Save(columnPath(dir, name, col)); err != nil {
+				return fmt.Errorf("crackdb: save %s.%s: %w", name, col, err)
+			}
+		}
+		m.Tables = append(m.Tables, mt)
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, manifestName), data, 0o644)
+}
+
+// Open loads a store previously written by Save.
+func Open(dir string) (*Store, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, fmt.Errorf("crackdb: open store: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("crackdb: corrupt manifest: %w", err)
+	}
+	if m.Version != 1 {
+		return nil, fmt.Errorf("crackdb: unsupported store version %d", m.Version)
+	}
+	s := New()
+	for _, mt := range m.Tables {
+		cols := make([]relation.Column, len(mt.Columns))
+		for i, col := range mt.Columns {
+			b, err := bat.Load(mt.Name+"_"+col, columnPath(dir, mt.Name, col))
+			if err != nil {
+				return nil, fmt.Errorf("crackdb: load %s.%s: %w", mt.Name, col, err)
+			}
+			if b.Len() != mt.Rows {
+				return nil, fmt.Errorf("crackdb: %s.%s has %d rows, manifest says %d",
+					mt.Name, col, b.Len(), mt.Rows)
+			}
+			cols[i] = relation.Column{Name: col, Data: b}
+		}
+		t, err := relation.FromColumns(mt.Name, cols...)
+		if err != nil {
+			return nil, err
+		}
+		s.tables[mt.Name] = t
+		if err := s.registerTableLocked(mt.Name, mt.Columns, mt.Rows); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func columnPath(dir, table, col string) string {
+	return filepath.Join(dir, table+"."+col+".bat")
+}

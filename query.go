@@ -1,0 +1,89 @@
+package crackdb
+
+import (
+	"fmt"
+
+	"crackdb/internal/expr"
+)
+
+// Conjunctive multi-predicate queries on the public API. The range
+// constraints of the conjunction are extracted as crack advice (paper
+// §3.1: queries in disjunctive normal form are "the basis to localize
+// and extract the database crackers"), the most selective advised column
+// answers through its cracker, and the remaining conjuncts are evaluated
+// on the candidates.
+
+// Cond is one comparison of a conjunction: Col Op Val with Op one of
+// "<", "<=", "=", ">=", ">", "<>".
+type Cond struct {
+	Col string
+	Op  string
+	Val int64
+}
+
+// opOf maps the SQL spelling to the expr operator.
+func opOf(op string) (expr.Op, error) {
+	switch op {
+	case "<":
+		return expr.Lt, nil
+	case "<=":
+		return expr.Le, nil
+	case "=", "==":
+		return expr.Eq, nil
+	case ">=":
+		return expr.Ge, nil
+	case ">":
+		return expr.Gt, nil
+	case "<>", "!=":
+		return expr.Ne, nil
+	default:
+		return 0, fmt.Errorf("crackdb: unknown operator %q", op)
+	}
+}
+
+// SelectWhere answers a conjunction of comparisons, cracking the most
+// selective advised column as a side effect. With no conditions it
+// returns every tuple.
+func (s *Store) SelectWhere(table string, conds ...Cond) (*Result, error) {
+	ct, t, err := s.crackedFor(table)
+	if err != nil {
+		return nil, err
+	}
+	term := make(expr.Term, 0, len(conds))
+	for _, c := range conds {
+		op, err := opOf(c.Op)
+		if err != nil {
+			return nil, err
+		}
+		if !t.HasColumn(c.Col) {
+			return nil, fmt.Errorf("crackdb: table %q has no column %q", table, c.Col)
+		}
+		term = append(term, expr.Pred{Col: c.Col, Op: op, Val: c.Val})
+	}
+	// The planner picks the driving column from cracker-index statistics
+	// and cracks only that one (paper §3.3: piece statistics let the
+	// optimizer cost plans for free).
+	oids, _, err := ct.SelectTermPlanned(term)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{store: s, table: t, cracked: ct, oids: oids}, nil
+}
+
+// CountWhere is SelectWhere returning only the qualifying-tuple count.
+func (s *Store) CountWhere(table string, conds ...Cond) (int, error) {
+	res, err := s.SelectWhere(table, conds...)
+	if err != nil {
+		return 0, err
+	}
+	return res.Count(), nil
+}
+
+// OIDs returns the surrogate identifiers of the qualifying tuples.
+func (r *Result) OIDs() []uint32 {
+	out := make([]uint32, len(r.oids))
+	for i, o := range r.oids {
+		out[i] = uint32(o)
+	}
+	return out
+}
