@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	crackbench -fig 1a|1b|1c|2|3|8|9|10|11|sql|all [flags]
+//	crackbench -fig 1a|1b|1c|2|3|8|9|10|11|hiking|sql|parallel|all [flags]
 //
 // Flags:
 //
@@ -13,11 +13,14 @@
 //	-seed int     RNG seed (default 42)
 //	-summary      print a shape summary instead of TSV
 //	-budget dur   per-configuration wall budget for figure 9 (default 5s)
+//	-parallel     shorthand for -fig parallel (converged-lookup scaling)
+//	-ops int      lookups per goroutine for -fig parallel (default 200000)
 //
 // Examples:
 //
 //	crackbench -fig 2                  # granule simulation, TSV to stdout
 //	crackbench -fig 10 -n 1000000      # homeruns on 1M rows
+//	crackbench -parallel               # read-path scaling across goroutines
 //	crackbench -fig all -summary       # every figure, digest form
 package main
 
@@ -32,22 +35,28 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: 1a,1b,1c,2,3,8,9,10,11,sql,all")
-		n       = flag.Int("n", 0, "cardinality override (0 = figure default)")
-		k       = flag.Int("k", 0, "sequence length override (0 = figure default)")
-		seed    = flag.Int64("seed", 42, "RNG seed")
-		summary = flag.Bool("summary", false, "print shape summary instead of TSV")
-		budget  = flag.Duration("budget", 5*time.Second, "figure 9 per-configuration budget")
+		fig      = flag.String("fig", "all", "figure to regenerate: 1a,1b,1c,2,3,8,9,10,11,hiking,sql,parallel,all")
+		n        = flag.Int("n", 0, "cardinality override (0 = figure default)")
+		k        = flag.Int("k", 0, "sequence length override (0 = figure default)")
+		seed     = flag.Int64("seed", 42, "RNG seed")
+		summary  = flag.Bool("summary", false, "print shape summary instead of TSV")
+		budget   = flag.Duration("budget", 5*time.Second, "figure 9 per-configuration budget")
+		parallel = flag.Bool("parallel", false, "shorthand for -fig parallel")
+		ops      = flag.Int("ops", 0, "lookups per goroutine for -fig parallel (0 = default)")
 	)
 	flag.Parse()
 
-	if err := run(*fig, *n, *k, *seed, *summary, *budget); err != nil {
+	target := *fig
+	if *parallel {
+		target = "parallel"
+	}
+	if err := run(target, *n, *k, *seed, *summary, *budget, *ops); err != nil {
 		fmt.Fprintln(os.Stderr, "crackbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig string, n, k int, seed int64, summary bool, budget time.Duration) error {
+func run(fig string, n, k int, seed int64, summary bool, budget time.Duration, ops int) error {
 	emit := func(f figures.Figure, err error) error {
 		if err != nil {
 			return err
@@ -82,6 +91,8 @@ func run(fig string, n, k int, seed int64, summary bool, budget time.Duration) e
 			return emit(figures.Fig11(figures.Fig11Config{N: n, K: k, Seed: seed}))
 		case "hiking":
 			return emit(figures.FigHiking(figures.FigHikingConfig{N: n, K: k, Seed: seed}))
+		case "parallel":
+			return emit(figures.FigParallel(figures.FigParallelConfig{N: n, OpsPerG: ops, Seed: seed}), nil)
 		case "sql":
 			res, err := figures.SQLLevel(figures.SQLLevelConfig{N: n, Seed: seed})
 			if err != nil {
@@ -90,12 +101,12 @@ func run(fig string, n, k int, seed int64, summary bool, budget time.Duration) e
 			fmt.Print(res)
 			return nil
 		default:
-			return fmt.Errorf("unknown figure %q (want 1a,1b,1c,2,3,8,9,10,11,hiking,sql,all)", id)
+			return fmt.Errorf("unknown figure %q (want 1a,1b,1c,2,3,8,9,10,11,hiking,sql,parallel,all)", id)
 		}
 	}
 
 	if fig == "all" {
-		for _, id := range []string{"1a", "1b", "1c", "2", "3", "8", "9", "10", "11", "hiking", "sql"} {
+		for _, id := range []string{"1a", "1b", "1c", "2", "3", "8", "9", "10", "11", "hiking", "sql", "parallel"} {
 			fmt.Printf("=== figure %s ===\n", id)
 			if err := runOne(id); err != nil {
 				return fmt.Errorf("figure %s: %w", id, err)

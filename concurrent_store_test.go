@@ -1,0 +1,66 @@
+package crackdb
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestStoreConcurrentTables drives queries and inserts against multiple
+// tables from many goroutines: table resolution happens under the
+// store's read lock, so cross-table traffic must neither race (run with
+// -race) nor corrupt per-table answers.
+func TestStoreConcurrentTables(t *testing.T) {
+	const (
+		tables     = 4
+		rows       = 5_000
+		goroutines = 8
+		iters      = 200
+	)
+	s := New()
+	for i := 0; i < tables; i++ {
+		if err := s.LoadTapestry(fmt.Sprintf("t%d", i), rows, 1, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				table := fmt.Sprintf("t%d", (worker+i)%tables)
+				switch {
+				case worker%4 == 3 && i%50 == 0:
+					// Tapestry columns hold 1..rows; inserts land outside
+					// every probed range so counts stay deterministic.
+					if err := s.InsertRows(table, [][]int64{{-1}}); err != nil {
+						errs <- err
+						return
+					}
+				default:
+					lo := int64((worker*37+i*11)%(rows-100) + 1)
+					got, err := s.Count(table, "c0", lo, lo+99)
+					if err != nil {
+						errs <- err
+						return
+					}
+					// Each column is a permutation of 1..rows: a closed
+					// range of width 100 inside the domain holds exactly
+					// 100 values.
+					if got != 100 {
+						errs <- fmt.Errorf("worker %d: count(%s, [%d,%d]) = %d, want 100", worker, table, lo, lo+99, got)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

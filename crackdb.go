@@ -43,8 +43,14 @@ import (
 // Store is a cracking column store: named tables whose columns are
 // adaptively reorganized by the range queries they answer. All methods
 // are safe for concurrent use.
+//
+// The store-level mutex only guards the table registry: queries resolve
+// their table under the read lock and then synchronize on that table's
+// own locks, so selections on different tables never contend with each
+// other (and converged lookups on the same table run in parallel under
+// the column read lock — see DESIGN.md, Concurrency).
 type Store struct {
-	mu        sync.Mutex
+	mu        sync.RWMutex
 	cat       *catalog.Catalog
 	tables    map[string]*relation.Table
 	cracked   map[string]*core.CrackedTable
@@ -129,14 +135,7 @@ func (s *Store) InsertRows(name string, rows [][]int64) error {
 	}
 	ct, ok := s.cracked[name]
 	if !ok {
-		var opts []core.Option
-		if s.maxPieces > 0 {
-			opts = append(opts, core.WithMaxPieces(s.maxPieces))
-		}
-		if s.ripple {
-			opts = append(opts, core.WithUpdateStrategy(core.MergeRipple))
-		}
-		ct = core.NewCrackedTable(t, opts...)
+		ct = core.NewCrackedTable(t, s.columnOptions()...)
 		s.cracked[name] = ct
 	}
 	if err := ct.AppendRows(rows); err != nil {
@@ -172,8 +171,8 @@ func (s *Store) LoadTapestry(name string, n, alpha int, seed int64) error {
 
 // Tables returns the registered table names, sorted.
 func (s *Store) Tables() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := make([]string, 0, len(s.tables))
 	for n := range s.tables {
 		out = append(out, n)
@@ -184,8 +183,8 @@ func (s *Store) Tables() []string {
 
 // NumRows returns a table's cardinality.
 func (s *Store) NumRows(name string) (int, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	t, ok := s.tables[name]
 	if !ok {
 		return 0, fmt.Errorf("crackdb: table %q does not exist", name)
@@ -195,8 +194,8 @@ func (s *Store) NumRows(name string) (int, error) {
 
 // Columns returns a table's column names.
 func (s *Store) Columns(name string) ([]string, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	t, ok := s.tables[name]
 	if !ok {
 		return nil, fmt.Errorf("crackdb: table %q does not exist", name)
@@ -205,26 +204,44 @@ func (s *Store) Columns(name string) ([]string, error) {
 }
 
 // crackedFor returns (creating on demand) the cracked wrapper of a table.
+// The steady state — both maps already populated — is two read-locked
+// lookups; only the first query against a table takes the write lock to
+// install the wrapper.
 func (s *Store) crackedFor(name string) (*core.CrackedTable, *relation.Table, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
 	t, ok := s.tables[name]
+	ct, haveCT := s.cracked[name]
+	s.mu.RUnlock()
 	if !ok {
 		return nil, nil, fmt.Errorf("crackdb: table %q does not exist", name)
 	}
-	ct, ok := s.cracked[name]
+	if haveCT {
+		return ct, t, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t, ok = s.tables[name]; !ok { // re-check: table dropped meanwhile
+		return nil, nil, fmt.Errorf("crackdb: table %q does not exist", name)
+	}
+	ct, ok = s.cracked[name]
 	if !ok {
-		var opts []core.Option
-		if s.maxPieces > 0 {
-			opts = append(opts, core.WithMaxPieces(s.maxPieces))
-		}
-		if s.ripple {
-			opts = append(opts, core.WithUpdateStrategy(core.MergeRipple))
-		}
-		ct = core.NewCrackedTable(t, opts...)
+		ct = core.NewCrackedTable(t, s.columnOptions()...)
 		s.cracked[name] = ct
 	}
 	return ct, t, nil
+}
+
+// columnOptions materializes the store-wide cracker options. The caller
+// holds s.mu.
+func (s *Store) columnOptions() []core.Option {
+	var opts []core.Option
+	if s.maxPieces > 0 {
+		opts = append(opts, core.WithMaxPieces(s.maxPieces))
+	}
+	if s.ripple {
+		opts = append(opts, core.WithUpdateStrategy(core.MergeRipple))
+	}
+	return opts
 }
 
 // Select answers the inclusive range query low <= col <= high, cracking

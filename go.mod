@@ -1,0 +1,3 @@
+module crackdb
+
+go 1.22

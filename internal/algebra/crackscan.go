@@ -1,0 +1,69 @@
+package algebra
+
+import (
+	"crackdb/internal/bat"
+	"crackdb/internal/core"
+)
+
+// CrackScan is a Volcano source over a cracked selection: it feeds the
+// qualifying (oid, value) pairs of one cracker-column range into the
+// iterator tree, so the n-ary engine can consume adaptive indexes the
+// same way it consumes table scans.
+//
+// The operator follows the safe-snapshot protocol (DESIGN.md,
+// Concurrency): Open answers the range through Column.SelectCopy, which
+// cracks as a side effect and copies the answer out while the column
+// lock is still held. The iteration that follows therefore never reads
+// column memory, and concurrent queries are free to keep cracking the
+// same column mid-scan.
+type CrackScan struct {
+	col               *core.Column
+	attr              string
+	low, high         int64
+	lowIncl, highIncl bool
+
+	vals []int64
+	oids []bat.OID
+	pos  int
+	open bool
+}
+
+// NewCrackScan builds a scan of col restricted to low θ attr θ high. The
+// output schema is ("oid", attr): the surrogate key travels with the
+// value so downstream operators can fetch other attributes.
+func NewCrackScan(col *core.Column, attr string, low, high int64, lowIncl, highIncl bool) *CrackScan {
+	return &CrackScan{col: col, attr: attr, low: low, high: high, lowIncl: lowIncl, highIncl: highIncl}
+}
+
+// Open implements Iterator. The selection (and any cracking it causes)
+// happens here; re-opening re-runs the query, which after the first time
+// is a pure index lookup.
+func (s *CrackScan) Open() error {
+	s.vals, s.oids = s.col.SelectCopy(s.low, s.high, s.lowIncl, s.highIncl)
+	s.pos = 0
+	s.open = true
+	return nil
+}
+
+// Next implements Iterator.
+func (s *CrackScan) Next() (Row, bool, error) {
+	if !s.open {
+		return nil, false, ErrNotOpen
+	}
+	if s.pos >= len(s.vals) {
+		return nil, false, nil
+	}
+	row := Row{int64(s.oids[s.pos]), s.vals[s.pos]}
+	s.pos++
+	return row, true, nil
+}
+
+// Close implements Iterator.
+func (s *CrackScan) Close() error {
+	s.open = false
+	s.vals, s.oids = nil, nil
+	return nil
+}
+
+// Schema implements Iterator.
+func (s *CrackScan) Schema() []string { return []string{"oid", s.attr} }

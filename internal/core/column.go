@@ -5,10 +5,16 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"crackdb/internal/bat"
 	"crackdb/internal/expr"
 )
+
+// columnIDs hands out the monotonically-increasing identity every Column
+// gets at construction. JoinCrack orders its two locks by this ID, so
+// concurrent join cracks over any set of columns cannot deadlock.
+var columnIDs atomic.Uint64
 
 // Column is a cracker column: a copy of one attribute vector, aligned
 // with the surrogate OIDs of its tuples, that is physically reorganized
@@ -16,11 +22,16 @@ import (
 // is first analyzed for its contribution to break the database into
 // multiple pieces"). The cracker index records the accumulated cuts.
 //
-// All exported methods are safe for concurrent use; cracking serializes
-// on an internal mutex, standing in for MonetDB's reliance on its memory
-// manager for transaction isolation during the in-place shuffle (§3.4.2).
+// All exported methods are safe for concurrent use. Cracking serializes
+// on an internal RWMutex, standing in for MonetDB's reliance on its
+// memory manager for transaction isolation during the in-place shuffle
+// (§3.4.2) — but reads that do not need to reorganize anything (both cuts
+// already registered, no pending updates) run under the read lock only,
+// so a converged column serves lookups from many goroutines in parallel.
+// DESIGN.md (Concurrency) documents the protocol.
 type Column struct {
-	mu   sync.Mutex
+	mu   sync.RWMutex
+	id   uint64 // stable lock-ordering identity (see lockPair)
 	name string
 
 	vals []int64   // the cracked value vector
@@ -38,7 +49,7 @@ type Column struct {
 	pending []pendingInsert
 	deleted map[bat.OID]struct{}
 
-	stats Stats
+	stats counters
 }
 
 type pendingInsert struct {
@@ -57,6 +68,41 @@ type Stats struct {
 	TuplesTouched  int64 // element reads during partitioning
 	Fusions        int   // cuts removed to respect MaxPieces
 	Consolidations int   // pending-update merges
+}
+
+// counters is the internal, atomically-updated form of Stats. Atomics let
+// the optimistic read path account its queries and index lookups while
+// holding only the read lock.
+type counters struct {
+	queries        atomic.Int64
+	cracks         atomic.Int64
+	indexLookups   atomic.Int64
+	tuplesMoved    atomic.Int64
+	tuplesTouched  atomic.Int64
+	fusions        atomic.Int64
+	consolidations atomic.Int64
+}
+
+func (s *counters) snapshot() Stats {
+	return Stats{
+		Queries:        int(s.queries.Load()),
+		Cracks:         int(s.cracks.Load()),
+		IndexLookups:   int(s.indexLookups.Load()),
+		TuplesMoved:    s.tuplesMoved.Load(),
+		TuplesTouched:  s.tuplesTouched.Load(),
+		Fusions:        int(s.fusions.Load()),
+		Consolidations: int(s.consolidations.Load()),
+	}
+}
+
+func (s *counters) reset() {
+	s.queries.Store(0)
+	s.cracks.Store(0)
+	s.indexLookups.Store(0)
+	s.tuplesMoved.Store(0)
+	s.tuplesTouched.Store(0)
+	s.fusions.Store(0)
+	s.consolidations.Store(0)
 }
 
 // Option configures a Column.
@@ -83,6 +129,7 @@ func WithMinPieceSize(n int) Option {
 // untouched while the cracker copy is shuffled.
 func NewColumn(name string, vals []int64, opts ...Option) *Column {
 	c := &Column{
+		id:      columnIDs.Add(1),
 		name:    name,
 		vals:    append([]int64(nil), vals...),
 		oids:    make([]bat.OID, len(vals)),
@@ -111,43 +158,35 @@ func (c *Column) Name() string { return c.name }
 
 // Len returns the number of live values (including pending inserts).
 func (c *Column) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	return len(c.vals) + len(c.pending) - len(c.deleted)
 }
 
 // Pieces returns the current number of pieces the column is cracked into.
 func (c *Column) Pieces() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	return c.idx.Len() + 1
 }
 
 // Stats returns a snapshot of the accumulated work counters.
-func (c *Column) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
-}
+func (c *Column) Stats() Stats { return c.stats.snapshot() }
 
 // ResetStats zeroes the counters.
-func (c *Column) ResetStats() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.stats = Stats{}
-}
+func (c *Column) ResetStats() { c.stats.reset() }
 
 // Lineage returns the lineage DAG (rendered by crackdemo).
 func (c *Column) Lineage() *Lineage {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	return c.lin
 }
 
 // Index exposes the cracker index for inspection (tests, ablations).
 func (c *Column) Index() *Index {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	return c.idx
 }
 
@@ -163,7 +202,8 @@ type View struct {
 func (v View) Len() int { return v.Hi - v.Lo }
 
 // Values returns the value window. Callers must treat it as read-only;
-// it aliases the column until the next crack touches the region.
+// it aliases the column until the next crack touches the region. Under
+// concurrent cracking use Snapshot (or Column.SelectCopy) instead.
 func (v View) Values() []int64 {
 	if v.col == nil {
 		return nil
@@ -179,10 +219,35 @@ func (v View) OIDs() []bat.OID {
 	return v.col.oids[v.Lo:v.Hi:v.Hi]
 }
 
+// Snapshot copies the view's windows out under the column's read lock.
+// The copy is internally consistent (no torn reads), but it is only
+// guaranteed to hold exactly the original selection's answer if nothing
+// cracked the column in between: fusion, consolidation, or a JoinCrack
+// can remove the cuts bounding this window, after which later cracks may
+// shuffle elements across it. Callers that need exactly the answer of
+// one particular selection under concurrency must use Column.SelectCopy,
+// which answers and copies under a single lock hold.
+func (v View) Snapshot() (vals []int64, oids []bat.OID) {
+	if v.col == nil {
+		return nil, nil
+	}
+	v.col.mu.RLock()
+	defer v.col.mu.RUnlock()
+	lo, hi := v.Lo, v.Hi
+	if hi > len(v.col.vals) {
+		hi = len(v.col.vals)
+	}
+	if lo > hi {
+		lo = hi
+	}
+	return append([]int64(nil), v.col.vals[lo:hi]...),
+		append([]bat.OID(nil), v.col.oids[lo:hi]...)
+}
+
 // Materialize copies the view out of the column, detaching it from
-// future cracking.
+// future cracking. The copy is taken under the column's read lock.
 func (v View) Materialize() (vals []int64, oids []bat.OID) {
-	return append([]int64(nil), v.Values()...), append([]bat.OID(nil), v.OIDs()...)
+	return v.Snapshot()
 }
 
 // Select answers the range query low θ_lo attr θ_hi high by cracking —
@@ -190,7 +255,18 @@ func (v View) Materialize() (vals []int64, oids []bat.OID) {
 // column; pieces at the predicate boundaries are cracked as a byproduct,
 // so the same range (and every sub-range) is answered by pure index
 // lookups afterwards.
+//
+// Select first attempts the query under the read lock: when the column
+// has no pending updates and both cuts are already registered, nothing
+// needs to move and concurrent lookups proceed in parallel. Only a query
+// that must crack, consolidate, or fuse escalates to the write lock.
 func (c *Column) Select(low, high int64, lowIncl, highIncl bool) View {
+	c.mu.RLock()
+	v, ok := c.lookupFast(low, high, lowIncl, highIncl)
+	c.mu.RUnlock()
+	if ok {
+		return v
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.selectLocked(low, high, lowIncl, highIncl)
@@ -201,6 +277,14 @@ func (c *Column) Select(low, high int64, lowIncl, highIncl bool) View {
 // the safe form under concurrent cracking: a View's windows alias the
 // column and may be shuffled by cracks that run after Select returns.
 func (c *Column) SelectCopy(low, high int64, lowIncl, highIncl bool) ([]int64, []bat.OID) {
+	c.mu.RLock()
+	if v, ok := c.lookupFast(low, high, lowIncl, highIncl); ok {
+		vals := append([]int64(nil), c.vals[v.Lo:v.Hi]...)
+		oids := append([]bat.OID(nil), c.oids[v.Lo:v.Hi]...)
+		c.mu.RUnlock()
+		return vals, oids
+	}
+	c.mu.RUnlock()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	v := c.selectLocked(low, high, lowIncl, highIncl)
@@ -213,9 +297,41 @@ func (c *Column) SelectRangeCopy(r expr.Range) ([]int64, []bat.OID) {
 	return c.SelectCopy(r.Low, r.High, r.LowIncl, r.HighIncl)
 }
 
+// lookupFast is the optimistic read path: it answers the query iff doing
+// so mutates nothing — no pending updates to consolidate and both cuts
+// resolved by the index (or trivially unbounded). The caller holds the
+// read lock. On ok=false the caller must retry under the write lock via
+// selectLocked, which re-derives everything from scratch (the column may
+// have changed between the two lock acquisitions).
+func (c *Column) lookupFast(low, high int64, lowIncl, highIncl bool) (View, bool) {
+	if len(c.pending) != 0 || len(c.deleted) != 0 {
+		return View{}, false
+	}
+	loVal, loIncl := low, !lowIncl
+	hiVal, hiIncl := high, highIncl
+	if cmpCut(loVal, loIncl, hiVal, hiIncl) >= 0 { // empty or inverted range
+		c.stats.queries.Add(1)
+		return View{col: c}, true
+	}
+	posLo, okLo := 0, loVal == math.MinInt64 && !loIncl
+	posHi, okHi := len(c.vals), hiVal == math.MaxInt64 && hiIncl
+	if !okLo {
+		posLo, okLo = c.idx.Find(loVal, loIncl)
+	}
+	if !okHi {
+		posHi, okHi = c.idx.Find(hiVal, hiIncl)
+	}
+	if !okLo || !okHi {
+		return View{}, false
+	}
+	c.stats.queries.Add(1)
+	c.stats.indexLookups.Add(2)
+	return View{col: c, Lo: posLo, Hi: posHi}, true
+}
+
 func (c *Column) selectLocked(low, high int64, lowIncl, highIncl bool) View {
 	c.consolidateLocked()
-	c.stats.Queries++
+	c.stats.queries.Add(1)
 
 	// The lower cut separates non-qualifying prefix from answer; the
 	// upper cut separates answer from non-qualifying suffix.
@@ -237,7 +353,7 @@ func (c *Column) selectLocked(low, high int64, lowIncl, highIncl bool) View {
 		posHi, okHi = c.idx.Find(hiVal, hiIncl)
 	}
 	if okLo && okHi {
-		c.stats.IndexLookups += 2
+		c.stats.indexLookups.Add(2)
 		return View{col: c, Lo: posLo, Hi: posHi}
 	}
 
@@ -254,12 +370,12 @@ func (c *Column) selectLocked(low, high int64, lowIncl, highIncl bool) View {
 	}
 
 	if okLo {
-		c.stats.IndexLookups++
+		c.stats.indexLookups.Add(1)
 	} else {
 		posLo = c.cut(loVal, loIncl)
 	}
 	if okHi {
-		c.stats.IndexLookups++
+		c.stats.indexLookups.Add(1)
 	} else {
 		posHi = c.cut(hiVal, hiIncl)
 	}
@@ -306,9 +422,9 @@ func (c *Column) SortAll() {
 }
 
 func (c *Column) sortLocked(detail string) {
-	sort.Sort(&valOIDSort{vals: c.vals, oids: c.oids})
-	c.stats.TuplesMoved += int64(len(c.vals)) * int64(ceilLog2(len(c.vals))) // N log N write estimate
-	c.stats.TuplesTouched += int64(len(c.vals)) * int64(ceilLog2(len(c.vals)))
+	sortValsOIDs(c.vals, c.oids)
+	c.stats.tuplesMoved.Add(int64(len(c.vals)) * int64(ceilLog2(len(c.vals)))) // N log N write estimate
+	c.stats.tuplesTouched.Add(int64(len(c.vals)) * int64(ceilLog2(len(c.vals))))
 	c.idx.Reset()
 	c.sorted = true
 	c.lin = NewLineage(c.name)
@@ -322,18 +438,6 @@ func ceilLog2(n int) int {
 		l++
 	}
 	return l
-}
-
-type valOIDSort struct {
-	vals []int64
-	oids []bat.OID
-}
-
-func (s *valOIDSort) Len() int           { return len(s.vals) }
-func (s *valOIDSort) Less(i, j int) bool { return s.vals[i] < s.vals[j] }
-func (s *valOIDSort) Swap(i, j int) {
-	s.vals[i], s.vals[j] = s.vals[j], s.vals[i]
-	s.oids[i], s.oids[j] = s.oids[j], s.oids[i]
 }
 
 // pieceBounds returns the piece [lo, hi) the cut (val, incl) falls into.
@@ -352,7 +456,7 @@ func (c *Column) pieceBounds(val int64, incl bool) (lo, hi int) {
 // in two if needed, and returns its position.
 func (c *Column) cut(val int64, incl bool) int {
 	if pos, ok := c.idx.Find(val, incl); ok {
-		c.stats.IndexLookups++
+		c.stats.indexLookups.Add(1)
 		return pos
 	}
 	lo, hi := c.pieceBounds(val, incl)
@@ -387,71 +491,100 @@ func cutOpString(incl bool) string {
 	return "<"
 }
 
+// cutThreshold rewrites the cut (val, incl) as an exclusive threshold t
+// with "goes left" ⇔ e < t, hoisting the inclusivity branch out of the
+// partition loops. all reports the one unrepresentable case — the
+// MaxInt64-inclusive cut, which every element satisfies.
+func cutThreshold(val int64, incl bool) (t int64, all bool) {
+	if !incl {
+		return val, false
+	}
+	if val == math.MaxInt64 {
+		return 0, true
+	}
+	return val + 1, false
+}
+
 // crackInTwo partitions vals[lo:hi) so that elements satisfying the cut
 // predicate (< val, or <= val when incl) precede the rest, returning the
-// split position. It is the in-place "shuffle-exchange" of §3.4.2.
+// split position. It is the in-place "shuffle-exchange" of §3.4.2. The
+// inner loop is branch-free with respect to inclusivity (one threshold
+// comparison per element) and swaps the two slices directly.
 func (c *Column) crackInTwo(lo, hi int, val int64, incl bool) int {
-	goesLeft := func(e int64) bool {
-		if incl {
-			return e <= val
-		}
-		return e < val
+	t, all := cutThreshold(val, incl)
+	if all { // <= MaxInt64: every element goes left
+		c.stats.cracks.Add(1)
+		c.stats.tuplesTouched.Add(int64(hi - lo))
+		return hi
 	}
+	vals, oids := c.vals, c.oids
+	var moved int64
 	i, j := lo, hi-1
 	for i <= j {
-		for i <= j && goesLeft(c.vals[i]) {
+		for i <= j && vals[i] < t {
 			i++
 		}
-		for i <= j && !goesLeft(c.vals[j]) {
+		for i <= j && vals[j] >= t {
 			j--
 		}
 		if i < j {
-			c.swap(i, j)
+			vals[i], vals[j] = vals[j], vals[i]
+			oids[i], oids[j] = oids[j], oids[i]
+			moved += 2
 			i++
 			j--
 		}
 	}
-	c.stats.Cracks++
-	c.stats.TuplesTouched += int64(hi - lo)
+	c.stats.cracks.Add(1)
+	c.stats.tuplesTouched.Add(int64(hi - lo))
+	c.stats.tuplesMoved.Add(moved)
 	return i
 }
 
 // crackInThree partitions vals[lo:hi) into three pieces in a single pass
 // (Dutch national flag): values before the lower cut, values inside the
 // range, values past the upper cut. It registers both cuts and returns
-// the answer window [m1, m2).
+// the answer window [m1, m2). Both cut predicates are rewritten as
+// exclusive thresholds so the loop body is two comparisons per element,
+// with inline swaps on the two slices.
 func (c *Column) crackInThree(lo, hi int, loVal int64, loIncl bool, hiVal int64, hiIncl bool) (m1, m2 int) {
-	goesLeft := func(e int64) bool {
-		if loIncl {
-			return e <= loVal
-		}
-		return e < loVal
-	}
-	goesRight := func(e int64) bool {
-		if hiIncl {
-			return e > hiVal
-		}
-		return e >= hiVal
-	}
-	lt, gt, i := lo, hi-1, lo
-	for i <= gt {
-		switch e := c.vals[i]; {
-		case goesLeft(e):
-			if i != lt {
-				c.swap(i, lt)
+	// goes left  ⇔ e < tLo;  goes right ⇔ e >= tHi.
+	tLo, allLo := cutThreshold(loVal, loIncl)
+	tHi, allHi := cutThreshold(hiVal, hiIncl)
+	if allLo || allHi {
+		// MaxInt64-inclusive cuts cannot reach here from Select (unbounded
+		// sides are answered trivially); partition in two passes so the
+		// main kernel stays threshold-only.
+		m1 = c.crackInTwo(lo, hi, loVal, loIncl)
+		m2 = c.crackInTwo(m1, hi, hiVal, hiIncl)
+	} else {
+		vals, oids := c.vals, c.oids
+		var moved int64
+		lt, gt, i := lo, hi-1, lo
+		for i <= gt {
+			switch e := vals[i]; {
+			case e < tLo:
+				if i != lt {
+					vals[i], vals[lt] = vals[lt], e
+					oids[i], oids[lt] = oids[lt], oids[i]
+					moved += 2
+				}
+				lt++
+				i++
+			case e >= tHi:
+				vals[i], vals[gt] = vals[gt], e
+				oids[i], oids[gt] = oids[gt], oids[i]
+				moved += 2
+				gt--
+			default:
+				i++
 			}
-			lt++
-			i++
-		case goesRight(e):
-			c.swap(i, gt)
-			gt--
-		default:
-			i++
 		}
+		m1, m2 = lt, gt+1
+		c.stats.cracks.Add(1)
+		c.stats.tuplesTouched.Add(int64(hi - lo))
+		c.stats.tuplesMoved.Add(moved)
 	}
-	m1, m2 = lt, gt+1
-	c.stats.Cracks++
-	c.stats.TuplesTouched += int64(hi - lo)
 	if hi-lo < c.minPieceSize {
 		return m1, m2 // below the cut-off granularity: answer, don't index
 	}
@@ -462,12 +595,6 @@ func (c *Column) crackInThree(lo, hi int, loVal int64, loIncl bool, hiVal int64,
 		[2]int{lo, m1}, [2]int{m1, m2}, [2]int{m2, hi})
 	c.fuseLocked()
 	return m1, m2
-}
-
-func (c *Column) swap(i, j int) {
-	c.vals[i], c.vals[j] = c.vals[j], c.vals[i]
-	c.oids[i], c.oids[j] = c.oids[j], c.oids[i]
-	c.stats.TuplesMoved += 2
 }
 
 // recordCrack attaches child pieces to the lineage leaf covering [lo, hi).
@@ -518,7 +645,7 @@ func (c *Column) fuseLocked() {
 			}
 		}
 		c.idx.Delete(cuts[bestI].Val, cuts[bestI].Incl)
-		c.stats.Fusions++
+		c.stats.fusions.Add(1)
 	}
 }
 
@@ -588,7 +715,7 @@ func (c *Column) consolidateLocked() {
 	c.sorted = false
 	c.lin = NewLineage(c.name)
 	c.lin.Root(0, len(c.vals))
-	c.stats.Consolidations++
+	c.stats.consolidations.Add(1)
 	if wasSorted {
 		c.sortLocked("re-sort after consolidation")
 	}
@@ -597,8 +724,8 @@ func (c *Column) consolidateLocked() {
 // ByOID returns the live values keyed by OID — the loss-less
 // reconstruction witness used by the property tests.
 func (c *Column) ByOID() map[bat.OID]int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	out := make(map[bat.OID]int64, len(c.vals)+len(c.pending))
 	for i, oid := range c.oids {
 		if _, gone := c.deleted[oid]; gone {
@@ -620,8 +747,8 @@ func (c *Column) ByOID() map[bat.OID]int64 {
 // element must be on the correct side of every cut. Tests and the
 // failure-injection suite call it after every operation batch.
 func (c *Column) Verify() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	cuts := c.idx.Cuts()
 	prevPos := 0
 	for i, cut := range cuts {

@@ -1,0 +1,216 @@
+package core
+
+// Concurrency stress tests for the lock-light read path. Run with -race:
+// the schedule below mixes optimistic read-locked lookups with cracking,
+// consolidation, and join cracking on shared columns.
+//
+// The count oracle works because the mutating operations are chosen to
+// be count-preserving over the probed ranges: inserts only add negative
+// values while every probe range lies in [0, n), and JoinCrack only
+// permutes the region multisets. A Select's count over [lo, hi) is
+// therefore deterministic no matter how the operations interleave.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"crackdb/internal/bat"
+)
+
+// oracle answers range counts on the immutable base multiset by binary
+// search over a sorted copy.
+type oracle struct {
+	sorted []int64
+}
+
+func newOracle(base []int64) *oracle {
+	s := append([]int64(nil), base...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return &oracle{sorted: s}
+}
+
+// count returns |{v : lo <= v < hi}|.
+func (o *oracle) count(lo, hi int64) int {
+	a := sort.Search(len(o.sorted), func(i int) bool { return o.sorted[i] >= lo })
+	b := sort.Search(len(o.sorted), func(i int) bool { return o.sorted[i] >= hi })
+	return b - a
+}
+
+func TestConcurrentMixedOps(t *testing.T) {
+	const (
+		n          = 20_000
+		goroutines = 8
+		iters      = 300
+	)
+	rng := rand.New(rand.NewSource(99))
+	baseR := make([]int64, n)
+	baseS := make([]int64, n)
+	for i := range baseR {
+		baseR[i] = rng.Int63n(n)
+		baseS[i] = rng.Int63n(n)
+	}
+	colR := NewColumn("R.k", baseR)
+	colS := NewColumn("S.k", baseS)
+	oraR := newOracle(baseR)
+	oraS := newOracle(baseS)
+
+	type insertRec struct {
+		toS bool // which column received the insert
+		oid bat.OID
+		val int64
+	}
+	inserted := make([][]insertRec, goroutines)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(worker)))
+			for i := 0; i < iters; i++ {
+				col, ora := colR, oraR
+				if rng.Intn(2) == 1 {
+					col, ora = colS, oraS
+				}
+				lo := rng.Int63n(n - n/20)
+				hi := lo + rng.Int63n(n/20) + 1
+				switch op := rng.Intn(10); {
+				case op < 5: // aliased select, count only
+					v := col.Select(lo, hi, true, false)
+					if got, want := v.Len(), ora.count(lo, hi); got != want {
+						errs <- fmt.Errorf("worker %d: Select[%d,%d) = %d tuples, oracle says %d", worker, lo, hi, got, want)
+						return
+					}
+				case op < 8: // snapshot select, verify count and contents
+					vals, oids := col.SelectCopy(lo, hi, true, false)
+					if got, want := len(vals), ora.count(lo, hi); got != want {
+						errs <- fmt.Errorf("worker %d: SelectCopy[%d,%d) = %d tuples, oracle says %d", worker, lo, hi, got, want)
+						return
+					}
+					if len(vals) != len(oids) {
+						errs <- fmt.Errorf("worker %d: SelectCopy vals/oids mismatch %d != %d", worker, len(vals), len(oids))
+						return
+					}
+					for _, v := range vals {
+						if v < lo || v >= hi {
+							errs <- fmt.Errorf("worker %d: SelectCopy[%d,%d) returned out-of-range value %d", worker, lo, hi, v)
+							return
+						}
+					}
+				case op < 9: // insert a negative value: invisible to all probes
+					val := -(rng.Int63n(n) + 1)
+					oid := col.Insert(val)
+					inserted[worker] = append(inserted[worker], insertRec{toS: col == colS, oid: oid, val: val})
+				default: // join crack over the full regions
+					full := func(c *Column) View {
+						return c.Select(math.MinInt64, math.MaxInt64, true, true)
+					}
+					JoinCrack(full(colR), full(colS))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Quiesce: one write-locked query folds pending inserts in, then the
+	// invariants and the loss-less witness must hold.
+	colR.Select(0, n, true, false)
+	colS.Select(0, n, true, false)
+	for _, col := range []*Column{colR, colS} {
+		if err := col.Verify(); err != nil {
+			t.Fatalf("post-stress %s: %v", col.Name(), err)
+		}
+	}
+
+	wantR := map[bat.OID]int64{}
+	wantS := map[bat.OID]int64{}
+	for i, v := range baseR {
+		wantR[bat.OID(i)] = v
+	}
+	for i, v := range baseS {
+		wantS[bat.OID(i)] = v
+	}
+	for _, recs := range inserted {
+		for _, r := range recs {
+			if r.toS {
+				wantS[r.oid] = r.val
+			} else {
+				wantR[r.oid] = r.val
+			}
+		}
+	}
+	gotR, gotS := colR.ByOID(), colS.ByOID()
+	if len(gotR) != len(wantR) || len(gotS) != len(wantS) {
+		t.Fatalf("post-stress cardinality: R %d/%d, S %d/%d", len(gotR), len(wantR), len(gotS), len(wantS))
+	}
+	for oid, v := range wantR {
+		if gotR[oid] != v {
+			t.Fatalf("R oid %d: got %d want %d", oid, gotR[oid], v)
+		}
+	}
+	for oid, v := range wantS {
+		if gotS[oid] != v {
+			t.Fatalf("S oid %d: got %d want %d", oid, gotS[oid], v)
+		}
+	}
+}
+
+// TestConcurrentConvergedLookups drives the optimistic fast path
+// directly: after the grid is fully cracked, every query under every
+// goroutine must be answered without taking the write lock, and counts
+// must stay exact.
+func TestConcurrentConvergedLookups(t *testing.T) {
+	const (
+		n          = 10_000
+		grid       = 64
+		goroutines = 8
+	)
+	rng := rand.New(rand.NewSource(17))
+	base := make([]int64, n)
+	for i := range base {
+		base[i] = rng.Int63n(n)
+	}
+	col := NewColumn("a", base)
+	ora := newOracle(base)
+	step := int64(n / grid)
+	for g := 0; g < grid; g++ {
+		lo := int64(g) * step
+		col.Select(lo, lo+step, true, false)
+	}
+	cracksBefore := col.Stats().Cracks
+
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(worker)))
+			for i := 0; i < 2000; i++ {
+				lo := rng.Int63n(grid-1) * step
+				v := col.Select(lo, lo+step, true, false)
+				if got, want := v.Len(), ora.count(lo, lo+step); got != want {
+					errs <- fmt.Errorf("worker %d: lookup[%d,%d) = %d, oracle %d", worker, lo, lo+step, got, want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := col.Stats().Cracks; got != cracksBefore {
+		t.Fatalf("converged lookups cracked %d more pieces, want 0", got-cracksBefore)
+	}
+}

@@ -151,7 +151,8 @@ func JoinCrack(rv, sv View) JoinPieces {
 
 // partitionByMembership shuffles vals[lo:hi) so members of set form the
 // prefix, drops invalidated interior cuts, and records lineage. The
-// caller holds c.mu.
+// caller holds c.mu. Swaps are inlined on the two slices with a local
+// move counter, flushed to the atomic stats once per pass.
 func (c *Column) partitionByMembership(lo, hi int, set map[int64]struct{}, detail string) int {
 	for _, cut := range c.idx.Cuts() {
 		if cut.Pos > lo && cut.Pos < hi {
@@ -159,22 +160,27 @@ func (c *Column) partitionByMembership(lo, hi int, set map[int64]struct{}, detai
 		}
 	}
 	c.sorted = false
+	vals, oids := c.vals, c.oids
+	var moved int64
 	i, j := lo, hi-1
 	for i <= j {
-		if _, in := set[c.vals[i]]; in {
+		if _, in := set[vals[i]]; in {
 			i++
 			continue
 		}
-		if _, in := set[c.vals[j]]; !in {
+		if _, in := set[vals[j]]; !in {
 			j--
 			continue
 		}
-		c.swap(i, j)
+		vals[i], vals[j] = vals[j], vals[i]
+		oids[i], oids[j] = oids[j], oids[i]
+		moved += 2
 		i++
 		j--
 	}
-	c.stats.Cracks++
-	c.stats.TuplesTouched += int64(hi - lo)
+	c.stats.cracks.Add(1)
+	c.stats.tuplesTouched.Add(int64(hi - lo))
+	c.stats.tuplesMoved.Add(moved)
 	for _, leaf := range c.lin.Leaves() {
 		if leaf.Lo <= lo && hi <= leaf.Hi && i > lo && i < hi {
 			c.lin.Crack(leaf, "^", detail, [2]int{lo, i}, [2]int{i, hi})
@@ -226,13 +232,15 @@ func GroupCrack(c *Column) []Group {
 }
 
 // lockPair acquires both column locks in a stable order so concurrent
-// JoinCracks cannot deadlock. Self-joins lock once.
+// JoinCracks cannot deadlock. Self-joins lock once. Ordering is by the
+// monotonically-assigned column ID — allocation-free, unlike formatting
+// the pointers, and stable even for same-named columns.
 func lockPair(a, b *Column) {
 	if a == b {
 		a.mu.Lock()
 		return
 	}
-	if a.name > b.name || (a.name == b.name && fmt.Sprintf("%p", a) > fmt.Sprintf("%p", b)) {
+	if a.id > b.id {
 		a, b = b, a
 	}
 	a.mu.Lock()

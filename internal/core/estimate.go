@@ -26,8 +26,8 @@ type Estimate struct {
 // EstimateRange bounds the answer size of a range query without reading
 // or moving any data. O(p) in the number of pieces.
 func (c *Column) EstimateRange(r expr.Range) Estimate {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 
 	n := len(c.vals) + len(c.pending) - len(c.deleted)
 	if n <= 0 || r.Empty() {
@@ -90,9 +90,9 @@ func (ct *CrackedTable) EstimateTerm(term expr.Term) Estimate {
 	advice := expr.CrackAdvice(term)
 	best := Estimate{Min: 0, Max: ct.baseLen()}
 	for col, r := range advice {
-		ct.mu.Lock()
+		ct.mu.RLock()
 		c, tracked := ct.cols[col]
-		ct.mu.Unlock()
+		ct.mu.RUnlock()
 		if !tracked {
 			continue // never cracked: no statistics yet
 		}
@@ -127,9 +127,9 @@ func (ct *CrackedTable) SelectTermPlanned(term expr.Term) ([]bat.OID, *Column, e
 	sort.Strings(cols)
 	bestCol, bestEst := "", Estimate{Max: math.MaxInt}
 	for _, col := range cols {
-		ct.mu.Lock()
+		ct.mu.RLock()
 		c, tracked := ct.cols[col]
-		ct.mu.Unlock()
+		ct.mu.RUnlock()
 		est := Estimate{Min: 0, Max: ct.baseLen()}
 		if tracked {
 			est = c.EstimateRange(advice[col])

@@ -1,0 +1,125 @@
+package core
+
+import "crackdb/internal/bat"
+
+// sortValsOIDs sorts vals ascending while applying the identical
+// permutation to oids, keeping the two parallel slices aligned. It
+// replaces sort.Sort over an interface wrapper: no allocation, no
+// per-comparison interface dispatch. The algorithm is an introsort —
+// median-of-three quicksort, insertion sort below a small threshold, and
+// a heapsort fallback past the depth limit so adversarial (e.g. already
+// sorted) inputs stay O(n log n).
+func sortValsOIDs(vals []int64, oids []bat.OID) {
+	n := len(vals)
+	if n < 2 {
+		return
+	}
+	depth := 2 * ceilLog2(n)
+	introSort(vals, oids, 0, n, depth)
+}
+
+const insertionThreshold = 16
+
+func introSort(vals []int64, oids []bat.OID, lo, hi, depth int) {
+	for hi-lo > insertionThreshold {
+		if depth == 0 {
+			heapSort(vals, oids, lo, hi)
+			return
+		}
+		depth--
+		p := partition(vals, oids, lo, hi)
+		// Recurse into the smaller side, loop on the larger: O(log n)
+		// stack in the worst case.
+		if p-lo < hi-(p+1) {
+			introSort(vals, oids, lo, p, depth)
+			lo = p + 1
+		} else {
+			introSort(vals, oids, p+1, hi, depth)
+			hi = p
+		}
+	}
+	insertionSort(vals, oids, lo, hi)
+}
+
+// partition does a Hoare-style split around the median of first, middle
+// and last element, returning the final pivot position.
+func partition(vals []int64, oids []bat.OID, lo, hi int) int {
+	mid := int(uint(lo+hi) >> 1)
+	// Sort (lo, mid, hi-1) in place so vals[mid] is the median.
+	if vals[mid] < vals[lo] {
+		swapVO(vals, oids, mid, lo)
+	}
+	if vals[hi-1] < vals[lo] {
+		swapVO(vals, oids, hi-1, lo)
+	}
+	if vals[hi-1] < vals[mid] {
+		swapVO(vals, oids, hi-1, mid)
+	}
+	// Park the pivot at hi-2 (hi-1 already >= pivot acts as a sentinel).
+	swapVO(vals, oids, mid, hi-2)
+	pivot := vals[hi-2]
+	i, j := lo, hi-2
+	for {
+		i++
+		for vals[i] < pivot {
+			i++
+		}
+		j--
+		for vals[j] > pivot {
+			j--
+		}
+		if i >= j {
+			break
+		}
+		swapVO(vals, oids, i, j)
+	}
+	swapVO(vals, oids, i, hi-2)
+	return i
+}
+
+func insertionSort(vals []int64, oids []bat.OID, lo, hi int) {
+	for i := lo + 1; i < hi; i++ {
+		v, o := vals[i], oids[i]
+		j := i
+		for j > lo && vals[j-1] > v {
+			vals[j] = vals[j-1]
+			oids[j] = oids[j-1]
+			j--
+		}
+		vals[j] = v
+		oids[j] = o
+	}
+}
+
+func heapSort(vals []int64, oids []bat.OID, lo, hi int) {
+	n := hi - lo
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDown(vals, oids, lo, i, n)
+	}
+	for i := n - 1; i > 0; i-- {
+		swapVO(vals, oids, lo, lo+i)
+		siftDown(vals, oids, lo, 0, i)
+	}
+}
+
+func siftDown(vals []int64, oids []bat.OID, lo, root, n int) {
+	for {
+		child := 2*root + 1
+		if child >= n {
+			return
+		}
+		if child+1 < n && vals[lo+child] < vals[lo+child+1] {
+			child++
+		}
+		if vals[lo+root] >= vals[lo+child] {
+			return
+		}
+		swapVO(vals, oids, lo+root, lo+child)
+		root = child
+	}
+}
+
+func swapVO(vals []int64, oids []bat.OID, i, j int) {
+	vals[i], vals[j] = vals[j], vals[i]
+	oids[i], oids[j] = oids[j], oids[i]
+}

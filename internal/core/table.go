@@ -16,7 +16,7 @@ import (
 // each incoming query are used as cracking advice for the columns they
 // touch, and other attributes are fetched through the surrogate OIDs.
 type CrackedTable struct {
-	mu   sync.Mutex // guards cols
+	mu   sync.RWMutex // guards cols; lookups of existing columns take the read lock
 	base *relation.Table
 	cols map[string]*Column
 	opts []Option
@@ -45,10 +45,19 @@ func (ct *CrackedTable) baseLen() int {
 }
 
 // ColumnFor returns (creating on first use) the cracker column for attr.
+// The common case — the column already exists — is a read-locked map
+// lookup, so queries on different attributes (or tables) never serialize
+// here; only first-touch creation takes the write lock.
 func (ct *CrackedTable) ColumnFor(attr string) (*Column, error) {
+	ct.mu.RLock()
+	c, ok := ct.cols[attr]
+	ct.mu.RUnlock()
+	if ok {
+		return c, nil
+	}
 	ct.mu.Lock()
 	defer ct.mu.Unlock()
-	if c, ok := ct.cols[attr]; ok {
+	if c, ok := ct.cols[attr]; ok { // re-check: lost the creation race
 		return c, nil
 	}
 	b, err := ct.base.Column(attr)
@@ -56,7 +65,7 @@ func (ct *CrackedTable) ColumnFor(attr string) (*Column, error) {
 		return nil, err
 	}
 	ct.baseMu.RLock()
-	c := NewColumn(ct.base.Name+"."+attr, b.Ints(), ct.opts...)
+	c = NewColumn(ct.base.Name+"."+attr, b.Ints(), ct.opts...)
 	ct.baseMu.RUnlock()
 	ct.cols[attr] = c
 	return c, nil
@@ -65,8 +74,8 @@ func (ct *CrackedTable) ColumnFor(attr string) (*Column, error) {
 // CrackedColumns returns the attributes that currently have a cracker
 // column (i.e. have been filtered on at least once).
 func (ct *CrackedTable) CrackedColumns() []string {
-	ct.mu.Lock()
-	defer ct.mu.Unlock()
+	ct.mu.RLock()
+	defer ct.mu.RUnlock()
 	out := make([]string, 0, len(ct.cols))
 	for name := range ct.cols {
 		out = append(out, name)
@@ -205,8 +214,8 @@ func (ct *CrackedTable) AppendRows(rows [][]int64) error {
 
 // Stats aggregates the work counters over all cracker columns.
 func (ct *CrackedTable) Stats() Stats {
-	ct.mu.Lock()
-	defer ct.mu.Unlock()
+	ct.mu.RLock()
+	defer ct.mu.RUnlock()
 	var total Stats
 	for _, c := range ct.cols {
 		s := c.Stats()

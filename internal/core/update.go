@@ -75,14 +75,14 @@ func (c *Column) rippleInsert(oid bat.OID, val int64) {
 		if cut.Pos < hole {
 			c.vals[hole] = c.vals[cut.Pos]
 			c.oids[hole] = c.oids[cut.Pos]
-			c.stats.TuplesMoved++
+			c.stats.tuplesMoved.Add(1)
 			hole = cut.Pos
 		}
 		c.idx.Insert(cut.Val, cut.Incl, cut.Pos+1)
 	}
 	c.vals[hole] = val
 	c.oids[hole] = oid
-	c.stats.TuplesMoved++
+	c.stats.tuplesMoved.Add(1)
 	c.sorted = false // intra-piece order is not maintained
 }
 
@@ -103,7 +103,7 @@ func (c *Column) rippleDelete(pos int) {
 		if cut.Pos-1 != hole {
 			c.vals[hole] = c.vals[cut.Pos-1]
 			c.oids[hole] = c.oids[cut.Pos-1]
-			c.stats.TuplesMoved++
+			c.stats.tuplesMoved.Add(1)
 			hole = cut.Pos - 1
 		}
 		c.idx.Insert(cut.Val, cut.Incl, cut.Pos-1)
@@ -113,7 +113,7 @@ func (c *Column) rippleDelete(pos int) {
 	if hole != last {
 		c.vals[hole] = c.vals[last]
 		c.oids[hole] = c.oids[last]
-		c.stats.TuplesMoved++
+		c.stats.tuplesMoved.Add(1)
 	}
 	c.vals = c.vals[:last]
 	c.oids = c.oids[:last]
@@ -148,5 +148,5 @@ func (c *Column) consolidateRippleLocked() {
 	for oid := range c.deleted {
 		delete(c.deleted, oid) // deletes of unknown/never-arriving oids
 	}
-	c.stats.Consolidations++
+	c.stats.consolidations.Add(1)
 }

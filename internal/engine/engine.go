@@ -210,7 +210,12 @@ func (s *Session) runCracked(q mqs.Query, mode ResultMode, w io.Writer) (QuerySt
 	switch mode {
 	case ModePrint:
 		if w != nil {
-			if err := printValues(w, view.Values()); err != nil {
+			// Snapshot, not Values: the window is copied out under the
+			// column's read lock rather than aliased. Each session owns a
+			// private cracker column, so the snapshot here is always exact;
+			// see View.Snapshot for the caveats when a column is shared.
+			vals, _ := view.Snapshot()
+			if err := printValues(w, vals); err != nil {
 				return st, err
 			}
 		}

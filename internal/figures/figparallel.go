@@ -1,0 +1,100 @@
+package figures
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"crackdb/internal/core"
+)
+
+// FigParallelConfig parameterizes the parallel read-path experiment.
+// This figure is not in the paper — it extends the evaluation to the
+// regime the paper's convergence argument implies: once a column has
+// converged to pure index lookups, a read-dominated workload should
+// scale with cores instead of serializing on the cracker's write lock.
+type FigParallelConfig struct {
+	N       int   // column cardinality (default 1M)
+	Grid    int   // number of converged grid pieces (default 512)
+	OpsPerG int   // lookups per goroutine per measurement (default 200k)
+	Seed    int64 // RNG seed
+}
+
+func (c *FigParallelConfig) defaults() {
+	if c.N <= 0 {
+		c.N = 1_000_000
+	}
+	if c.N < 64 {
+		c.N = 64 // below this the grid degenerates to zero-width pieces
+	}
+	if c.Grid <= 0 {
+		c.Grid = 512
+	}
+	if c.Grid > c.N/2 {
+		c.Grid = c.N / 2 // keep every grid piece at least two values wide
+	}
+	if c.Grid < 2 {
+		c.Grid = 2 // the measurement draws from grid-1 pieces
+	}
+	if c.OpsPerG <= 0 {
+		c.OpsPerG = 200_000
+	}
+}
+
+// FigParallel measures converged-lookup throughput against goroutine
+// count on one shared cracker column. The column is first cracked on a
+// fixed grid; the measured phase then draws grid-aligned ranges, so
+// every query is answered by two index lookups under the optimistic
+// read path and the experiment isolates lock behavior from crack cost.
+func FigParallel(cfg FigParallelConfig) Figure {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	base := make([]int64, cfg.N)
+	for i := range base {
+		base[i] = rng.Int63n(int64(cfg.N))
+	}
+	col := core.NewColumn("a", base)
+	step := int64(cfg.N / cfg.Grid)
+	for g := 0; g < cfg.Grid; g++ {
+		lo := int64(g) * step
+		col.Select(lo, lo+step, true, false)
+	}
+
+	series := Series{Label: "converged-lookup"}
+	for _, g := range []int{1, 2, 4, 8} {
+		elapsed := measureParallelLookups(col, g, cfg.OpsPerG, int64(cfg.Grid), step)
+		totalOps := float64(g * cfg.OpsPerG)
+		mops := totalOps / elapsed.Seconds() / 1e6
+		series.Points = append(series.Points, Point{X: float64(g), Y: mops})
+	}
+
+	return Figure{
+		ID:     "parallel",
+		Title:  fmt.Sprintf("Converged-lookup throughput vs goroutines (N=%d, %d pieces)", cfg.N, cfg.Grid),
+		XLabel: "goroutines",
+		YLabel: "lookups/s (millions)",
+		Series: []Series{series},
+	}
+}
+
+// measureParallelLookups runs ops grid-aligned range lookups on g
+// goroutines and returns the wall time of the slowest start-to-finish
+// span.
+func measureParallelLookups(col *core.Column, g, ops int, grid, step int64) time.Duration {
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < g; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(worker)))
+			for i := 0; i < ops; i++ {
+				lo := rng.Int63n(grid-1) * step
+				col.Select(lo, lo+step, true, false)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return time.Since(start)
+}

@@ -1,0 +1,107 @@
+package crackdb
+
+// Parallel read-path benchmarks. The paper's promise is that a cracked
+// column converges to pure index lookups; these benches measure whether
+// converged lookups actually scale across cores, or whether lock
+// contention serializes them. DESIGN.md (Concurrency) documents the
+// optimistic RWMutex protocol these benches exercise; the before/after
+// numbers are recorded in the PR that introduced it.
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"crackdb/internal/core"
+)
+
+// convergedColumn builds a column cracked on a fixed grid of boundaries,
+// so every query over a grid-aligned range is answered by two index
+// lookups and no data movement.
+func convergedColumn(n, gridCells int) *core.Column {
+	base := make([]int64, n)
+	rng := rand.New(rand.NewSource(7))
+	for i := range base {
+		base[i] = rng.Int63n(int64(n))
+	}
+	col := core.NewColumn("a", base)
+	step := int64(n / gridCells)
+	for g := 0; g < gridCells; g++ {
+		lo := int64(g) * step
+		col.Select(lo, lo+step, true, false) // registers cuts at lo and lo+step
+	}
+	return col
+}
+
+// parallelGoroutines runs body under b.RunParallel with exactly g worker
+// goroutines by pinning GOMAXPROCS for the duration of the sub-benchmark.
+func parallelGoroutines(b *testing.B, g int, body func(pb *testing.PB, worker int)) {
+	b.Helper()
+	prev := runtime.GOMAXPROCS(g)
+	defer runtime.GOMAXPROCS(prev)
+	var workerID atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		body(pb, int(workerID.Add(1)-1))
+	})
+}
+
+// BenchmarkConvergedLookup measures post-convergence range lookups on one
+// shared cracker column: every query hits two registered cuts, so the
+// whole operation is two AVL descents plus a view construction. This is
+// the path the optimistic read lock is for — under the seed's exclusive
+// mutex, throughput was flat (or worse) as goroutines were added.
+func BenchmarkConvergedLookup(b *testing.B) {
+	const n, grid = 1_000_000, 512
+	col := convergedColumn(n, grid)
+	step := int64(n / grid)
+	for _, g := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("goroutines=%d", g), func(b *testing.B) {
+			parallelGoroutines(b, g, func(pb *testing.PB, worker int) {
+				rng := rand.New(rand.NewSource(int64(worker)))
+				for pb.Next() {
+					lo := rng.Int63n(grid-1) * step
+					v := col.Select(lo, lo+step, true, false)
+					if v.Len() < 0 {
+						b.Fail()
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkParallelSelect measures the same regime end to end through the
+// Store API (store lookup, cracked-table lookup, column lookup, copy-out),
+// with queries drawn from a converged grid so the steady state is
+// read-dominated.
+func BenchmarkParallelSelect(b *testing.B) {
+	const n, grid = 200_000, 128
+	s := New()
+	if err := s.LoadTapestry("tap", n, 1, 42); err != nil {
+		b.Fatal(err)
+	}
+	step := int64(n / grid)
+	for g := 0; g < grid; g++ {
+		lo := int64(g) * step
+		if _, err := s.Count("tap", "c0", lo, lo+step-1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, g := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("goroutines=%d", g), func(b *testing.B) {
+			parallelGoroutines(b, g, func(pb *testing.PB, worker int) {
+				rng := rand.New(rand.NewSource(int64(worker)))
+				for pb.Next() {
+					lo := rng.Int63n(grid-1) * step
+					if _, err := s.Count("tap", "c0", lo, lo+step-1); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}
