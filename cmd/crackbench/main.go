@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	crackbench -fig 1a|1b|1c|2|3|8|9|10|11|hiking|sql|parallel|all [flags]
+//	crackbench -fig 1a|1b|1c|2|3|8|9|10|11|hiking|sql|parallel|stochastic|all [flags]
 //
 // Flags:
 //
@@ -15,12 +15,23 @@
 //	-budget dur   per-configuration wall budget for figure 9 (default 5s)
 //	-parallel     shorthand for -fig parallel (converged-lookup scaling)
 //	-ops int      lookups per goroutine for -fig parallel (default 200000)
+//	-strategy s   crack strategy for -fig stochastic: standard|ddc|ddr|mdd1r|all
+//	-workload w   query pattern for -fig stochastic:
+//	              random|sequential|reverse|zoomin|periodic|all
+//	-queries int  queries per stochastic cell (default 512)
+//	-sel float    stochastic per-query selectivity (default 0.01)
+//
+// Setting -strategy or -workload implies -fig stochastic, so the
+// robustness matrix reads naturally:
+//
+//	crackbench -workload=sequential -strategy=all -summary
 //
 // Examples:
 //
 //	crackbench -fig 2                  # granule simulation, TSV to stdout
 //	crackbench -fig 10 -n 1000000      # homeruns on 1M rows
 //	crackbench -parallel               # read-path scaling across goroutines
+//	crackbench -workload=sequential -strategy=mdd1r   # one robustness cell
 //	crackbench -fig all -summary       # every figure, digest form
 package main
 
@@ -35,7 +46,7 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate: 1a,1b,1c,2,3,8,9,10,11,hiking,sql,parallel,all")
+		fig      = flag.String("fig", "all", "figure to regenerate: 1a,1b,1c,2,3,8,9,10,11,hiking,sql,parallel,stochastic,all")
 		n        = flag.Int("n", 0, "cardinality override (0 = figure default)")
 		k        = flag.Int("k", 0, "sequence length override (0 = figure default)")
 		seed     = flag.Int64("seed", 42, "RNG seed")
@@ -43,6 +54,10 @@ func main() {
 		budget   = flag.Duration("budget", 5*time.Second, "figure 9 per-configuration budget")
 		parallel = flag.Bool("parallel", false, "shorthand for -fig parallel")
 		ops      = flag.Int("ops", 0, "lookups per goroutine for -fig parallel (0 = default)")
+		strat    = flag.String("strategy", "all", "crack strategy for -fig stochastic (standard,ddc,ddr,mdd1r,all)")
+		wload    = flag.String("workload", "all", "query pattern for -fig stochastic (random,sequential,reverse,zoomin,periodic,all)")
+		queries  = flag.Int("queries", 0, "queries per stochastic cell (0 = default)")
+		sel      = flag.Float64("sel", 0, "stochastic per-query selectivity (0 = default)")
 	)
 	flag.Parse()
 
@@ -50,13 +65,52 @@ func main() {
 	if *parallel {
 		target = "parallel"
 	}
-	if err := run(target, *n, *k, *seed, *summary, *budget, *ops); err != nil {
+	// A named strategy or workload is a request for the robustness
+	// matrix; don't make the user also spell -fig stochastic. With an
+	// explicit different figure the flags would be silently ignored —
+	// reject that instead of mislabeling standard-cracking numbers.
+	if *strat != "all" || *wload != "all" {
+		switch target {
+		case "all":
+			target = "stochastic"
+		case "stochastic":
+		default:
+			fmt.Fprintf(os.Stderr, "crackbench: -strategy/-workload only apply to -fig stochastic, not -fig %s\n", target)
+			os.Exit(1)
+		}
+	}
+	// -queries/-sel are stochastic-only knobs too, but unlike
+	// -strategy/-workload they don't imply the figure ("-fig all
+	// -sel 0.05" tunes the stochastic leg of the full sweep).
+	if (*queries != 0 || *sel != 0) && target != "stochastic" && target != "all" {
+		fmt.Fprintf(os.Stderr, "crackbench: -queries/-sel only apply to the stochastic figure, not -fig %s\n", target)
+		os.Exit(1)
+	}
+	cfg := benchConfig{
+		n: *n, k: *k, seed: *seed, summary: *summary, budget: *budget,
+		ops: *ops, strategy: *strat, workload: *wload, queries: *queries, sel: *sel,
+	}
+	if err := run(target, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "crackbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig string, n, k int, seed int64, summary bool, budget time.Duration, ops int) error {
+// benchConfig carries the flag values to the figure dispatch.
+type benchConfig struct {
+	n, k     int
+	seed     int64
+	summary  bool
+	budget   time.Duration
+	ops      int
+	strategy string
+	workload string
+	queries  int
+	sel      float64
+}
+
+func run(fig string, cfg benchConfig) error {
+	n, k, seed, summary, budget, ops := cfg.n, cfg.k, cfg.seed, cfg.summary, cfg.budget, cfg.ops
 	emit := func(f figures.Figure, err error) error {
 		if err != nil {
 			return err
@@ -93,6 +147,22 @@ func run(fig string, n, k int, seed int64, summary bool, budget time.Duration, o
 			return emit(figures.FigHiking(figures.FigHikingConfig{N: n, K: k, Seed: seed}))
 		case "parallel":
 			return emit(figures.FigParallel(figures.FigParallelConfig{N: n, OpsPerG: ops, Seed: seed}), nil)
+		case "stochastic":
+			// -queries wins; the generic -k sequence-length override is
+			// honored as a fallback so "-fig stochastic -k 2048" means
+			// what it says.
+			nq := cfg.queries
+			if nq == 0 {
+				nq = k
+			}
+			scfg := figures.FigStochasticConfig{N: n, K: nq, Seed: seed, Selectivity: cfg.sel}
+			if cfg.strategy != "all" {
+				scfg.Strategies = []string{cfg.strategy}
+			}
+			if cfg.workload != "all" {
+				scfg.Workloads = []string{cfg.workload}
+			}
+			return emit(figures.FigStochastic(scfg))
 		case "sql":
 			res, err := figures.SQLLevel(figures.SQLLevelConfig{N: n, Seed: seed})
 			if err != nil {
@@ -101,12 +171,12 @@ func run(fig string, n, k int, seed int64, summary bool, budget time.Duration, o
 			fmt.Print(res)
 			return nil
 		default:
-			return fmt.Errorf("unknown figure %q (want 1a,1b,1c,2,3,8,9,10,11,hiking,sql,parallel,all)", id)
+			return fmt.Errorf("unknown figure %q (want 1a,1b,1c,2,3,8,9,10,11,hiking,sql,parallel,stochastic,all)", id)
 		}
 	}
 
 	if fig == "all" {
-		for _, id := range []string{"1a", "1b", "1c", "2", "3", "8", "9", "10", "11", "hiking", "sql", "parallel"} {
+		for _, id := range []string{"1a", "1b", "1c", "2", "3", "8", "9", "10", "11", "hiking", "sql", "parallel", "stochastic"} {
 			fmt.Printf("=== figure %s ===\n", id)
 			if err := runOne(id); err != nil {
 				return fmt.Errorf("figure %s: %w", id, err)

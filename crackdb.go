@@ -31,6 +31,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"crackdb/internal/bat"
 	"crackdb/internal/catalog"
@@ -38,6 +39,7 @@ import (
 	"crackdb/internal/expr"
 	"crackdb/internal/mqs"
 	"crackdb/internal/relation"
+	"crackdb/internal/strategy"
 )
 
 // Store is a cracking column store: named tables whose columns are
@@ -56,6 +58,14 @@ type Store struct {
 	cracked   map[string]*core.CrackedTable
 	maxPieces int
 	ripple    bool
+
+	// Crack-strategy configuration for columns created after
+	// SetCrackStrategy: each new cracker column receives its own
+	// strategy instance (strategies carry per-column RNG state) with a
+	// seed derived from strategySeed and a creation counter.
+	strategyName string
+	strategySeed int64
+	strategySeq  atomic.Int64
 }
 
 // New returns an empty store.
@@ -74,6 +84,25 @@ func (s *Store) SetMaxPieces(n int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.maxPieces = n
+}
+
+// SetCrackStrategy selects the crack strategy for columns cracked after
+// the call: "standard" (the default), or one of the stochastic
+// strategies "ddc", "ddr", "mdd1r" (Halim et al., VLDB 2012), which
+// keep per-query cost near-constant under sequential or skewed query
+// patterns that degrade standard cracking to quadratic total work. The
+// seed drives each column's private RNG, making crack sequences
+// reproducible; column instances derive distinct sub-seeds in creation
+// order. See DESIGN.md (Crack strategies).
+func (s *Store) SetCrackStrategy(name string, seed int64) error {
+	if _, err := strategy.New(name, seed); err != nil {
+		return fmt.Errorf("crackdb: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.strategyName = name
+	s.strategySeed = seed
+	return nil
 }
 
 // SetRippleUpdates switches columns cracked after the call to ripple
@@ -240,6 +269,16 @@ func (s *Store) columnOptions() []core.Option {
 	}
 	if s.ripple {
 		opts = append(opts, core.WithUpdateStrategy(core.MergeRipple))
+	}
+	if name := s.strategyName; name != "" && name != "standard" {
+		base := s.strategySeed
+		seq := &s.strategySeq
+		opts = append(opts, core.WithStrategyFactory(func() core.CrackStrategy {
+			// Validated by SetCrackStrategy; distinct per-column seeds
+			// keep concurrent columns' RNG streams independent.
+			st, _ := strategy.New(name, base+seq.Add(1)*1_000_003)
+			return st
+		}))
 	}
 	return opts
 }

@@ -41,6 +41,11 @@ type Column struct {
 	lin    *Lineage
 	sorted bool // whole column sorted: cuts become binary searches
 
+	// strategy, when non-nil, is consulted whenever Select must open a
+	// new cut (see strategy.go). nil means standard cracking: the native
+	// crack-in-two/-three kernels, unmodified.
+	strategy CrackStrategy
+
 	maxPieces      int // fusion threshold; 0 disables fusion
 	minPieceSize   int // pieces smaller than this are not cracked further
 	updateStrategy UpdateStrategy
@@ -63,6 +68,7 @@ type pendingInsert struct {
 type Stats struct {
 	Queries        int
 	Cracks         int   // partition passes executed
+	AuxCracks      int   // strategy-advised auxiliary cracks (subset of Cracks)
 	IndexLookups   int   // cut lookups answered without cracking
 	TuplesMoved    int64 // element writes during partitioning
 	TuplesTouched  int64 // element reads during partitioning
@@ -76,6 +82,7 @@ type Stats struct {
 type counters struct {
 	queries        atomic.Int64
 	cracks         atomic.Int64
+	auxCracks      atomic.Int64
 	indexLookups   atomic.Int64
 	tuplesMoved    atomic.Int64
 	tuplesTouched  atomic.Int64
@@ -87,6 +94,7 @@ func (s *counters) snapshot() Stats {
 	return Stats{
 		Queries:        int(s.queries.Load()),
 		Cracks:         int(s.cracks.Load()),
+		AuxCracks:      int(s.auxCracks.Load()),
 		IndexLookups:   int(s.indexLookups.Load()),
 		TuplesMoved:    s.tuplesMoved.Load(),
 		TuplesTouched:  s.tuplesTouched.Load(),
@@ -98,6 +106,7 @@ func (s *counters) snapshot() Stats {
 func (s *counters) reset() {
 	s.queries.Store(0)
 	s.cracks.Store(0)
+	s.auxCracks.Store(0)
 	s.indexLookups.Store(0)
 	s.tuplesMoved.Store(0)
 	s.tuplesTouched.Store(0)
@@ -260,6 +269,11 @@ func (v View) Materialize() (vals []int64, oids []bat.OID) {
 // has no pending updates and both cuts are already registered, nothing
 // needs to move and concurrent lookups proceed in parallel. Only a query
 // that must crack, consolidate, or fuse escalates to the write lock.
+//
+// Under a strategy that leaves query cuts unregistered (MDD1R), the
+// returned View is only valid until the next query on this column —
+// its boundaries are not index cuts, so a later partition may shuffle
+// across them. Consume it immediately or use SelectCopy.
 func (c *Column) Select(low, high int64, lowIncl, highIncl bool) View {
 	c.mu.RLock()
 	v, ok := c.lookupFast(low, high, lowIncl, highIncl)
@@ -357,25 +371,57 @@ func (c *Column) selectLocked(low, high int64, lowIncl, highIncl bool) View {
 		return View{col: c, Lo: posLo, Hi: posHi}
 	}
 
+	// Strategy consultation: auxiliary data-driven cracks narrow the
+	// piece(s) the query bounds land in before the bounds themselves are
+	// installed, and the strategy decides whether the query cuts are
+	// registered at all (MDD1R answers without remembering them). An aux
+	// crack can coincide with a query bound, so re-probe the index after
+	// each consultation. Sorted columns skip consultation — their cuts
+	// are pure binary searches and move nothing.
+	regLo, regHi := true, true
+	if c.strategy != nil && !c.sorted {
+		if !okLo {
+			regLo = c.adviseLocked(loVal, loIncl)
+			posLo, okLo = c.idx.Find(loVal, loIncl)
+		}
+		if !okHi {
+			regHi = c.adviseLocked(hiVal, hiIncl)
+			posHi, okHi = c.idx.Find(hiVal, hiIncl)
+		}
+		// Sides resolved here are counted either at this early return or
+		// by the per-side accounting below — never both.
+		if okLo && okHi {
+			c.stats.indexLookups.Add(2)
+			return View{col: c, Lo: posLo, Hi: posHi}
+		}
+	}
+
 	// Crack-in-three when both cuts are new and land in the same piece:
-	// the paper's three-piece Ξ variant for double-sided ranges. Sorted
-	// columns skip it — their cuts are pure binary searches.
+	// the paper's three-piece Ξ variant for double-sided ranges. With
+	// unregistered cuts this path is mandatory, not just faster: two
+	// successive crack-in-twos over the same piece would let the second
+	// partition destroy the first one's boundary. Sorted columns skip it
+	// — their cuts are pure binary searches.
 	if !okLo && !okHi && !c.sorted {
 		lo1, hi1 := c.pieceBounds(loVal, loIncl)
 		lo2, hi2 := c.pieceBounds(hiVal, hiIncl)
 		if lo1 == lo2 && hi1 == hi2 {
-			m1, m2 := c.crackInThree(lo1, hi1, loVal, loIncl, hiVal, hiIncl)
+			m1, m2 := c.crackInThree(lo1, hi1, loVal, loIncl, hiVal, hiIncl, regLo, regHi)
 			return View{col: c, Lo: m1, Hi: m2}
 		}
 	}
 
 	if okLo {
 		c.stats.indexLookups.Add(1)
+	} else if c.strategy != nil && !c.sorted {
+		posLo = c.cutRaw(loVal, loIncl, regLo) // consultation already ran
 	} else {
 		posLo = c.cut(loVal, loIncl)
 	}
 	if okHi {
 		c.stats.indexLookups.Add(1)
+	} else if c.strategy != nil && !c.sorted {
+		posHi = c.cutRaw(hiVal, hiIncl, regHi)
 	} else {
 		posHi = c.cut(hiVal, hiIncl)
 	}
@@ -397,10 +443,16 @@ func (c *Column) SelectPred(p expr.Pred) []View {
 	if r, ok := expr.RangeOf(p); ok {
 		return []View{c.SelectRange(r)}
 	}
-	// attr != v: complement of the point query.
-	left := c.Select(math.MinInt64, p.Val, true, false)
-	right := c.Select(p.Val, math.MaxInt64, false, true)
-	return []View{left, right}
+	// attr != v: the complements of the point query [v, v]. A single
+	// Select installs (or partitions at) both cuts in one pass, so the
+	// two windows are consistent when they return — two back-to-back
+	// one-sided Selects would not be under a strategy that leaves query
+	// cuts unregistered (the second could shuffle across the first).
+	mid := c.Select(p.Val, p.Val, true, true)
+	c.mu.RLock()
+	n := len(c.vals)
+	c.mu.RUnlock()
+	return []View{{col: c, Lo: 0, Hi: mid.Lo}, {col: c, Lo: mid.Hi, Hi: n}}
 }
 
 // Count returns the number of qualifying tuples; cracking still happens
@@ -459,6 +511,15 @@ func (c *Column) cut(val int64, incl bool) int {
 		c.stats.indexLookups.Add(1)
 		return pos
 	}
+	return c.cutRaw(val, incl, true)
+}
+
+// cutRaw partitions the piece containing (val, incl) at that cut and
+// returns the split position. With register (and above the cut-off
+// granularity) the cut is remembered in the cracker index; otherwise the
+// partition only answers the current query — the MDD1R discipline, and
+// the same path WithMinPieceSize uses below the granule size.
+func (c *Column) cutRaw(val int64, incl bool, register bool) int {
 	lo, hi := c.pieceBounds(val, incl)
 	var m int
 	if c.sorted {
@@ -472,9 +533,10 @@ func (c *Column) cut(val int64, incl bool) int {
 	} else {
 		m = c.crackInTwo(lo, hi, val, incl)
 	}
-	if hi-lo < c.minPieceSize {
-		// Below the cut-off granularity: the partition answered the
-		// query but the cut is not worth remembering.
+	if !register || hi-lo < c.minPieceSize {
+		// Below the cut-off granularity (or an unregistered strategy
+		// cut): the partition answered the query but the cut is not
+		// remembered.
 		return m
 	}
 	c.idx.Insert(val, incl, m)
@@ -543,18 +605,20 @@ func (c *Column) crackInTwo(lo, hi int, val int64, incl bool) int {
 
 // crackInThree partitions vals[lo:hi) into three pieces in a single pass
 // (Dutch national flag): values before the lower cut, values inside the
-// range, values past the upper cut. It registers both cuts and returns
-// the answer window [m1, m2). Both cut predicates are rewritten as
-// exclusive thresholds so the loop body is two comparisons per element,
-// with inline swaps on the two slices.
-func (c *Column) crackInThree(lo, hi int, loVal int64, loIncl bool, hiVal int64, hiIncl bool) (m1, m2 int) {
+// range, values past the upper cut. It registers the cuts whose reg flag
+// is set (strategies may leave query cuts unregistered) and returns the
+// answer window [m1, m2). Both cut predicates are rewritten as exclusive
+// thresholds so the loop body is two comparisons per element, with
+// inline swaps on the two slices.
+func (c *Column) crackInThree(lo, hi int, loVal int64, loIncl bool, hiVal int64, hiIncl bool, regLo, regHi bool) (m1, m2 int) {
 	// goes left  ⇔ e < tLo;  goes right ⇔ e >= tHi.
 	tLo, allLo := cutThreshold(loVal, loIncl)
 	tHi, allHi := cutThreshold(hiVal, hiIncl)
 	if allLo || allHi {
 		// MaxInt64-inclusive cuts cannot reach here from Select (unbounded
 		// sides are answered trivially); partition in two passes so the
-		// main kernel stays threshold-only.
+		// main kernel stays threshold-only. The second pass starts at m1,
+		// so it cannot disturb the first boundary.
 		m1 = c.crackInTwo(lo, hi, loVal, loIncl)
 		m2 = c.crackInTwo(m1, hi, hiVal, hiIncl)
 	} else {
@@ -585,34 +649,48 @@ func (c *Column) crackInThree(lo, hi int, loVal int64, loIncl bool, hiVal int64,
 		c.stats.tuplesTouched.Add(int64(hi - lo))
 		c.stats.tuplesMoved.Add(moved)
 	}
-	if hi-lo < c.minPieceSize {
-		return m1, m2 // below the cut-off granularity: answer, don't index
+	if hi-lo < c.minPieceSize || (!regLo && !regHi) {
+		return m1, m2 // below the cut-off granularity (or advised not to): answer, don't index
 	}
-	c.idx.Insert(loVal, loIncl, m1)
-	c.idx.Insert(hiVal, hiIncl, m2)
+	if regLo {
+		c.idx.Insert(loVal, loIncl, m1)
+	}
+	if regHi {
+		c.idx.Insert(hiVal, hiIncl, m2)
+	}
+	// Lineage splits only at the boundaries actually registered, so the
+	// rendered pieces keep matching the cracker index.
+	var ranges [][2]int
+	switch {
+	case regLo && regHi:
+		ranges = [][2]int{{lo, m1}, {m1, m2}, {m2, hi}}
+	case regLo:
+		ranges = [][2]int{{lo, m1}, {m1, hi}}
+	default: // regHi only
+		ranges = [][2]int{{lo, m2}, {m2, hi}}
+	}
 	c.recordCrack(lo, hi,
 		fmt.Sprintf("%s ∈ cut(%d,%d)", c.name, loVal, hiVal),
-		[2]int{lo, m1}, [2]int{m1, m2}, [2]int{m2, hi})
+		ranges...)
 	c.fuseLocked()
 	return m1, m2
 }
 
 // recordCrack attaches child pieces to the lineage leaf covering [lo, hi).
 func (c *Column) recordCrack(lo, hi int, detail string, ranges ...[2]int) {
-	for _, leaf := range c.lin.Leaves() {
-		if leaf.Lo <= lo && hi <= leaf.Hi {
-			// Only split the leaf when the ranges are non-trivial.
-			kept := ranges[:0:0]
-			for _, r := range ranges {
-				if r[1] > r[0] {
-					kept = append(kept, r)
-				}
-			}
-			if len(kept) > 1 {
-				c.lin.Crack(leaf, "Ξ", detail, kept...)
-			}
-			return
+	leaf := c.lin.LeafCovering(lo, hi)
+	if leaf == nil {
+		return
+	}
+	// Only split the leaf when the ranges are non-trivial.
+	kept := ranges[:0:0]
+	for _, r := range ranges {
+		if r[1] > r[0] {
+			kept = append(kept, r)
 		}
+	}
+	if len(kept) > 1 {
+		c.lin.Crack(leaf, "Ξ", detail, kept...)
 	}
 }
 

@@ -181,11 +181,8 @@ func (c *Column) partitionByMembership(lo, hi int, set map[int64]struct{}, detai
 	c.stats.cracks.Add(1)
 	c.stats.tuplesTouched.Add(int64(hi - lo))
 	c.stats.tuplesMoved.Add(moved)
-	for _, leaf := range c.lin.Leaves() {
-		if leaf.Lo <= lo && hi <= leaf.Hi && i > lo && i < hi {
-			c.lin.Crack(leaf, "^", detail, [2]int{lo, i}, [2]int{i, hi})
-			break
-		}
+	if leaf := c.lin.LeafCovering(lo, hi); leaf != nil && i > lo && i < hi {
+		c.lin.Crack(leaf, "^", detail, [2]int{lo, i}, [2]int{i, hi})
 	}
 	return i
 }

@@ -17,6 +17,14 @@ type Lineage struct {
 	seq   int
 	roots []*PieceNode
 	byID  map[string]*PieceNode
+
+	// leaves is the current leaf set, sorted by Lo, maintained
+	// incrementally by Root and Crack. Cracking consults the leaf
+	// covering a piece on every partition pass, so leaf lookup must not
+	// walk the DAG: with k accumulated cuts a full-walk lookup costs
+	// O(k) per crack and O(k²) over a query sequence — measurably the
+	// dominant cost of long crack sequences before this cache existed.
+	leaves []*PieceNode
 }
 
 // PieceNode is one piece in the lineage DAG.
@@ -40,6 +48,11 @@ func (l *Lineage) Root(lo, hi int) *PieceNode {
 	n := &PieceNode{ID: l.nextID(), Lo: lo, Hi: hi}
 	l.roots = append(l.roots, n)
 	l.byID[n.ID] = n
+	// Keep the leaf cache sorted; roots arrive in arbitrary positions.
+	at := sort.Search(len(l.leaves), func(i int) bool { return l.leaves[i].Lo > n.Lo })
+	l.leaves = append(l.leaves, nil)
+	copy(l.leaves[at+1:], l.leaves[at:])
+	l.leaves[at] = n
 	return n
 }
 
@@ -60,7 +73,43 @@ func (l *Lineage) Crack(parent *PieceNode, op, detail string, ranges ...[2]int) 
 		l.byID[c.ID] = c
 		children = append(children, c)
 	}
+	// Replace parent with its children in the leaf cache. The children
+	// tile a subrange of the parent in ascending order, so splicing them
+	// into the parent's slot preserves the sort.
+	if len(children) == 0 {
+		return children
+	}
+	if at, ok := l.leafIndex(parent); ok {
+		l.leaves = append(l.leaves, make([]*PieceNode, len(children)-1)...)
+		copy(l.leaves[at+len(children):], l.leaves[at+1:])
+		copy(l.leaves[at:], children)
+	}
 	return children
+}
+
+// leafIndex locates a node in the sorted leaf cache.
+func (l *Lineage) leafIndex(n *PieceNode) (int, bool) {
+	at := sort.Search(len(l.leaves), func(i int) bool { return l.leaves[i].Lo >= n.Lo })
+	for ; at < len(l.leaves) && l.leaves[at].Lo == n.Lo; at++ {
+		if l.leaves[at] == n {
+			return at, true
+		}
+	}
+	return 0, false
+}
+
+// LeafCovering returns the leaf whose range contains [lo, hi), or nil.
+// Leaves tile disjoint ranges in sorted order, so the only candidate is
+// the rightmost leaf starting at or before lo.
+func (l *Lineage) LeafCovering(lo, hi int) *PieceNode {
+	at := sort.Search(len(l.leaves), func(i int) bool { return l.leaves[i].Lo > lo })
+	if at == 0 {
+		return nil
+	}
+	if leaf := l.leaves[at-1]; hi <= leaf.Hi {
+		return leaf
+	}
+	return nil
 }
 
 func (l *Lineage) nextID() string {
@@ -76,24 +125,10 @@ func (l *Lineage) Node(id string) (*PieceNode, bool) {
 
 // Leaves returns the current pieces (nodes without children), sorted by
 // physical position. Their position ranges tile the union of the roots —
-// the loss-less property.
+// the loss-less property. The returned slice is a copy of the
+// incrementally maintained leaf cache.
 func (l *Lineage) Leaves() []*PieceNode {
-	var out []*PieceNode
-	var walk func(*PieceNode)
-	walk = func(n *PieceNode) {
-		if len(n.Children) == 0 {
-			out = append(out, n)
-			return
-		}
-		for _, c := range n.Children {
-			walk(c)
-		}
-	}
-	for _, r := range l.roots {
-		walk(r)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Lo < out[j].Lo })
-	return out
+	return append([]*PieceNode(nil), l.leaves...)
 }
 
 // Size returns the total number of registered pieces.

@@ -221,6 +221,7 @@ func (ct *CrackedTable) Stats() Stats {
 		s := c.Stats()
 		total.Queries += s.Queries
 		total.Cracks += s.Cracks
+		total.AuxCracks += s.AuxCracks
 		total.IndexLookups += s.IndexLookups
 		total.TuplesMoved += s.TuplesMoved
 		total.TuplesTouched += s.TuplesTouched

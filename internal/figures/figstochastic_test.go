@@ -1,0 +1,55 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFigStochasticShape(t *testing.T) {
+	f, err := FigStochastic(FigStochasticConfig{
+		N: 4000, K: 64, Seed: 1,
+		Strategies: []string{"standard", "mdd1r"},
+		Workloads:  []string{"random", "sequential"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Series) != 4 {
+		t.Fatalf("series count %d, want 4 (2 strategies x 2 workloads)", len(f.Series))
+	}
+	for _, s := range f.Series {
+		if len(s.Points) == 0 {
+			t.Fatalf("series %q empty", s.Label)
+		}
+		if !strings.Contains(s.Label, "/") {
+			t.Fatalf("series label %q not strategy/workload", s.Label)
+		}
+		// Cumulative time must be nondecreasing and end at K queries.
+		prev := 0.0
+		for _, p := range s.Points {
+			if p.Y < prev {
+				t.Fatalf("series %q not cumulative at x=%g", s.Label, p.X)
+			}
+			prev = p.Y
+		}
+		if last := s.Points[len(s.Points)-1].X; last != 64 {
+			t.Fatalf("series %q ends at x=%g, want 64", s.Label, last)
+		}
+	}
+}
+
+func TestFigStochasticValidation(t *testing.T) {
+	if _, err := FigStochastic(FigStochasticConfig{Strategies: []string{"nope"}, N: 100, K: 4}); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+	if _, err := FigStochastic(FigStochasticConfig{Workloads: []string{"nope"}, N: 100, K: 4}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	var cfg FigStochasticConfig
+	if err := cfg.defaults(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.N != 200_000 || cfg.K != 512 || len(cfg.Strategies) != 4 || len(cfg.Workloads) != 5 {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+}
