@@ -1,4 +1,7 @@
-package crackdb
+// External test package: internal/figures reaches back into the public
+// crackdb API (the shard figure runs on sharded stores), so an
+// in-package test importing it would be an import cycle.
+package crackdb_test
 
 // The benchmark harness: one testing.B per figure of the paper's
 // evaluation (there are no numbered tables; Figures 1-3 and 8-11 carry
@@ -17,6 +20,7 @@ import (
 	"sort"
 	"testing"
 
+	"crackdb"
 	"crackdb/internal/algebra"
 	"crackdb/internal/catalog"
 	"crackdb/internal/core"
@@ -275,7 +279,7 @@ func BenchmarkSQLLevelCracking(b *testing.B) {
 // BenchmarkCrackSelect measures steady-state cracked range queries on the
 // public API (the library's headline operation).
 func BenchmarkCrackSelect(b *testing.B) {
-	s := New()
+	s := crackdb.New()
 	if err := s.LoadTapestry("tap", benchN, 1, 42); err != nil {
 		b.Fatal(err)
 	}

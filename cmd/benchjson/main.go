@@ -1,0 +1,92 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// artifact. It replaces the awk scraper CI used to inline: committed,
+// tested (internal/benchfmt), aware of custom metrics like qps, and
+// strict — malformed bench lines or fewer results than -require fail
+// the run instead of uploading an empty artifact.
+//
+// Usage:
+//
+//	go test -run '^$' -bench X . | benchjson -o BENCH_X.json
+//	benchjson -require 3 -o out.json bench1.txt bench2.txt
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"crackdb/internal/benchfmt"
+)
+
+func main() {
+	out := "-"
+	require := 1
+	var inputs []string
+	args := os.Args[1:]
+	for i := 0; i < len(args); i++ {
+		switch args[i] {
+		case "-o", "--o":
+			i++
+			if i >= len(args) {
+				fatal(fmt.Errorf("-o needs a path"))
+			}
+			out = args[i]
+		case "-require", "--require":
+			i++
+			if i >= len(args) {
+				fatal(fmt.Errorf("-require needs a count"))
+			}
+			if _, err := fmt.Sscanf(args[i], "%d", &require); err != nil {
+				fatal(fmt.Errorf("-require: %w", err))
+			}
+		case "-h", "-help", "--help":
+			fmt.Fprintln(os.Stderr, "usage: benchjson [-o out.json] [-require n] [bench.txt ...] (default: stdin to stdout)")
+			return
+		default:
+			inputs = append(inputs, args[i])
+		}
+	}
+
+	var results []benchfmt.Result
+	if len(inputs) == 0 {
+		rs, err := benchfmt.Parse(os.Stdin)
+		if err != nil {
+			fatal(err)
+		}
+		results = rs
+	}
+	for _, path := range inputs {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		rs, err := benchfmt.Parse(f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		results = append(results, rs...)
+	}
+	if len(results) < require {
+		fatal(fmt.Errorf("parsed %d benchmark results, need at least %d", len(results), require))
+	}
+
+	var w io.Writer = os.Stdout
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := benchfmt.WriteJSON(w, results); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d results\n", len(results))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

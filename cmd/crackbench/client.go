@@ -1,0 +1,201 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"crackdb/internal/server"
+	"crackdb/internal/workload"
+)
+
+// clientConfig parameterizes the network load-generation mode
+// (crackbench -addr host:port): concurrent clients streaming
+// workload-patterned range counts at a running cracksrv.
+type clientConfig struct {
+	addr     string
+	clients  int
+	queries  int // total per workload pattern, split across clients
+	n        int // tapestry cardinality to preload
+	seed     int64
+	sel      float64
+	workload string
+	strategy string // "" = leave the server's configured strategy alone
+	check    bool   // assert exact counts and server stats
+}
+
+func (c *clientConfig) defaults() {
+	if c.clients <= 0 {
+		c.clients = 4
+	}
+	if c.queries <= 0 {
+		c.queries = 800
+	}
+	if c.n <= 0 {
+		c.n = 100_000
+	}
+	if c.sel <= 0 {
+		c.sel = 0.01
+	}
+	if c.workload == "" {
+		c.workload = "all"
+	}
+}
+
+// runClient preloads a tapestry table on the server (idempotently) and
+// drives each requested workload pattern through concurrent
+// connections. Output is go-bench formatted so cmd/benchjson scrapes it
+// with the same parser as `go test -bench` runs:
+//
+//	BenchmarkClientServer/workload=random/clients=4   800   151234 ns/op   6612.4 qps
+//
+// With -check every count is asserted exactly: the tapestry key column
+// is a permutation of 1..n, so a range's count is precisely its width.
+func runClient(cfg clientConfig) error {
+	cfg.defaults()
+	setup, err := server.DialTimeout(cfg.addr, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	defer setup.Close()
+	if _, err := setup.Exec("/ping"); err != nil {
+		return err
+	}
+	if cfg.strategy != "" {
+		// Flip the crack strategy on every shard before the table exists,
+		// so the load's columns are created under it.
+		if _, err := setup.Exec(fmt.Sprintf("/strategy %s %d", cfg.strategy, cfg.seed)); err != nil {
+			return err
+		}
+	}
+	if resp, err := setup.Do(fmt.Sprintf("/tapestry bench %d 2 %d", cfg.n, cfg.seed)); err != nil {
+		return err
+	} else if resp.Err != "" && !strings.Contains(resp.Err, "already exists") {
+		return fmt.Errorf("tapestry load: %s", resp.Err)
+	}
+
+	patterns := workload.Patterns()
+	if cfg.workload != "all" {
+		p, err := workload.Parse(cfg.workload)
+		if err != nil {
+			return err
+		}
+		patterns = []workload.Pattern{p}
+	}
+	for _, p := range patterns {
+		if err := runClientPattern(cfg, p); err != nil {
+			return err
+		}
+	}
+
+	if cfg.check {
+		total, err := setup.Count("SELECT COUNT(*) FROM bench")
+		if err != nil {
+			return err
+		}
+		if total != int64(cfg.n) {
+			return fmt.Errorf("check: COUNT(*) = %d, want %d", total, cfg.n)
+		}
+		stats, err := setup.Exec("/stats bench c0")
+		if err != nil {
+			return err
+		}
+		totQ, err := stats.Int64(len(stats.Rows)-1, 1)
+		if err != nil {
+			return err
+		}
+		if totQ == 0 {
+			return fmt.Errorf("check: server reports zero queries after the load run")
+		}
+		fmt.Fprintf(os.Stderr, "check ok: %d rows, %d queries absorbed by the crackers\n", total, totQ)
+	}
+	return nil
+}
+
+// runClientPattern fans one pattern's stream over the clients and
+// prints one benchmark line.
+func runClientPattern(cfg clientConfig, p workload.Pattern) error {
+	perWorker := cfg.queries / cfg.clients
+	if perWorker < 1 {
+		perWorker = 1
+	}
+	errs := make([]error, cfg.clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			errs[w] = clientWorker(cfg, p, w, perWorker)
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return fmt.Errorf("workload %s: %w", p, err)
+		}
+	}
+	totalQ := perWorker * cfg.clients
+	nsPerOp := float64(elapsed.Nanoseconds()) / float64(totalQ)
+	qps := float64(totalQ) / elapsed.Seconds()
+	fmt.Printf("BenchmarkClientServer/workload=%s/clients=%d \t%8d\t%12.0f ns/op\t%10.1f qps\n",
+		p, cfg.clients, totalQ, nsPerOp, qps)
+	return nil
+}
+
+// clientWorker streams one connection's share of the pattern. Each
+// worker derives its own generator seed, so the server sees clients
+// whose individual streams follow the pattern — the sharded analogue of
+// the robustness matrix.
+func clientWorker(cfg clientConfig, p workload.Pattern, w, count int) error {
+	c, err := server.DialTimeout(cfg.addr, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	gen, err := workload.New(p, workload.Config{
+		Domain:      int64(cfg.n),
+		Count:       count,
+		Selectivity: cfg.sel,
+		Seed:        cfg.seed + int64(w)*31 + 1,
+	})
+	if err != nil {
+		return err
+	}
+	var repeatStmt string
+	var repeatWant int64
+	for {
+		q, ok := gen.Next()
+		if !ok {
+			break
+		}
+		// Tapestry values live in 1..n; the generator emits [lo, hi) over
+		// [0, n), so shift by one.
+		stmt := fmt.Sprintf("SELECT COUNT(*) FROM bench WHERE c0 >= %d AND c0 < %d", q.Lo+1, q.Hi+1)
+		got, err := c.Count(stmt)
+		if err != nil {
+			return err
+		}
+		if cfg.check && got != q.Hi-q.Lo {
+			return fmt.Errorf("worker %d: %s returned %d, want %d", w, stmt, got, q.Hi-q.Lo)
+		}
+		if repeatStmt == "" {
+			repeatStmt, repeatWant = stmt, got
+		}
+	}
+	if cfg.check && repeatStmt != "" {
+		// Stability: re-asking the first query after the whole stream has
+		// cracked the shards must return the same count.
+		got, err := c.Count(repeatStmt)
+		if err != nil {
+			return err
+		}
+		if got != repeatWant {
+			return fmt.Errorf("worker %d: repeated %q drifted %d -> %d", w, repeatStmt, repeatWant, got)
+		}
+	}
+	return nil
+}

@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	crackbench -fig 1a|1b|1c|2|3|8|9|10|11|hiking|sql|parallel|stochastic|all [flags]
+//	crackbench -fig 1a|1b|1c|2|3|8|9|10|11|hiking|sql|parallel|stochastic|shard|all [flags]
+//	crackbench -addr host:port [-clients c] [-queries q] [-workload w] [-check]
 //
 // Flags:
 //
@@ -18,8 +19,11 @@
 //	-strategy s   crack strategy for -fig stochastic: standard|ddc|ddr|mdd1r|all
 //	-workload w   query pattern for -fig stochastic:
 //	              random|sequential|reverse|zoomin|periodic|all
-//	-queries int  queries per stochastic cell (default 512)
-//	-sel float    stochastic per-query selectivity (default 0.01)
+//	-queries int  queries per stochastic/shard cell (default 512 / 2000)
+//	-sel float    stochastic/shard per-query selectivity (default 0.01)
+//	-addr string  client mode: drive a running cracksrv over the wire
+//	-clients int  client mode: concurrent connections (default 4)
+//	-check        client mode: assert exact counts and server stats
 //
 // Setting -strategy or -workload implies -fig stochastic, so the
 // robustness matrix reads naturally:
@@ -46,7 +50,7 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate: 1a,1b,1c,2,3,8,9,10,11,hiking,sql,parallel,stochastic,all")
+		fig      = flag.String("fig", "all", "figure to regenerate: 1a,1b,1c,2,3,8,9,10,11,hiking,sql,parallel,stochastic,shard,all")
 		n        = flag.Int("n", 0, "cardinality override (0 = figure default)")
 		k        = flag.Int("k", 0, "sequence length override (0 = figure default)")
 		seed     = flag.Int64("seed", 42, "RNG seed")
@@ -58,8 +62,44 @@ func main() {
 		wload    = flag.String("workload", "all", "query pattern for -fig stochastic (random,sequential,reverse,zoomin,periodic,all)")
 		queries  = flag.Int("queries", 0, "queries per stochastic cell (0 = default)")
 		sel      = flag.Float64("sel", 0, "stochastic per-query selectivity (0 = default)")
+		addr     = flag.String("addr", "", "client mode: drive load at a running cracksrv instead of running a figure")
+		clients  = flag.Int("clients", 0, "client mode: concurrent connections (default 4)")
+		check    = flag.Bool("check", false, "client mode: assert exact counts and server stats")
 	)
 	flag.Parse()
+
+	// -addr flips crackbench into network load-generator mode: the
+	// workload/selectivity/queries/strategy knobs keep their meaning
+	// (-strategy is applied server-side via /strategy), but figure-only
+	// flags would be silently meaningless — reject them like figure mode
+	// rejects misapplied flags.
+	if *addr != "" {
+		if *fig != "all" || *parallel || *k != 0 || *ops != 0 || *summary {
+			fmt.Fprintln(os.Stderr, "crackbench: -fig/-parallel/-k/-ops/-summary do not apply to client mode (-addr)")
+			os.Exit(1)
+		}
+		wl := *wload
+		if wl == "" {
+			wl = "all"
+		}
+		strategy := *strat
+		if strategy == "all" {
+			strategy = "" // server keeps its configured strategy
+		}
+		err := runClient(clientConfig{
+			addr: *addr, clients: *clients, queries: *queries, n: *n,
+			seed: *seed, sel: *sel, workload: wl, strategy: strategy, check: *check,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "crackbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *clients != 0 || *check {
+		fmt.Fprintln(os.Stderr, "crackbench: -clients/-check require client mode (-addr)")
+		os.Exit(1)
+	}
 
 	target := *fig
 	if *parallel {
@@ -69,21 +109,31 @@ func main() {
 	// matrix; don't make the user also spell -fig stochastic. With an
 	// explicit different figure the flags would be silently ignored —
 	// reject that instead of mislabeling standard-cracking numbers.
-	if *strat != "all" || *wload != "all" {
+	// (-workload also parameterizes the shard scaling figure.)
+	if *strat != "all" {
 		switch target {
 		case "all":
 			target = "stochastic"
 		case "stochastic":
 		default:
-			fmt.Fprintf(os.Stderr, "crackbench: -strategy/-workload only apply to -fig stochastic, not -fig %s\n", target)
+			fmt.Fprintf(os.Stderr, "crackbench: -strategy only applies to -fig stochastic, not -fig %s\n", target)
 			os.Exit(1)
 		}
 	}
-	// -queries/-sel are stochastic-only knobs too, but unlike
-	// -strategy/-workload they don't imply the figure ("-fig all
-	// -sel 0.05" tunes the stochastic leg of the full sweep).
-	if (*queries != 0 || *sel != 0) && target != "stochastic" && target != "all" {
-		fmt.Fprintf(os.Stderr, "crackbench: -queries/-sel only apply to the stochastic figure, not -fig %s\n", target)
+	if *wload != "all" {
+		switch target {
+		case "all":
+			target = "stochastic"
+		case "stochastic", "shard":
+		default:
+			fmt.Fprintf(os.Stderr, "crackbench: -workload only applies to -fig stochastic or shard, not -fig %s\n", target)
+			os.Exit(1)
+		}
+	}
+	// -queries/-sel don't imply a figure ("-fig all -sel 0.05" tunes the
+	// stochastic and shard legs of the full sweep).
+	if (*queries != 0 || *sel != 0) && target != "stochastic" && target != "shard" && target != "all" {
+		fmt.Fprintf(os.Stderr, "crackbench: -queries/-sel only apply to the stochastic and shard figures, not -fig %s\n", target)
 		os.Exit(1)
 	}
 	cfg := benchConfig{
@@ -163,6 +213,16 @@ func run(fig string, cfg benchConfig) error {
 				scfg.Workloads = []string{cfg.workload}
 			}
 			return emit(figures.FigStochastic(scfg))
+		case "shard":
+			nq := cfg.queries
+			if nq == 0 {
+				nq = k
+			}
+			shcfg := figures.FigShardConfig{N: n, K: nq, Seed: seed, Selectivity: cfg.sel}
+			if cfg.workload != "all" {
+				shcfg.Workloads = []string{cfg.workload}
+			}
+			return emit(figures.FigShard(shcfg))
 		case "sql":
 			res, err := figures.SQLLevel(figures.SQLLevelConfig{N: n, Seed: seed})
 			if err != nil {
@@ -171,12 +231,12 @@ func run(fig string, cfg benchConfig) error {
 			fmt.Print(res)
 			return nil
 		default:
-			return fmt.Errorf("unknown figure %q (want 1a,1b,1c,2,3,8,9,10,11,hiking,sql,parallel,stochastic,all)", id)
+			return fmt.Errorf("unknown figure %q (want 1a,1b,1c,2,3,8,9,10,11,hiking,sql,parallel,stochastic,shard,all)", id)
 		}
 	}
 
 	if fig == "all" {
-		for _, id := range []string{"1a", "1b", "1c", "2", "3", "8", "9", "10", "11", "hiking", "sql", "parallel", "stochastic"} {
+		for _, id := range []string{"1a", "1b", "1c", "2", "3", "8", "9", "10", "11", "hiking", "sql", "parallel", "stochastic", "shard"} {
 			fmt.Printf("=== figure %s ===\n", id)
 			if err := runOne(id); err != nil {
 				return fmt.Errorf("figure %s: %w", id, err)

@@ -66,10 +66,10 @@ func main() {
 
 	fmt.Println("cracksql — the database store that cracks under pressure")
 	fmt.Println(`type SQL terminated by ';', or \help`)
-	repl(eng)
+	repl(eng, store)
 }
 
-func repl(eng *sql.Engine) {
+func repl(eng *sql.Engine, store *crackdb.Store) {
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<24)
 	var pending strings.Builder
@@ -85,7 +85,7 @@ func repl(eng *sql.Engine) {
 		line := scanner.Text()
 		trimmed := strings.TrimSpace(line)
 		if pending.Len() == 0 && strings.HasPrefix(trimmed, `\`) {
-			if !meta(eng, trimmed) {
+			if !meta(store, trimmed) {
 				return
 			}
 			prompt()
@@ -109,9 +109,8 @@ func repl(eng *sql.Engine) {
 }
 
 // meta handles backslash commands; it returns false to quit.
-func meta(eng *sql.Engine, cmd string) bool {
+func meta(store *crackdb.Store, cmd string) bool {
 	fields := strings.Fields(cmd)
-	store := eng.Store()
 	switch fields[0] {
 	case `\quit`, `\q`:
 		return false

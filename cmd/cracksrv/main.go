@@ -1,0 +1,109 @@
+// Command cracksrv serves the cracking store over TCP: a concurrent
+// network front on the same SQL executor cracksql runs locally, with
+// tables hash- or range-sharded across independent cracker stores so
+// each connection's queries crack only the shards they touch.
+//
+// Usage:
+//
+//	cracksrv [-addr :7744] [-shards 4] [-partition hash|range]
+//	         [-domain 1048576] [-strategy mdd1r] [-seed 42]
+//	         [-tapestry name,n,alpha]
+//
+// The wire protocol is length-prefixed text frames (see
+// internal/server): each request is one SQL statement or one /meta
+// command (/ping, /tables, /shards, /stats <t> <c>, /strategy,
+// /tapestry, /quit). Drive it with cmd/crackbench's client mode:
+//
+//	cracksrv -addr 127.0.0.1:7744 -shards 4 &
+//	crackbench -addr 127.0.0.1:7744 -clients 4 -queries 2000 -check
+//
+// SIGINT/SIGTERM shut the server down cleanly (drain, then exit 0), so
+// process supervisors and the CI smoke harness can assert a clean stop.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"crackdb/internal/server"
+	"crackdb/internal/shard"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":7744", "listen address")
+		shards   = flag.Int("shards", 4, "number of cracker stores to partition tables across")
+		partKind = flag.String("partition", "hash", "partitioning scheme for new tables: hash or range")
+		domain   = flag.Int64("domain", 1<<20, "key domain upper bound for range partitioning of empty tables")
+		strat    = flag.String("strategy", "standard", "crack strategy on every shard: standard, ddc, ddr, mdd1r")
+		seed     = flag.Int64("seed", 42, "strategy RNG seed (per-shard sub-seeds are derived)")
+		tapestry = flag.String("tapestry", "", "preload a DBtapestry table: name,n,alpha (e.g. bench,100000,2)")
+	)
+	flag.Parse()
+
+	kind, err := shard.ParseKind(*partKind)
+	if err != nil {
+		fatal(err)
+	}
+	store := shard.New(shard.Options{Shards: *shards, Kind: kind, Domain: [2]int64{0, *domain}})
+	if *strat != "" && *strat != "standard" {
+		if err := store.SetCrackStrategy(*strat, *seed); err != nil {
+			fatal(err)
+		}
+	}
+	if *tapestry != "" {
+		name, n, alpha, err := parseTapestry(*tapestry)
+		if err != nil {
+			fatal(err)
+		}
+		if err := store.LoadTapestry(name, n, alpha, *seed); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "cracksrv: preloaded tapestry %s (%d x %d)\n", name, n, alpha)
+	}
+
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "cracksrv: "+format+"\n", args...)
+	}
+	srv := server.New(store, logf)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe(*addr) }()
+	select {
+	case err := <-done:
+		fatal(err) // listener died before any signal
+	case s := <-sig:
+		logf("received %s, shutting down", s)
+		srv.Shutdown(5 * time.Second)
+		if err := <-done; err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// parseTapestry splits "name,n,alpha".
+func parseTapestry(s string) (name string, n, alpha int, err error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 3 {
+		return "", 0, 0, fmt.Errorf("cracksrv: -tapestry wants name,n,alpha, got %q", s)
+	}
+	n, err1 := strconv.Atoi(parts[1])
+	alpha, err2 := strconv.Atoi(parts[2])
+	if err1 != nil || err2 != nil {
+		return "", 0, 0, fmt.Errorf("cracksrv: -tapestry n and alpha must be integers in %q", s)
+	}
+	return parts[0], n, alpha, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cracksrv:", err)
+	os.Exit(1)
+}

@@ -159,6 +159,7 @@ func (s *Store) Lineage(table, col string) (string, error) {
 type ColumnStats struct {
 	Queries        int
 	Cracks         int   // partition passes
+	AuxCracks      int   // strategy-advised auxiliary cracks (subset of Cracks)
 	IndexLookups   int   // cuts answered from the index
 	TuplesMoved    int64 // element writes during reorganization
 	TuplesTouched  int64 // element reads during reorganization
@@ -182,6 +183,7 @@ func (s *Store) Stats(table, col string) (ColumnStats, error) {
 	return ColumnStats{
 		Queries:        cs.Queries,
 		Cracks:         cs.Cracks,
+		AuxCracks:      cs.AuxCracks,
 		IndexLookups:   cs.IndexLookups,
 		TuplesMoved:    cs.TuplesMoved,
 		TuplesTouched:  cs.TuplesTouched,

@@ -1,0 +1,90 @@
+// Package benchfmt parses `go test -bench` text output into structured
+// results and renders them as JSON. It replaces the awk scraper the CI
+// workflow used to inline: a committed, unit-tested parser that also
+// understands custom b.ReportMetric units (qps) and memory columns
+// (B/op, allocs/op), and that fails loudly when the bench output format
+// drifts instead of silently emitting an empty artifact.
+package benchfmt
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Parse extracts every benchmark result from go test -bench output.
+// Non-benchmark lines (goos/pkg headers, PASS, ok) are ignored; a line
+// that claims to be a benchmark but does not parse is an error, so a
+// format drift breaks CI instead of shipping empty artifacts.
+func Parse(r io.Reader) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		res, err := parseLine(line)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// parseLine parses one `BenchmarkName-8  <iters>  <value> <unit> ...`
+// line. The value/unit tail is a sequence of pairs.
+func parseLine(line string) (Result, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Result{}, fmt.Errorf("benchfmt: malformed benchmark line %q", line)
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, fmt.Errorf("benchfmt: bad iteration count in %q: %w", line, err)
+	}
+	res := Result{Name: fields[0], Iterations: iters}
+	for i := 2; i < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, fmt.Errorf("benchfmt: bad metric value %q in %q: %w", fields[i], line, err)
+		}
+		unit := fields[i+1]
+		if unit == "ns/op" {
+			res.NsPerOp = val
+			continue
+		}
+		if res.Metrics == nil {
+			res.Metrics = make(map[string]float64)
+		}
+		res.Metrics[unit] = val
+	}
+	return res, nil
+}
+
+// WriteJSON renders results as an indented JSON array (an empty slice
+// renders as [], not null, so downstream scrapers always see an array).
+func WriteJSON(w io.Writer, results []Result) error {
+	if results == nil {
+		results = []Result{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}

@@ -1,0 +1,95 @@
+package benchfmt
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: crackdb
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkCrackSelect-8   	     792	   1471441 ns/op
+BenchmarkParallelSelect/goroutines=4         	       1	    136888 ns/op
+BenchmarkServerThroughput/shards=4         	     100	   1026031 ns/op	       974.6 qps
+BenchmarkAlloc-2   	    1000	      1234 ns/op	      56 B/op	       2 allocs/op
+BenchmarkFloatNs   	 2000000	         0.5013 ns/op
+PASS
+ok  	crackdb	12.3s
+`
+
+func TestParse(t *testing.T) {
+	got, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("parsed %d results, want 5", len(got))
+	}
+	if got[0].Name != "BenchmarkCrackSelect-8" || got[0].Iterations != 792 || got[0].NsPerOp != 1471441 {
+		t.Fatalf("first result: %+v", got[0])
+	}
+	if got[1].Name != "BenchmarkParallelSelect/goroutines=4" {
+		t.Fatalf("sub-benchmark name: %+v", got[1])
+	}
+	if got[2].Metrics["qps"] != 974.6 {
+		t.Fatalf("custom metric: %+v", got[2])
+	}
+	if got[3].Metrics["B/op"] != 56 || got[3].Metrics["allocs/op"] != 2 {
+		t.Fatalf("memory metrics: %+v", got[3])
+	}
+	if got[4].NsPerOp != 0.5013 {
+		t.Fatalf("fractional ns/op: %+v", got[4])
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	got, err := Parse(strings.NewReader("PASS\nok x 0.1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("parsed %d results from bench-free output", len(got))
+	}
+}
+
+func TestParseMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"BenchmarkX abc 12 ns/op\n",           // bad iterations
+		"BenchmarkX 10 xx ns/op\n",            // bad value
+		"BenchmarkX 10\n",                     // missing value/unit tail
+		"BenchmarkX 10 12 ns/op 5\n",          // dangling value without unit
+		"BenchmarkX-8\t10\t12 ns/op\tqps 3\n", // swapped pair
+	} {
+		if _, err := Parse(strings.NewReader(bad)); err == nil {
+			t.Fatalf("no error for %q", bad)
+		}
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var sb strings.Builder
+	results, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSON(&sb, results); err != nil {
+		t.Fatal(err)
+	}
+	var back []Result
+	if err := json.Unmarshal([]byte(sb.String()), &back); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, sb.String())
+	}
+	if len(back) != len(results) || back[2].Metrics["qps"] != 974.6 {
+		t.Fatalf("JSON round trip: %+v", back)
+	}
+
+	sb.Reset()
+	if err := WriteJSON(&sb, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(sb.String()) != "[]" {
+		t.Fatalf("nil results should render [], got %q", sb.String())
+	}
+}

@@ -1,0 +1,21 @@
+package core
+
+import "slices"
+
+// SortRows sorts tuples lexicographically (first column, then second,
+// ...; shorter rows order before their extensions) in place. It is the
+// canonical result order used when merging selections from several
+// cracker stores: each shard returns tuples in its own crack order,
+// which depends on that shard's query history, so a sharded select has
+// no natural physical order. Sorting the merged rows makes the result a
+// pure function of the qualifying tuple set — byte-identical however
+// the table is partitioned. Unlike sortValsOIDs, which must co-permute
+// two parallel slices and therefore hand-rolls its introsort, this is a
+// single-slice sort: slices.SortFunc (pdqsort, no allocation) over the
+// stdlib lexicographic comparator does.
+func SortRows(rows [][]int64) {
+	slices.SortFunc(rows, slices.Compare[[]int64])
+}
+
+// rowLess is the lexicographic order on tuples.
+func rowLess(a, b []int64) bool { return slices.Compare(a, b) < 0 }

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestSortRowsMatchesSortSlice(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{0, 1, 2, 15, 16, 17, 100, 5000} {
+		rows := make([][]int64, n)
+		for i := range rows {
+			// Small value domain to force duplicate prefixes and exercise
+			// the tie-break columns.
+			rows[i] = []int64{rng.Int63n(8), rng.Int63n(8), rng.Int63n(1 << 30)}
+		}
+		want := make([][]int64, n)
+		for i := range rows {
+			want[i] = append([]int64(nil), rows[i]...)
+		}
+		sort.SliceStable(want, func(a, b int) bool { return rowLess(want[a], want[b]) })
+		SortRows(rows)
+		for i := range rows {
+			for j := range rows[i] {
+				if rows[i][j] != want[i][j] {
+					t.Fatalf("n=%d row %d col %d: got %d want %d", n, i, j, rows[i][j], want[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestSortRowsAdversarial(t *testing.T) {
+	// Already-sorted and reverse-sorted inputs must not blow the stack
+	// (the depth limit flips to heapsort).
+	n := 20000
+	rows := make([][]int64, n)
+	for i := range rows {
+		rows[i] = []int64{int64(i)}
+	}
+	SortRows(rows)
+	for i := 1; i < n; i++ {
+		if rows[i-1][0] > rows[i][0] {
+			t.Fatal("sorted input not preserved")
+		}
+	}
+	for i := range rows {
+		rows[i] = []int64{int64(n - i)}
+	}
+	SortRows(rows)
+	for i := 1; i < n; i++ {
+		if rows[i-1][0] > rows[i][0] {
+			t.Fatal("reverse input not sorted")
+		}
+	}
+}
+
+func TestRowLessRagged(t *testing.T) {
+	if !rowLess([]int64{1}, []int64{1, 0}) {
+		t.Fatal("prefix must order before its extension")
+	}
+	if rowLess([]int64{2}, []int64{1, 9}) {
+		t.Fatal("first column dominates")
+	}
+}

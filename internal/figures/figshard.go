@@ -1,0 +1,145 @@
+package figures
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"crackdb"
+	"crackdb/internal/shard"
+	"crackdb/internal/workload"
+)
+
+// FigShardConfig parameterizes the sharding scale-out experiment. Not a
+// paper figure — it extends the evaluation to the process-level story:
+// partition one table across S cracker stores, drive it with concurrent
+// clients following the workload generator's access patterns, and read
+// throughput against shard count. Sharding helps twice: concurrent
+// queries spread over per-shard locks, and every crack pass partitions
+// an N/S-sized column instead of N (range partitioning additionally
+// prunes shards for key ranges).
+type FigShardConfig struct {
+	N           int     // table cardinality (default 200k)
+	K           int     // queries per cell (default 2000)
+	Workers     int     // concurrent clients (default 4)
+	Seed        int64   // RNG seed
+	Selectivity float64 // per-query range width fraction (default 0.01)
+	Kind        shard.Kind
+	Shards      []int // shard counts to sweep (default 1,2,4,8)
+	Workloads   []string
+}
+
+func (c *FigShardConfig) defaults() error {
+	if c.N <= 0 {
+		c.N = 200_000
+	}
+	if c.K <= 0 {
+		c.K = 2000
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.Selectivity <= 0 {
+		c.Selectivity = 0.01
+	}
+	if c.Kind == "" {
+		c.Kind = shard.Hash
+	}
+	if len(c.Shards) == 0 {
+		c.Shards = []int{1, 2, 4, 8}
+	}
+	if len(c.Workloads) == 0 {
+		for _, p := range workload.Patterns() {
+			c.Workloads = append(c.Workloads, string(p))
+		}
+	}
+	for _, w := range c.Workloads {
+		if _, err := workload.Parse(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FigShard sweeps throughput against shard count, one series per
+// workload pattern. Every cell builds a fresh sharded tapestry so crack
+// state never leaks between cells.
+func FigShard(cfg FigShardConfig) (Figure, error) {
+	if err := cfg.defaults(); err != nil {
+		return Figure{}, err
+	}
+	var series []Series
+	for _, wName := range cfg.Workloads {
+		pattern, _ := workload.Parse(wName)
+		s := Series{Label: string(pattern)}
+		for _, nShards := range cfg.Shards {
+			qps, err := measureShardCell(cfg, pattern, nShards)
+			if err != nil {
+				return Figure{}, err
+			}
+			s.Points = append(s.Points, Point{X: float64(nShards), Y: qps})
+		}
+		series = append(series, s)
+	}
+	return Figure{
+		ID:     "shard",
+		Title:  fmt.Sprintf("Sharded throughput vs shard count (N=%d, %s, %d clients)", cfg.N, cfg.Kind, cfg.Workers),
+		XLabel: "shards",
+		YLabel: "queries/s",
+		Series: series,
+	}, nil
+}
+
+// measureShardCell runs one (pattern, shard count) cell: Workers
+// concurrent clients, each following its own seeded instance of the
+// pattern, against a fresh store.
+func measureShardCell(cfg FigShardConfig, pattern workload.Pattern, nShards int) (float64, error) {
+	st := shard.New(shard.Options{Shards: nShards, Kind: cfg.Kind})
+	if err := st.LoadTapestry("t", cfg.N, 1, cfg.Seed); err != nil {
+		return 0, err
+	}
+	perWorker := cfg.K / cfg.Workers
+	if perWorker < 1 {
+		perWorker = 1
+	}
+	errs := make([]error, cfg.Workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			gen, err := workload.New(pattern, workload.Config{
+				Domain:      int64(cfg.N),
+				Count:       perWorker,
+				Selectivity: cfg.Selectivity,
+				Seed:        cfg.Seed + int64(w)*31 + 1,
+			})
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			for {
+				q, ok := gen.Next()
+				if !ok {
+					return
+				}
+				// Shift into the tapestry's 1..N value domain.
+				if _, err := st.CountWhere("t",
+					crackdb.Cond{Col: "c0", Op: ">=", Val: q.Lo + 1},
+					crackdb.Cond{Col: "c0", Op: "<", Val: q.Hi + 1}); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	return float64(perWorker*cfg.Workers) / elapsed.Seconds(), nil
+}

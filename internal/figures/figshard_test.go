@@ -1,0 +1,38 @@
+package figures
+
+import (
+	"testing"
+
+	"crackdb/internal/shard"
+)
+
+func TestFigShardShape(t *testing.T) {
+	fig, err := FigShard(FigShardConfig{
+		N: 5000, K: 40, Workers: 2, Seed: 9,
+		Shards:    []int{1, 2},
+		Workloads: []string{"random", "sequential"},
+		Kind:      shard.Range,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("%d series, want one per workload", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.Points) != 2 {
+			t.Fatalf("series %s has %d points, want one per shard count", s.Label, len(s.Points))
+		}
+		for _, p := range s.Points {
+			if p.Y <= 0 {
+				t.Fatalf("series %s: non-positive throughput %v at %v shards", s.Label, p.Y, p.X)
+			}
+		}
+	}
+}
+
+func TestFigShardRejectsBadWorkload(t *testing.T) {
+	if _, err := FigShard(FigShardConfig{Workloads: []string{"nope"}}); err == nil {
+		t.Fatal("unknown workload must be rejected")
+	}
+}

@@ -1,0 +1,92 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Client is one connection to a cracksrv instance. It is not safe for
+// concurrent use — the protocol is strictly request/response per
+// connection, so each worker goroutine dials its own.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+	buf  []byte
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		conn: conn,
+		r:    bufio.NewReaderSize(conn, 1<<16),
+		w:    bufio.NewWriterSize(conn, 1<<16),
+	}, nil
+}
+
+// DialTimeout is Dial with a connect timeout, retrying until the
+// deadline — the e2e harness races server startup.
+func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		c, err := Dial(addr)
+		if err == nil {
+			return c, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("server: dial %s: %w", addr, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// Do sends one request and decodes the reply. A Response with Err set
+// is a successful round trip — the statement failed, not the transport.
+func (c *Client) Do(cmd string) (*Response, error) {
+	if err := writeFrame(c.w, []byte(cmd)); err != nil {
+		return nil, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	payload, err := readFrame(c.r, c.buf)
+	if err != nil {
+		return nil, err
+	}
+	c.buf = payload
+	return decodeResponse(payload)
+}
+
+// Exec is Do folding statement failure into the error.
+func (c *Client) Exec(cmd string) (*Response, error) {
+	resp, err := c.Do(cmd)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("server: %s", resp.Err)
+	}
+	return resp, nil
+}
+
+// Count executes a statement expected to return a single integer cell
+// (e.g. SELECT COUNT(*) ...).
+func (c *Client) Count(stmt string) (int64, error) {
+	resp, err := c.Exec(stmt)
+	if err != nil {
+		return 0, err
+	}
+	return resp.Int64(0, 0)
+}
+
+// Close says goodbye and drops the connection.
+func (c *Client) Close() error {
+	c.Do("/quit") // best effort; the server closes after replying
+	return c.conn.Close()
+}

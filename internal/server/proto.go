@@ -1,0 +1,159 @@
+// Package server puts a network front on the cracking store: a
+// length-prefixed wire protocol (4-byte big-endian frame length, UTF-8
+// text payload) carrying one request per frame — a SQL statement or a
+// /meta command — and one response frame back. The text-in-frames shape
+// keeps the protocol dependency-free and debuggable (`nc` plus a hex
+// dump reads it) while the explicit length makes framing robust for
+// multi-line tabular results and concurrent pipelined clients.
+//
+// Response payload grammar (first line is the status):
+//
+//	ok rows=<n>\n<tab-separated header>\n<tab-separated row>...
+//	ok msg=<free text>\n
+//	err <free text>\n
+package server
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// MaxFrame bounds a single request or response frame. Results larger
+// than this must be paginated with LIMIT.
+const MaxFrame = 16 << 20
+
+// writeFrame writes one length-prefixed frame.
+func writeFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("server: frame of %d bytes exceeds limit %d", len(payload), MaxFrame)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one length-prefixed frame, reusing buf when it is
+// large enough.
+func readFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("server: peer announced %d-byte frame, limit %d", n, MaxFrame)
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// Response is one decoded server reply. Exactly one of Err, Message or
+// the tabular (Columns, Rows) forms is populated; cells are decimal
+// strings for SQL results and free text for meta commands.
+type Response struct {
+	Err     string
+	Message string
+	Columns []string
+	Rows    [][]string
+}
+
+// IsTabular reports whether the response carries a result table.
+func (r *Response) IsTabular() bool { return r.Err == "" && r.Message == "" }
+
+// Int64 parses one cell as a decimal integer.
+func (r *Response) Int64(row, col int) (int64, error) {
+	if row >= len(r.Rows) || col >= len(r.Rows[row]) {
+		return 0, fmt.Errorf("server: no cell (%d,%d) in %dx%d result", row, col, len(r.Rows), len(r.Columns))
+	}
+	return strconv.ParseInt(r.Rows[row][col], 10, 64)
+}
+
+// encode renders the response payload.
+func (r *Response) encode(buf []byte) []byte {
+	b := buf[:0]
+	switch {
+	case r.Err != "":
+		b = append(b, "err "...)
+		b = append(b, sanitize(r.Err)...)
+		b = append(b, '\n')
+	case r.Message != "":
+		b = append(b, "ok msg="...)
+		b = append(b, sanitize(r.Message)...)
+		b = append(b, '\n')
+	default:
+		b = append(b, "ok rows="...)
+		b = strconv.AppendInt(b, int64(len(r.Rows)), 10)
+		b = append(b, '\n')
+		b = appendTabLine(b, r.Columns)
+		for _, row := range r.Rows {
+			b = appendTabLine(b, row)
+		}
+	}
+	return b
+}
+
+func appendTabLine(b []byte, cells []string) []byte {
+	for i, c := range cells {
+		if i > 0 {
+			b = append(b, '\t')
+		}
+		b = append(b, c...)
+	}
+	return append(b, '\n')
+}
+
+// sanitize keeps status lines single-line.
+func sanitize(s string) string {
+	if strings.ContainsAny(s, "\n\r") {
+		s = strings.NewReplacer("\n", " ", "\r", " ").Replace(s)
+	}
+	return s
+}
+
+// decodeResponse parses a response payload.
+func decodeResponse(payload []byte) (*Response, error) {
+	sc := bufio.NewScanner(strings.NewReader(string(payload)))
+	sc.Buffer(make([]byte, 1<<16), MaxFrame)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("server: empty response frame")
+	}
+	status := sc.Text()
+	switch {
+	case strings.HasPrefix(status, "err "):
+		return &Response{Err: status[len("err "):]}, nil
+	case strings.HasPrefix(status, "ok msg="):
+		return &Response{Message: status[len("ok msg="):]}, nil
+	case strings.HasPrefix(status, "ok rows="):
+		n, err := strconv.Atoi(status[len("ok rows="):])
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("server: bad row count in status %q", status)
+		}
+		if !sc.Scan() {
+			return nil, fmt.Errorf("server: tabular response missing header")
+		}
+		resp := &Response{Columns: strings.Split(sc.Text(), "\t"), Rows: make([][]string, 0, n)}
+		for i := 0; i < n; i++ {
+			if !sc.Scan() {
+				return nil, fmt.Errorf("server: response announced %d rows, carried %d", n, i)
+			}
+			resp.Rows = append(resp.Rows, strings.Split(sc.Text(), "\t"))
+		}
+		return resp, nil
+	default:
+		return nil, fmt.Errorf("server: unknown status line %q", status)
+	}
+}

@@ -1,0 +1,289 @@
+package server
+
+import (
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"crackdb"
+	"crackdb/internal/shard"
+	"crackdb/internal/sql"
+)
+
+// Server serves the wire protocol over a sharded cracker store. One
+// goroutine per connection; the engine and store are safe for
+// concurrent use, so clients run genuinely in parallel — including the
+// cracking itself, which the shard router spreads over per-shard locks.
+type Server struct {
+	store *shard.Store
+	eng   *sql.Engine
+	logf  func(format string, args ...any)
+
+	mu      sync.Mutex
+	ln      net.Listener
+	conns   map[net.Conn]struct{}
+	closing bool
+	wg      sync.WaitGroup
+}
+
+// New wraps a sharded store. logf receives one line per lifecycle event
+// (nil silences logging).
+func New(store *shard.Store, logf func(format string, args ...any)) *Server {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Server{
+		store: store,
+		eng:   sql.NewEngineOn(store),
+		logf:  logf,
+		conns: make(map[net.Conn]struct{}),
+	}
+}
+
+// ListenAndServe listens on addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Shutdown. It returns nil after
+// a clean shutdown.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closing {
+		// Shutdown won the race before the listener was registered
+		// (e.g. SIGTERM immediately after spawn): that is still a clean
+		// stop, not an error — close the listener Shutdown never saw.
+		s.mu.Unlock()
+		ln.Close()
+		return nil
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	s.logf("listening on %s (%d shards)", ln.Addr(), s.store.ShardCount())
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closing := s.closing
+			s.mu.Unlock()
+			if closing {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closing {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+// Shutdown stops accepting, waits up to timeout for in-flight requests,
+// then force-closes the stragglers. Safe to call once.
+func (s *Server) Shutdown(timeout time.Duration) {
+	s.mu.Lock()
+	s.closing = true
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
+	s.logf("shutdown complete")
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		s.wg.Done()
+	}()
+	var reqBuf, respBuf []byte
+	for {
+		payload, err := readFrame(conn, reqBuf)
+		if err != nil {
+			return // EOF or broken peer: drop the connection
+		}
+		reqBuf = payload
+		cmd := strings.TrimSpace(string(payload))
+		resp, quit := s.dispatch(cmd)
+		respBuf = resp.encode(respBuf)
+		if err := writeFrame(conn, respBuf); err != nil {
+			return
+		}
+		if quit {
+			return
+		}
+	}
+}
+
+// dispatch executes one request. quit asks the handler to close the
+// connection after replying.
+func (s *Server) dispatch(cmd string) (resp *Response, quit bool) {
+	if strings.HasPrefix(cmd, "/") {
+		return s.meta(cmd)
+	}
+	rs, err := s.eng.Exec(cmd)
+	if err != nil {
+		return &Response{Err: err.Error()}, false
+	}
+	return fromResultSet(rs), false
+}
+
+// fromResultSet renders a SQL result on the wire.
+func fromResultSet(rs *sql.ResultSet) *Response {
+	if rs.Message != "" {
+		return &Response{Message: rs.Message}
+	}
+	out := &Response{Columns: rs.Columns, Rows: make([][]string, len(rs.Rows))}
+	for i, row := range rs.Rows {
+		cells := make([]string, len(row))
+		for j, v := range row {
+			cells[j] = strconv.FormatInt(v, 10)
+		}
+		out.Rows[i] = cells
+	}
+	return out
+}
+
+// meta executes a /command.
+func (s *Server) meta(cmd string) (*Response, bool) {
+	fields := strings.Fields(cmd)
+	switch fields[0] {
+	case "/ping":
+		return &Response{Message: "pong"}, false
+	case "/quit":
+		return &Response{Message: "bye"}, true
+	case "/help":
+		return &Response{Message: "/ping /tables /shards /stats <table> <col> /strategy <name> [seed] [shard] /tapestry <name> <n> <alpha> [seed] /quit — anything else is SQL"}, false
+	case "/tables":
+		resp := &Response{Columns: []string{"table", "rows", "columns"}}
+		for _, t := range s.store.Tables() {
+			n, err := s.store.NumRows(t)
+			if err != nil {
+				return &Response{Err: err.Error()}, false
+			}
+			cols, err := s.store.Columns(t)
+			if err != nil {
+				return &Response{Err: err.Error()}, false
+			}
+			resp.Rows = append(resp.Rows, []string{t, strconv.Itoa(n), strings.Join(cols, ",")})
+		}
+		return resp, false
+	case "/shards":
+		resp := &Response{Columns: []string{"table", "key", "scheme", "shards"}}
+		for _, p := range s.store.Partitions() {
+			resp.Rows = append(resp.Rows, []string{p.Table, p.Key, p.Scheme, strconv.Itoa(p.Shards)})
+		}
+		return resp, false
+	case "/stats":
+		if len(fields) != 3 {
+			return &Response{Err: "usage: /stats <table> <column>"}, false
+		}
+		per, err := s.store.ShardStats(fields[1], fields[2])
+		if err != nil {
+			return &Response{Err: err.Error()}, false
+		}
+		resp := &Response{Columns: []string{
+			"shard", "queries", "cracks", "aux_cracks", "index_lookups",
+			"pieces", "tuples_moved", "tuples_touched",
+		}}
+		for i, cs := range per {
+			resp.Rows = append(resp.Rows, statsRow(strconv.Itoa(i), cs))
+		}
+		total, err := s.store.Stats(fields[1], fields[2])
+		if err != nil {
+			return &Response{Err: err.Error()}, false
+		}
+		resp.Rows = append(resp.Rows, statsRow("total", total))
+		return resp, false
+	case "/strategy":
+		if len(fields) < 2 || len(fields) > 4 {
+			return &Response{Err: "usage: /strategy <name> [seed] [shard]"}, false
+		}
+		seed := int64(42)
+		if len(fields) >= 3 {
+			v, err := strconv.ParseInt(fields[2], 10, 64)
+			if err != nil {
+				return &Response{Err: "bad seed: " + err.Error()}, false
+			}
+			seed = v
+		}
+		if len(fields) == 4 {
+			idx, err := strconv.Atoi(fields[3])
+			if err != nil {
+				return &Response{Err: "bad shard index: " + err.Error()}, false
+			}
+			if err := s.store.SetShardCrackStrategy(idx, fields[1], seed); err != nil {
+				return &Response{Err: err.Error()}, false
+			}
+			return &Response{Message: fmt.Sprintf("strategy %s on shard %d", fields[1], idx)}, false
+		}
+		if err := s.store.SetCrackStrategy(fields[1], seed); err != nil {
+			return &Response{Err: err.Error()}, false
+		}
+		return &Response{Message: fmt.Sprintf("strategy %s on all %d shards", fields[1], s.store.ShardCount())}, false
+	case "/tapestry":
+		if len(fields) < 4 || len(fields) > 5 {
+			return &Response{Err: "usage: /tapestry <name> <n> <alpha> [seed]"}, false
+		}
+		n, err1 := strconv.Atoi(fields[2])
+		alpha, err2 := strconv.Atoi(fields[3])
+		if err1 != nil || err2 != nil {
+			return &Response{Err: "n and alpha must be integers"}, false
+		}
+		seed := int64(42)
+		if len(fields) == 5 {
+			v, err := strconv.ParseInt(fields[4], 10, 64)
+			if err != nil {
+				return &Response{Err: "bad seed: " + err.Error()}, false
+			}
+			seed = v
+		}
+		if err := s.store.LoadTapestry(fields[1], n, alpha, seed); err != nil {
+			return &Response{Err: err.Error()}, false
+		}
+		return &Response{Message: fmt.Sprintf("loaded tapestry %s (%d x %d)", fields[1], n, alpha)}, false
+	default:
+		return &Response{Err: fmt.Sprintf("unknown command %s (try /help)", fields[0])}, false
+	}
+}
+
+func statsRow(label string, cs crackdb.ColumnStats) []string {
+	return []string{
+		label,
+		strconv.Itoa(cs.Queries),
+		strconv.Itoa(cs.Cracks),
+		strconv.Itoa(cs.AuxCracks),
+		strconv.Itoa(cs.IndexLookups),
+		strconv.Itoa(cs.Pieces),
+		strconv.FormatInt(cs.TuplesMoved, 10),
+		strconv.FormatInt(cs.TuplesTouched, 10),
+	}
+}

@@ -1,0 +1,273 @@
+package server
+
+import (
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"crackdb/internal/shard"
+)
+
+// startServer spins up a server over a fresh sharded store on a
+// loopback port, returning the address, the store and a shutdown func
+// that also asserts Serve exited cleanly.
+func startServer(t *testing.T, opts shard.Options) (string, *shard.Store, func()) {
+	t.Helper()
+	st := shard.New(opts)
+	srv := New(st, nil)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(ln) }()
+	return ln.Addr().String(), st, func() {
+		srv.Shutdown(2 * time.Second)
+		if err := <-served; err != nil {
+			t.Errorf("Serve returned %v after shutdown, want nil", err)
+		}
+	}
+}
+
+func TestProtoRoundTrip(t *testing.T) {
+	cases := []*Response{
+		{Message: "pong"},
+		{Err: "table \"x\" does not exist"},
+		{Columns: []string{"a", "b"}, Rows: [][]string{{"1", "2"}, {"-3", "4"}}},
+		{Columns: []string{"count(*)"}, Rows: [][]string{}},
+	}
+	for _, want := range cases {
+		got, err := decodeResponse(want.encode(nil))
+		if err != nil {
+			t.Fatalf("decode(%+v): %v", want, err)
+		}
+		if got.Err != want.Err || got.Message != want.Message {
+			t.Fatalf("round trip %+v -> %+v", want, got)
+		}
+		if want.IsTabular() {
+			if len(got.Rows) != len(want.Rows) || len(got.Columns) != len(want.Columns) {
+				t.Fatalf("tabular round trip %+v -> %+v", want, got)
+			}
+			for i := range want.Rows {
+				for j := range want.Rows[i] {
+					if got.Rows[i][j] != want.Rows[i][j] {
+						t.Fatalf("cell (%d,%d): %q != %q", i, j, got.Rows[i][j], want.Rows[i][j])
+					}
+				}
+			}
+		}
+	}
+	// Multi-line errors must stay single-line on the wire.
+	got, err := decodeResponse((&Response{Err: "one\ntwo"}).encode(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Err != "one two" {
+		t.Fatalf("sanitize: %q", got.Err)
+	}
+}
+
+func TestServerEndToEnd(t *testing.T) {
+	addr, st, stop := startServer(t, shard.Options{Shards: 2, Kind: shard.Hash})
+	defer stop()
+
+	c, err := DialTimeout(addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if resp, err := c.Exec("/ping"); err != nil || resp.Message != "pong" {
+		t.Fatalf("/ping: %+v, %v", resp, err)
+	}
+	if _, err := c.Exec("CREATE TABLE ev (k INT, v INT)"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i += 10 {
+		if _, err := c.Exec(fmt.Sprintf("INSERT INTO ev VALUES (%d,%d),(%d,%d),(%d,%d),(%d,%d),(%d,%d),(%d,%d),(%d,%d),(%d,%d),(%d,%d),(%d,%d)",
+			i, i%7, i+1, (i+1)%7, i+2, (i+2)%7, i+3, (i+3)%7, i+4, (i+4)%7,
+			i+5, (i+5)%7, i+6, (i+6)%7, i+7, (i+7)%7, i+8, (i+8)%7, i+9, (i+9)%7)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := c.Count("SELECT COUNT(*) FROM ev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 100 {
+		t.Fatalf("COUNT(*) = %d, want 100", n)
+	}
+	// The server's answer must agree with the store it fronts.
+	direct, err := st.CountWhere("ev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(direct) != n {
+		t.Fatalf("wire count %d, direct count %d", n, direct)
+	}
+	rc, err := c.Count("SELECT COUNT(*) FROM ev WHERE k >= 10 AND k < 30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc != 20 {
+		t.Fatalf("range count = %d, want 20", rc)
+	}
+	rows, err := c.Exec("SELECT k, v FROM ev WHERE k >= 5 AND k <= 7 ORDER BY k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Rows) != 3 || rows.Rows[0][0] != "5" || rows.Rows[2][0] != "7" {
+		t.Fatalf("projection: %+v", rows.Rows)
+	}
+	agg, err := c.Exec("SELECT v, COUNT(*) FROM ev GROUP BY v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(agg.Rows) != 7 {
+		t.Fatalf("GROUP BY returned %d groups, want 7", len(agg.Rows))
+	}
+
+	// Meta surface.
+	tab, err := c.Exec("/tables")
+	if err != nil || len(tab.Rows) != 1 || tab.Rows[0][0] != "ev" {
+		t.Fatalf("/tables: %+v, %v", tab, err)
+	}
+	sh, err := c.Exec("/shards")
+	if err != nil || len(sh.Rows) != 1 || sh.Rows[0][1] != "k" {
+		t.Fatalf("/shards: %+v, %v", sh, err)
+	}
+	stats, err := c.Exec("/stats ev k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Rows) != 3 { // 2 shards + total
+		t.Fatalf("/stats rows = %d, want 3", len(stats.Rows))
+	}
+	totQ, err := stats.Int64(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if totQ == 0 {
+		t.Fatalf("total queries = 0 after range selects: %+v", stats.Rows)
+	}
+	if _, err := c.Exec("/strategy mdd1r 7"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec("/strategy ddc 7 1"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Failures ride the protocol, not the transport.
+	resp, err := c.Do("SELECT nope FROM missing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Err == "" {
+		t.Fatal("statement against a missing table must fail")
+	}
+	resp, err = c.Do("/bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Err == "" {
+		t.Fatal("unknown meta command must fail")
+	}
+	// The connection survives failed statements.
+	if _, err := c.Exec("/ping"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerConcurrentClients(t *testing.T) {
+	const n = 20000
+	addr, _, stop := startServer(t, shard.Options{Shards: 4, Kind: shard.Range})
+	defer stop()
+
+	setup, err := DialTimeout(addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := setup.Exec("/tapestry bench " + strconv.Itoa(n) + " 2 5"); err != nil {
+		t.Fatal(err)
+	}
+	setup.Close()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := DialTimeout(addr, 2*time.Second)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			for i := 0; i < 40; i++ {
+				lo := (w*40+i)*97%(n-500) + 1
+				// The tapestry key is a permutation of 1..n: every range
+				// count equals its width exactly.
+				got, err := c.Count(fmt.Sprintf("SELECT COUNT(*) FROM bench WHERE c0 >= %d AND c0 < %d", lo, lo+500))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if got != 500 {
+					t.Errorf("worker %d query %d: count %d, want 500", w, i, got)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestServeAfterShutdownIsClean(t *testing.T) {
+	// SIGTERM can land before Serve registers the listener; that must
+	// still be a clean (nil) stop with the listener closed.
+	srv := New(shard.New(shard.Options{}), nil)
+	srv.Shutdown(time.Millisecond)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Serve(ln); err != nil {
+		t.Fatalf("Serve after Shutdown = %v, want nil", err)
+	}
+	if _, err := ln.Accept(); err == nil {
+		t.Fatal("listener should have been closed")
+	}
+}
+
+func TestServerShutdownClosesIdleConns(t *testing.T) {
+	st := shard.New(shard.Options{Shards: 1})
+	srv := New(st, nil)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(ln) }()
+	c, err := DialTimeout(ln.Addr().String(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec("/ping"); err != nil {
+		t.Fatal(err)
+	}
+	// The client idles; Shutdown must not hang on it.
+	start := time.Now()
+	srv.Shutdown(200 * time.Millisecond)
+	if e := time.Since(start); e > 2*time.Second {
+		t.Fatalf("Shutdown took %v with an idle connection", e)
+	}
+	if err := <-served; err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	if _, err := c.Do("/ping"); err == nil {
+		t.Fatal("connection should be closed after shutdown")
+	}
+}

@@ -1,0 +1,101 @@
+package shard_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"crackdb"
+	"crackdb/internal/shard"
+)
+
+// benchStore builds an s-shard store over an n-row tapestry and warms
+// the crackers with a few random ranges so the steady state — not the
+// first-query copy — is what the timer sees.
+func benchStore(b *testing.B, shards, n int, kind shard.Kind) *shard.Store {
+	b.Helper()
+	st := shard.New(shard.Options{Shards: shards, Kind: kind})
+	if err := st.LoadTapestry("t", n, 1, 42); err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 64; i++ {
+		lo := rng.Int63n(int64(n-1000)) + 1
+		if _, err := st.CountWhere("t",
+			crackdb.Cond{Col: "c0", Op: ">=", Val: lo},
+			crackdb.Cond{Col: "c0", Op: "<", Val: lo + 1000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return st
+}
+
+// BenchmarkShardSelect times one routed range count per op, single
+// client: sharding pays fan-out overhead here and earns it back from
+// smaller per-shard cracks and (range kind) pruned shards.
+func BenchmarkShardSelect(b *testing.B) {
+	const n = 100_000
+	for _, kind := range []shard.Kind{shard.Hash, shard.Range} {
+		for _, shards := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("%s/shards=%d", kind, shards), func(b *testing.B) {
+				st := benchStore(b, shards, n, kind)
+				rng := rand.New(rand.NewSource(7))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					lo := rng.Int63n(n-1000) + 1
+					if _, err := st.CountWhere("t",
+						crackdb.Cond{Col: "c0", Op: ">=", Val: lo},
+						crackdb.Cond{Col: "c0", Op: "<", Val: lo + 1000}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkShardParallelSelect is the scale-out case: concurrent
+// clients spread over per-shard locks instead of one store's.
+func BenchmarkShardParallelSelect(b *testing.B) {
+	const n = 100_000
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			st := benchStore(b, shards, n, shard.Hash)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				rng := rand.New(rand.NewSource(11))
+				for pb.Next() {
+					lo := rng.Int63n(n-1000) + 1
+					if _, err := st.CountWhere("t",
+						crackdb.Cond{Col: "c0", Op: ">=", Val: lo},
+						crackdb.Cond{Col: "c0", Op: "<", Val: lo + 1000}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkShardInsert times routed bulk loads.
+func BenchmarkShardInsert(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			st := shard.New(shard.Options{Shards: shards})
+			if err := st.CreateTable("t", "k", "v"); err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(3))
+			batch := make([][]int64, 1000)
+			for i := range batch {
+				batch[i] = []int64{rng.Int63n(1 << 20), int64(i)}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := st.InsertRows("t", batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,307 @@
+package shard_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"crackdb"
+	"crackdb/internal/core"
+	"crackdb/internal/shard"
+	"crackdb/internal/strategy"
+	"crackdb/internal/workload"
+)
+
+// canonical serializes rows in the canonical lexicographic order, so two
+// results compare byte-identical iff they hold the same multiset of
+// tuples. The input is sorted in place.
+func canonical(rows [][]int64) string {
+	core.SortRows(rows)
+	var b strings.Builder
+	for _, r := range rows {
+		for i, v := range r {
+			if i > 0 {
+				b.WriteByte('\t')
+			}
+			fmt.Fprintf(&b, "%d", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestShardOracle is the sharding correctness property: for every
+// partition kind × shard count × crack strategy × workload pattern, a
+// sharded store must answer the exact query stream a single store
+// answers, byte-identically — counts, tuples and group counts. The
+// stream mixes range selects, point lookups, non-key predicates and a
+// mid-stream insert, so routing, fan-out merge and pending-update
+// consolidation are all on the hook.
+func TestShardOracle(t *testing.T) {
+	const (
+		n       = 1500
+		queries = 40
+	)
+	kinds := []shard.Kind{shard.Hash, shard.Range}
+	shardCounts := []int{1, 2, 4}
+	strategies := strategy.Names() // standard, ddc, ddr, mdd1r
+	for _, kind := range kinds {
+		for _, nShards := range shardCounts {
+			for _, strat := range strategies {
+				for _, pattern := range workload.Patterns() {
+					name := fmt.Sprintf("%s/%d/%s/%s", kind, nShards, strat, pattern)
+					t.Run(name, func(t *testing.T) {
+						runOracleCell(t, kind, nShards, strat, pattern, n, queries)
+					})
+				}
+			}
+		}
+	}
+}
+
+func runOracleCell(t *testing.T, kind shard.Kind, nShards int, strat string, pattern workload.Pattern, n, queries int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(99))
+	rows := make([][]int64, n)
+	for i := range rows {
+		rows[i] = []int64{rng.Int63n(int64(n)), int64(i), rng.Int63n(64)}
+	}
+	extra := make([][]int64, 50)
+	for i := range extra {
+		extra[i] = []int64{rng.Int63n(int64(n)), int64(n + i), rng.Int63n(64)}
+	}
+
+	single := crackdb.New()
+	if err := single.SetCrackStrategy(strat, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := single.CreateTable("t", "k", "v", "g"); err != nil {
+		t.Fatal(err)
+	}
+	if err := single.InsertRows("t", rows); err != nil {
+		t.Fatal(err)
+	}
+
+	sharded := shard.New(shard.Options{Shards: nShards, Kind: kind, Domain: [2]int64{0, int64(n) - 1}})
+	if err := sharded.SetCrackStrategy(strat, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := sharded.CreateTable("t", "k", "v", "g"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sharded.InsertRows("t", rows); err != nil {
+		t.Fatal(err)
+	}
+
+	gen, err := workload.New(pattern, workload.Config{
+		Domain: int64(n), Count: queries, Selectivity: 0.05, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi := 0; ; qi++ {
+		q, ok := gen.Next()
+		if !ok {
+			break
+		}
+		if qi == queries/2 {
+			if err := single.InsertRows("t", extra); err != nil {
+				t.Fatal(err)
+			}
+			if err := sharded.InsertRows("t", extra); err != nil {
+				t.Fatal(err)
+			}
+		}
+		conds := []crackdb.Cond{{Col: "k", Op: ">=", Val: q.Lo}, {Col: "k", Op: "<", Val: q.Hi}}
+		switch {
+		case qi%5 == 3: // point lookup on the partition key
+			conds = []crackdb.Cond{{Col: "k", Op: "=", Val: q.Lo}}
+		case qi%5 == 4: // add a non-key predicate to the range
+			conds = append(conds, crackdb.Cond{Col: "g", Op: "<", Val: 32})
+		}
+
+		wantRes, err := single.SelectWhere("t", conds...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotRes, err := sharded.SelectWhere("t", conds...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wantRes.Count() != gotRes.Count() {
+			t.Fatalf("query %d %v: count %d, oracle %d", qi, conds, gotRes.Count(), wantRes.Count())
+		}
+		wantRows, err := wantRes.Rows("k", "v", "g")
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotRows, err := gotRes.Rows("k", "v", "g")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want, got := canonical(wantRows), canonical(gotRows); want != got {
+			t.Fatalf("query %d %v: sharded result diverges from oracle\noracle:\n%s\nsharded:\n%s", qi, conds, want, got)
+		}
+
+		wantN, err := single.CountWhere("t", conds...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotN, err := sharded.CountWhere("t", conds...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wantN != gotN {
+			t.Fatalf("query %d %v: CountWhere %d, oracle %d", qi, conds, gotN, wantN)
+		}
+	}
+
+	// The Ω cracker must merge to identical group counts.
+	wantG, err := single.GroupBy("t", "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotG, err := sharded.GroupBy("t", "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wantG) != len(gotG) {
+		t.Fatalf("GroupBy: %d groups, oracle %d", len(gotG), len(wantG))
+	}
+	for i := range wantG {
+		if wantG[i] != gotG[i] {
+			t.Fatalf("GroupBy[%d]: %+v, oracle %+v", i, gotG[i], wantG[i])
+		}
+	}
+}
+
+// TestShardStatsLocality checks that crack state is shard-local: under
+// range partitioning, a query stream confined to one shard's key
+// interval must leave the other shards' crack counters untouched.
+func TestShardStatsLocality(t *testing.T) {
+	const n = 4000
+	s := shard.New(shard.Options{Shards: 4, Kind: shard.Range, Domain: [2]int64{0, n - 1}})
+	if err := s.CreateTable("t", "k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	rows := make([][]int64, n)
+	for i := range rows {
+		rows[i] = []int64{int64(i), rng.Int63n(1000)}
+	}
+	if err := s.InsertRows("t", rows); err != nil {
+		t.Fatal(err)
+	}
+	// Queries confined to the first quarter of the key space.
+	for i := 0; i < 32; i++ {
+		lo := rng.Int63n(n / 5)
+		if _, err := s.CountWhere("t", crackdb.Cond{Col: "k", Op: ">=", Val: lo}, crackdb.Cond{Col: "k", Op: "<", Val: lo + 50}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	per, err := s.ShardStats("t", "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if per[0].Queries == 0 || per[0].Cracks == 0 {
+		t.Fatalf("shard 0 should have absorbed the stream: %+v", per[0])
+	}
+	for i := 1; i < 4; i++ {
+		if per[i].Queries != 0 || per[i].Cracks != 0 {
+			t.Fatalf("shard %d saw queries outside its key interval: %+v", i, per[i])
+		}
+	}
+	total, err := s.Stats("t", "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total.Queries != per[0].Queries {
+		t.Fatalf("aggregate stats %d queries, want %d", total.Queries, per[0].Queries)
+	}
+}
+
+// TestShardConcurrent hammers one sharded store from many goroutines —
+// the race detector is the assertion.
+func TestShardConcurrent(t *testing.T) {
+	const n = 5000
+	s := shard.New(shard.Options{Shards: 4, Kind: shard.Hash})
+	if err := s.CreateTable("t", "k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	rows := make([][]int64, n)
+	rng := rand.New(rand.NewSource(2))
+	for i := range rows {
+		rows[i] = []int64{rng.Int63n(n), int64(i)}
+	}
+	if err := s.InsertRows("t", rows); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 60; i++ {
+				lo := rng.Int63n(n - 100)
+				switch i % 4 {
+				case 0:
+					if _, err := s.CountWhere("t", crackdb.Cond{Col: "k", Op: ">=", Val: lo}, crackdb.Cond{Col: "k", Op: "<", Val: lo + 100}); err != nil {
+						t.Error(err)
+						return
+					}
+				case 1:
+					res, err := s.SelectWhere("t", crackdb.Cond{Col: "k", Op: "=", Val: lo})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if _, err := res.Rows("k", "v"); err != nil {
+						t.Error(err)
+						return
+					}
+				case 2:
+					if err := s.InsertRows("t", [][]int64{{lo, int64(n + i)}}); err != nil {
+						t.Error(err)
+						return
+					}
+				case 3:
+					if _, err := s.ShardStats("t", "k"); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestLoadTapestry checks the generator path: every key of the
+// permutation lands on exactly one shard and point counts are exact.
+func TestLoadTapestry(t *testing.T) {
+	for _, kind := range []shard.Kind{shard.Hash, shard.Range} {
+		s := shard.New(shard.Options{Shards: 3, Kind: kind})
+		if err := s.LoadTapestry("b", 999, 2, 5); err != nil {
+			t.Fatal(err)
+		}
+		total, err := s.NumRows("b")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if total != 999 {
+			t.Fatalf("%s: %d rows, want 999", kind, total)
+		}
+		// The tapestry key column is a permutation of 1..n: every range
+		// count is exactly its width.
+		c, err := s.CountWhere("b", crackdb.Cond{Col: "c0", Op: ">=", Val: 100}, crackdb.Cond{Col: "c0", Op: "<", Val: 300})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c != 200 {
+			t.Fatalf("%s: count %d, want 200", kind, c)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package shard
+
+import (
+	"math"
+	"testing"
+
+	"crackdb"
+)
+
+func TestKeyBounds(t *testing.T) {
+	cases := []struct {
+		name   string
+		conds  []crackdb.Cond
+		lo, hi int64
+		empty  bool
+	}{
+		{"none", nil, math.MinInt64, math.MaxInt64, false},
+		{"range", []crackdb.Cond{{Col: "k", Op: ">=", Val: 10}, {Col: "k", Op: "<", Val: 20}}, 10, 19, false},
+		{"strict", []crackdb.Cond{{Col: "k", Op: ">", Val: 10}, {Col: "k", Op: "<=", Val: 20}}, 11, 20, false},
+		{"eq", []crackdb.Cond{{Col: "k", Op: "=", Val: 7}}, 7, 7, false},
+		{"eq-narrows", []crackdb.Cond{{Col: "k", Op: "=", Val: 7}, {Col: "k", Op: ">=", Val: 3}}, 7, 7, false},
+		{"other-col", []crackdb.Cond{{Col: "v", Op: ">=", Val: 3}}, math.MinInt64, math.MaxInt64, false},
+		{"contradiction", []crackdb.Cond{{Col: "k", Op: ">", Val: 20}, {Col: "k", Op: "<", Val: 10}}, 0, 0, true},
+		{"ne-ignored", []crackdb.Cond{{Col: "k", Op: "<>", Val: 5}}, math.MinInt64, math.MaxInt64, false},
+		{"lt-min-empty", []crackdb.Cond{{Col: "k", Op: "<", Val: math.MinInt64}}, 0, 0, true},
+		{"gt-max-empty", []crackdb.Cond{{Col: "k", Op: ">", Val: math.MaxInt64}}, 0, 0, true},
+	}
+	for _, c := range cases {
+		lo, hi, empty := keyBounds("k", c.conds)
+		if empty != c.empty {
+			t.Fatalf("%s: empty=%v want %v", c.name, empty, c.empty)
+		}
+		if !empty && (lo != c.lo || hi != c.hi) {
+			t.Fatalf("%s: [%d,%d] want [%d,%d]", c.name, lo, hi, c.lo, c.hi)
+		}
+	}
+}
+
+func TestEvenBoundsStrictlyIncreasing(t *testing.T) {
+	for _, tc := range []struct {
+		lo, hi int64
+		n      int
+	}{{0, 1 << 20, 4}, {1, 1000, 8}, {0, 1, 4}, {5, 5, 3}, {-100, 100, 5}} {
+		b := evenBounds(tc.lo, tc.hi, tc.n)
+		if len(b) != tc.n-1 {
+			t.Fatalf("evenBounds(%d,%d,%d): %d bounds, want %d", tc.lo, tc.hi, tc.n, len(b), tc.n-1)
+		}
+		for i := 1; i < len(b); i++ {
+			if b[i] <= b[i-1] {
+				t.Fatalf("evenBounds(%d,%d,%d): not strictly increasing: %v", tc.lo, tc.hi, tc.n, b)
+			}
+		}
+	}
+}
+
+func TestRangePartCoversAxis(t *testing.T) {
+	p := rangePart{bounds: evenBounds(0, 1000, 4)}
+	for _, v := range []int64{math.MinInt64, -1, 0, 250, 500, 999, 1000, 5000, math.MaxInt64} {
+		s := p.route(v)
+		if s < 0 || s > 3 {
+			t.Fatalf("route(%d) = %d out of range", v, s)
+		}
+	}
+	if f, l := p.span(0, 1000); f != 0 || l != 3 {
+		t.Fatalf("full span = [%d,%d], want [0,3]", f, l)
+	}
+	if f, l := p.span(10, 10); f != l {
+		t.Fatalf("point span = [%d,%d], want a single shard", f, l)
+	}
+	lo, hi := p.span(100, 400)
+	if lo > hi {
+		t.Fatalf("span inverted: [%d,%d]", lo, hi)
+	}
+}
+
+func TestHashPartSpan(t *testing.T) {
+	p := hashPart{n: 4}
+	if f, l := p.span(3, 3); f != l || f != p.route(3) {
+		t.Fatalf("point span [%d,%d] should pin shard %d", f, l, p.route(3))
+	}
+	if f, l := p.span(0, 10); f != 0 || l != 3 {
+		t.Fatalf("range span [%d,%d], want all shards", f, l)
+	}
+	// Routing must be a pure function of the value.
+	for v := int64(-50); v < 50; v++ {
+		if p.route(v) != p.route(v) {
+			t.Fatal("route not deterministic")
+		}
+	}
+}

@@ -1,0 +1,555 @@
+// Package shard partitions tables across several cracker stores so the
+// query stream — which in a cracking system is also the index-building
+// stream — is split into per-shard slices. Each shard is a full
+// crackdb.Store with its own locks, cracker indexes and crack strategy:
+// cracked columns never span shards, so a shard reorganizes only under
+// the queries routed to it, and the stochastic-cracking robustness
+// machinery applies shard-locally (a sequential global walk becomes a
+// sequential walk per range shard, but an unrelated trickle per hash
+// shard).
+//
+// The router implements internal/sql.Backend, so the SQL executor runs
+// unchanged over one store or many. Selections fan out to the shards
+// that can hold qualifying keys (all of them for hashed range
+// predicates, a contiguous subset for range partitioning, exactly one
+// for key equality) and the merged result is canonically ordered —
+// byte-identical whatever the shard count (see Result).
+package shard
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"crackdb"
+	"crackdb/internal/core"
+	"crackdb/internal/mqs"
+	"crackdb/internal/sql"
+)
+
+// Options configures a sharded store.
+type Options struct {
+	// Shards is the number of underlying stores (default 1).
+	Shards int
+	// Kind is the partitioning scheme for tables created without an
+	// explicit one (default Hash).
+	Kind Kind
+	// Domain is the inclusive key interval [Domain[0], Domain[1]] that
+	// range partitioning splits evenly when a table is created before
+	// its data is known (default [0, 1<<20]). LoadTapestry overrides it
+	// with the generated key domain.
+	Domain [2]int64
+}
+
+func (o *Options) defaults() {
+	if o.Shards <= 0 {
+		o.Shards = 1
+	}
+	if o.Kind == "" {
+		o.Kind = Hash
+	}
+	if o.Domain == [2]int64{} {
+		o.Domain = [2]int64{0, 1 << 20}
+	}
+}
+
+// Store is a hash- or range-sharded collection of cracker stores. All
+// methods are safe for concurrent use: the router's own mutex only
+// guards the table-metadata registry, and the per-shard stores carry
+// their own synchronization, so selections fan out and run in parallel.
+type Store struct {
+	mu     sync.RWMutex
+	opts   Options
+	shards []*crackdb.Store
+	tables map[string]*tableMeta
+}
+
+type tableMeta struct {
+	cols   []string
+	key    string
+	keyIdx int
+	part   partitioner
+}
+
+// New returns an empty sharded store.
+func New(opts Options) *Store {
+	opts.defaults()
+	shards := make([]*crackdb.Store, opts.Shards)
+	for i := range shards {
+		shards[i] = crackdb.New()
+	}
+	return &Store{opts: opts, shards: shards, tables: make(map[string]*tableMeta)}
+}
+
+// ShardCount returns the number of underlying stores.
+func (s *Store) ShardCount() int { return len(s.shards) }
+
+// Shard exposes one underlying store (per-shard configuration, tests).
+func (s *Store) Shard(i int) *crackdb.Store { return s.shards[i] }
+
+// SetCrackStrategy selects the crack strategy for columns cracked after
+// the call on every shard, deriving a distinct sub-seed per shard so
+// concurrent shards draw independent RNG streams.
+func (s *Store) SetCrackStrategy(name string, seed int64) error {
+	for i := range s.shards {
+		if err := s.SetShardCrackStrategy(i, name, seed+int64(i)*7919); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SetShardCrackStrategy selects the crack strategy of a single shard —
+// shards facing different workload slices may want different defenses.
+func (s *Store) SetShardCrackStrategy(i int, name string, seed int64) error {
+	if i < 0 || i >= len(s.shards) {
+		return fmt.Errorf("shard: index %d out of range [0,%d)", i, len(s.shards))
+	}
+	return s.shards[i].SetCrackStrategy(name, seed)
+}
+
+// meta resolves a table's routing metadata.
+func (s *Store) meta(table string) (*tableMeta, error) {
+	s.mu.RLock()
+	m, ok := s.tables[table]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("shard: table %q does not exist", table)
+	}
+	return m, nil
+}
+
+// partitionerFor builds a partitioner for the given kind over the key
+// domain [lo, hi].
+func (s *Store) partitionerFor(kind Kind, lo, hi int64) (partitioner, error) {
+	n := len(s.shards)
+	switch kind {
+	case Hash:
+		return hashPart{n: n}, nil
+	case Range:
+		return rangePart{bounds: evenBounds(lo, hi, n)}, nil
+	default:
+		return nil, fmt.Errorf("shard: unknown partition kind %q", kind)
+	}
+}
+
+// CreateTable registers an empty table on every shard, partitioned on
+// the first column with the store's default kind.
+func (s *Store) CreateTable(name string, cols ...string) error {
+	if len(cols) == 0 {
+		return fmt.Errorf("shard: table %q needs at least one column", name)
+	}
+	return s.CreateTableKeyed(name, cols[0], s.opts.Kind, cols...)
+}
+
+// CreateTableKeyed registers an empty table partitioned by kind on the
+// named key column.
+func (s *Store) CreateTableKeyed(name, key string, kind Kind, cols ...string) error {
+	keyIdx := -1
+	for i, c := range cols {
+		if c == key {
+			keyIdx = i
+		}
+	}
+	if keyIdx < 0 {
+		return fmt.Errorf("shard: partition key %q is not a column of %q", key, name)
+	}
+	part, err := s.partitionerFor(kind, s.opts.Domain[0], s.opts.Domain[1])
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.createLocked(name, key, keyIdx, part, cols)
+}
+
+// createLocked installs the metadata and mirrors the table onto every
+// shard, undoing partial creates on error. Caller holds s.mu.
+func (s *Store) createLocked(name, key string, keyIdx int, part partitioner, cols []string) error {
+	if _, exists := s.tables[name]; exists {
+		return fmt.Errorf("shard: table %q already exists", name)
+	}
+	for i, st := range s.shards {
+		if err := st.CreateTable(name, cols...); err != nil {
+			for j := 0; j < i; j++ {
+				s.shards[j].DropTable(name)
+			}
+			return err
+		}
+	}
+	s.tables[name] = &tableMeta{cols: append([]string(nil), cols...), key: key, keyIdx: keyIdx, part: part}
+	return nil
+}
+
+// DropTable removes a table from every shard.
+func (s *Store) DropTable(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.tables[name]; !ok {
+		return fmt.Errorf("shard: table %q does not exist", name)
+	}
+	for _, st := range s.shards {
+		if err := st.DropTable(name); err != nil {
+			return err
+		}
+	}
+	delete(s.tables, name)
+	return nil
+}
+
+// InsertRows routes tuples to their shards by partition key and appends
+// shard batches in parallel. Stream order is preserved within each
+// shard, so repeated loads are deterministic.
+func (s *Store) InsertRows(name string, rows [][]int64) error {
+	m, err := s.meta(name)
+	if err != nil {
+		return err
+	}
+	groups := make([][][]int64, len(s.shards))
+	for _, r := range rows {
+		if len(r) != len(m.cols) {
+			return fmt.Errorf("shard: table %q arity %d, row has %d values", name, len(m.cols), len(r))
+		}
+		t := m.part.route(r[m.keyIdx])
+		groups[t] = append(groups[t], r)
+	}
+	return s.fanOut(func(i int) error {
+		if len(groups[i]) == 0 {
+			return nil
+		}
+		return s.shards[i].InsertRows(name, groups[i])
+	})
+}
+
+// fanOut runs fn for every shard index concurrently and returns the
+// lowest-indexed error.
+func (s *Store) fanOut(fn func(i int) error) error {
+	errs := make([]error, len(s.shards))
+	var wg sync.WaitGroup
+	for i := range s.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// keyBounds folds the conjunction's predicates on the partition key into
+// one inclusive interval [lo, hi]. empty reports an unsatisfiable key
+// constraint (no tuple anywhere can qualify). Unknown operators and
+// <> do not narrow — they only widen the shard set, never miss a tuple.
+func keyBounds(key string, conds []crackdb.Cond) (lo, hi int64, empty bool) {
+	lo, hi = math.MinInt64, math.MaxInt64
+	for _, c := range conds {
+		if c.Col != key {
+			continue
+		}
+		switch c.Op {
+		case "=", "==":
+			if c.Val > lo {
+				lo = c.Val
+			}
+			if c.Val < hi {
+				hi = c.Val
+			}
+		case "<":
+			if c.Val == math.MinInt64 {
+				return 0, 0, true
+			}
+			if c.Val-1 < hi {
+				hi = c.Val - 1
+			}
+		case "<=":
+			if c.Val < hi {
+				hi = c.Val
+			}
+		case ">":
+			if c.Val == math.MaxInt64 {
+				return 0, 0, true
+			}
+			if c.Val+1 > lo {
+				lo = c.Val + 1
+			}
+		case ">=":
+			if c.Val > lo {
+				lo = c.Val
+			}
+		}
+	}
+	return lo, hi, lo > hi
+}
+
+// targets resolves which shards a conjunction must visit.
+func (m *tableMeta) targets(conds []crackdb.Cond) (first, last int, empty bool) {
+	lo, hi, empty := keyBounds(m.key, conds)
+	if empty {
+		return 0, -1, true
+	}
+	first, last = m.part.span(lo, hi)
+	return first, last, false
+}
+
+// SelectWhere fans the conjunction out to the shards whose key interval
+// overlaps the predicates and merges their answers. Each target shard
+// receives the full conjunction, so its cracker sees exactly the
+// workload slice routed to it.
+func (s *Store) SelectWhere(table string, conds ...crackdb.Cond) (sql.Rows, error) {
+	m, err := s.meta(table)
+	if err != nil {
+		return nil, err
+	}
+	first, last, empty := m.targets(conds)
+	if empty {
+		return &Result{}, nil
+	}
+	parts := make([]*crackdb.Result, last-first+1)
+	errs := make([]error, last-first+1)
+	var wg sync.WaitGroup
+	for t := first; t <= last; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			parts[t-first], errs[t-first] = s.shards[t].SelectWhere(table, conds...)
+		}(t)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Result{parts: parts}, nil
+}
+
+// CountWhere sums the qualifying-tuple counts of the target shards.
+func (s *Store) CountWhere(table string, conds ...crackdb.Cond) (int, error) {
+	m, err := s.meta(table)
+	if err != nil {
+		return 0, err
+	}
+	first, last, empty := m.targets(conds)
+	if empty {
+		return 0, nil
+	}
+	counts := make([]int, last-first+1)
+	errs := make([]error, last-first+1)
+	var wg sync.WaitGroup
+	for t := first; t <= last; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			counts[t-first], errs[t-first] = s.shards[t].CountWhere(table, conds...)
+		}(t)
+	}
+	wg.Wait()
+	total := 0
+	for i, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+		total += counts[i]
+	}
+	return total, nil
+}
+
+// GroupBy runs the Ω cracker on every shard (each clusters its slice)
+// and merges the per-shard group counts by value.
+func (s *Store) GroupBy(table, col string) ([]crackdb.GroupInfo, error) {
+	if _, err := s.meta(table); err != nil {
+		return nil, err
+	}
+	parts := make([][]crackdb.GroupInfo, len(s.shards))
+	err := s.fanOut(func(i int) error {
+		var err error
+		parts[i], err = s.shards[i].GroupBy(table, col)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	merged := make(map[int64]int)
+	for _, gs := range parts {
+		for _, g := range gs {
+			merged[g.Value] += g.Count
+		}
+	}
+	out := make([]crackdb.GroupInfo, 0, len(merged))
+	for v, c := range merged {
+		out = append(out, crackdb.GroupInfo{Value: v, Count: c})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Value < out[b].Value })
+	return out, nil
+}
+
+// Columns returns a table's column names.
+func (s *Store) Columns(table string) ([]string, error) {
+	m, err := s.meta(table)
+	if err != nil {
+		return nil, err
+	}
+	return append([]string(nil), m.cols...), nil
+}
+
+// Tables returns the registered table names, sorted.
+func (s *Store) Tables() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.tables))
+	for n := range s.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NumRows sums a table's cardinality over the shards.
+func (s *Store) NumRows(table string) (int, error) {
+	if _, err := s.meta(table); err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, st := range s.shards {
+		n, err := st.NumRows(table)
+		if err != nil {
+			return 0, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// PartitionInfo describes one table's routing.
+type PartitionInfo struct {
+	Table  string
+	Key    string
+	Scheme string
+	Shards int
+}
+
+// Partitions lists the routing of every table, sorted by name.
+func (s *Store) Partitions() []PartitionInfo {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]PartitionInfo, 0, len(s.tables))
+	for name, m := range s.tables {
+		out = append(out, PartitionInfo{Table: name, Key: m.key, Scheme: m.part.describe(), Shards: len(s.shards)})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Table < out[b].Table })
+	return out
+}
+
+// ShardStats returns one column's crack counters per shard, indexed by
+// shard. A shard that never saw a query on the column reports zeros.
+func (s *Store) ShardStats(table, col string) ([]crackdb.ColumnStats, error) {
+	if _, err := s.meta(table); err != nil {
+		return nil, err
+	}
+	out := make([]crackdb.ColumnStats, len(s.shards))
+	for i, st := range s.shards {
+		cs, err := st.Stats(table, col)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = cs
+	}
+	return out, nil
+}
+
+// Stats sums ShardStats into one store-wide view of the column.
+func (s *Store) Stats(table, col string) (crackdb.ColumnStats, error) {
+	per, err := s.ShardStats(table, col)
+	if err != nil {
+		return crackdb.ColumnStats{}, err
+	}
+	var total crackdb.ColumnStats
+	for _, cs := range per {
+		total.Queries += cs.Queries
+		total.Cracks += cs.Cracks
+		total.AuxCracks += cs.AuxCracks
+		total.IndexLookups += cs.IndexLookups
+		total.TuplesMoved += cs.TuplesMoved
+		total.TuplesTouched += cs.TuplesTouched
+		total.Pieces += cs.Pieces
+		total.Fusions += cs.Fusions
+		total.Consolidations += cs.Consolidations
+	}
+	return total, nil
+}
+
+// LoadTapestry creates a table with the paper's DBtapestry generator
+// (n rows, alpha shuffled permutation columns c0..c{alpha-1}) and
+// distributes it on c0. Range partitioning uses the known key domain
+// [1, n], so the shards split the permutation evenly.
+func (s *Store) LoadTapestry(name string, n, alpha int, seed int64) error {
+	if n < 1 || alpha < 1 {
+		return fmt.Errorf("shard: tapestry %dx%d invalid", n, alpha)
+	}
+	t := mqs.Tapestry(n, alpha, seed)
+	cols := t.ColumnNames()
+	part, err := s.partitionerFor(s.opts.Kind, 1, int64(n))
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	err = s.createLocked(name, cols[0], 0, part, cols)
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	rows := make([][]int64, n)
+	for i := range rows {
+		rows[i] = t.Row(i)
+	}
+	return s.InsertRows(name, rows)
+}
+
+// Result is a selection merged across shards. Count is the sum of the
+// per-shard counts; Rows concatenates the per-shard tuples without
+// copying them (the merged slice shares the shards' row storage) and
+// sorts the merged set into the canonical lexicographic order
+// (core.SortRows) — a shard's physical crack order depends on its
+// private query history, so canonical ordering is what makes a sharded
+// result byte-identical to a single store's for any shard count.
+type Result struct {
+	parts []*crackdb.Result
+}
+
+// Count returns the number of qualifying tuples across all shards.
+func (r *Result) Count() int {
+	total := 0
+	for _, p := range r.parts {
+		total += p.Count()
+	}
+	return total
+}
+
+// Rows fetches the requested attributes of the qualifying tuples from
+// every shard and returns them canonically ordered.
+func (r *Result) Rows(cols ...string) ([][]int64, error) {
+	total := 0
+	for _, p := range r.parts {
+		total += p.Count()
+	}
+	out := make([][]int64, 0, total)
+	for _, p := range r.parts {
+		rows, err := p.Rows(cols...)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rows...)
+	}
+	core.SortRows(out)
+	return out, nil
+}
+
+var _ sql.Backend = (*Store)(nil)
+var _ sql.Rows = (*Result)(nil)

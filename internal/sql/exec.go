@@ -7,20 +7,69 @@ import (
 	"crackdb"
 )
 
-// Engine executes parsed statements against a cracking store. WHERE
-// conjunctions are routed through Store.SelectWhere, so every executed
+// Rows is the executor's view of a selection result: a qualifying-tuple
+// count plus attribute fetch by OID. *crackdb.Result satisfies it for a
+// single store; internal/shard's merged result satisfies it for a
+// partitioned one.
+type Rows interface {
+	Count() int
+	Rows(cols ...string) ([][]int64, error)
+}
+
+// Backend is the storage surface the executor runs on. A single
+// *crackdb.Store satisfies it (via NewEngine's adapter); a sharded store
+// satisfies it by fanning each call out to its shards and merging.
+// Every implementation must be safe for concurrent use — the network
+// server executes statements from many connections on one engine.
+type Backend interface {
+	CreateTable(name string, cols ...string) error
+	DropTable(name string) error
+	InsertRows(name string, rows [][]int64) error
+	SelectWhere(table string, conds ...crackdb.Cond) (Rows, error)
+	CountWhere(table string, conds ...crackdb.Cond) (int, error)
+	GroupBy(table, col string) ([]crackdb.GroupInfo, error)
+	Columns(table string) ([]string, error)
+}
+
+// Engine executes parsed statements against a cracking backend. WHERE
+// conjunctions are routed through Backend.SelectWhere, so every executed
 // query doubles as cracking advice.
 type Engine struct {
-	store *crackdb.Store
+	store Backend
 }
 
-// NewEngine wraps a store.
+// NewEngine wraps a single store.
 func NewEngine(store *crackdb.Store) *Engine {
-	return &Engine{store: store}
+	return &Engine{store: storeBackend{store}}
 }
 
-// Store returns the underlying store (for meta commands).
-func (e *Engine) Store() *crackdb.Store { return e.store }
+// NewEngineOn wraps any backend (e.g. a shard router).
+func NewEngineOn(b Backend) *Engine {
+	return &Engine{store: b}
+}
+
+// Backend returns the storage the engine executes on.
+func (e *Engine) Backend() Backend { return e.store }
+
+// Store returns the single underlying *crackdb.Store when the engine was
+// built with NewEngine, or nil for any other backend. Callers needing
+// store-only surfaces (stats, lineage, persistence) must handle nil.
+func (e *Engine) Store() *crackdb.Store {
+	if sb, ok := e.store.(storeBackend); ok {
+		return sb.Store
+	}
+	return nil
+}
+
+// storeBackend adapts *crackdb.Store to Backend: the only mismatch is
+// SelectWhere's concrete *crackdb.Result return type.
+type storeBackend struct {
+	*crackdb.Store
+}
+
+func (s storeBackend) SelectWhere(table string, conds ...crackdb.Cond) (Rows, error) {
+	return s.Store.SelectWhere(table, conds...)
+}
 
 // ResultSet is a tabular statement result. DDL and DML return a nil
 // Rows slice and a human-readable Message.
@@ -191,7 +240,7 @@ func hasAggregate(items []SelectItem) bool {
 }
 
 // aggregate evaluates GROUP BY and plain aggregates over the result.
-func (e *Engine) aggregate(s Select, items []SelectItem, res *crackdb.Result) (*ResultSet, error) {
+func (e *Engine) aggregate(s Select, items []SelectItem, res Rows) (*ResultSet, error) {
 	// Validate the projection: with GROUP BY, plain columns must be the
 	// grouping column.
 	for _, it := range items {
