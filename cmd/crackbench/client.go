@@ -24,6 +24,9 @@ type clientConfig struct {
 	workload string
 	strategy string // "" = leave the server's configured strategy alone
 	check    bool   // assert exact counts and server stats
+	inserts  int    // rows each worker INSERTs mid-stream (keys above the domain)
+	expect   int    // -check: expected total COUNT(*) (0 = n + this run's inserts)
+	exec     string // one-shot: run a single statement/meta and print the reply
 }
 
 func (c *clientConfig) defaults() {
@@ -60,6 +63,24 @@ func runClient(cfg clientConfig) error {
 		return err
 	}
 	defer setup.Close()
+	if cfg.exec != "" {
+		// One-shot mode: run a single statement or /meta and print the
+		// reply — how scripts drive /save, /wal, or an ad-hoc assertion.
+		resp, err := setup.Do(cfg.exec)
+		if err != nil {
+			return err
+		}
+		if resp.Err != "" {
+			return fmt.Errorf("%s: %s", cfg.exec, resp.Err)
+		}
+		if resp.Message != "" {
+			fmt.Println(resp.Message)
+		}
+		for _, row := range resp.Rows {
+			fmt.Println(strings.Join(row, "\t"))
+		}
+		return nil
+	}
 	if _, err := setup.Exec("/ping"); err != nil {
 		return err
 	}
@@ -84,8 +105,8 @@ func runClient(cfg clientConfig) error {
 		}
 		patterns = []workload.Pattern{p}
 	}
-	for _, p := range patterns {
-		if err := runClientPattern(cfg, p); err != nil {
+	for pi, p := range patterns {
+		if err := runClientPattern(cfg, p, pi); err != nil {
 			return err
 		}
 	}
@@ -95,8 +116,16 @@ func runClient(cfg clientConfig) error {
 		if err != nil {
 			return err
 		}
-		if total != int64(cfg.n) {
-			return fmt.Errorf("check: COUNT(*) = %d, want %d", total, cfg.n)
+		// The tapestry contributes n rows; this run's inserts add to them
+		// (one batch of cfg.inserts per worker per pattern). -expectrows
+		// overrides the sum — how a restarted run asserts that rows
+		// inserted before a crash survived it.
+		want := int64(cfg.n) + int64(cfg.inserts*cfg.clients*len(patterns))
+		if cfg.expect > 0 {
+			want = int64(cfg.expect)
+		}
+		if total != want {
+			return fmt.Errorf("check: COUNT(*) = %d, want %d", total, want)
 		}
 		stats, err := setup.Exec("/stats bench c0")
 		if err != nil {
@@ -116,7 +145,7 @@ func runClient(cfg clientConfig) error {
 
 // runClientPattern fans one pattern's stream over the clients and
 // prints one benchmark line.
-func runClientPattern(cfg clientConfig, p workload.Pattern) error {
+func runClientPattern(cfg clientConfig, p workload.Pattern, patternIdx int) error {
 	perWorker := cfg.queries / cfg.clients
 	if perWorker < 1 {
 		perWorker = 1
@@ -128,7 +157,7 @@ func runClientPattern(cfg clientConfig, p workload.Pattern) error {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			errs[w] = clientWorker(cfg, p, w, perWorker)
+			errs[w] = clientWorker(cfg, p, patternIdx, w, perWorker)
 		}(w)
 	}
 	wg.Wait()
@@ -149,8 +178,11 @@ func runClientPattern(cfg clientConfig, p workload.Pattern) error {
 // clientWorker streams one connection's share of the pattern. Each
 // worker derives its own generator seed, so the server sees clients
 // whose individual streams follow the pattern — the sharded analogue of
-// the robustness matrix.
-func clientWorker(cfg clientConfig, p workload.Pattern, w, count int) error {
+// the robustness matrix. With -inserts it interleaves that many INSERTs
+// into its stream, keyed above the tapestry domain (every worker across
+// every pattern gets a disjoint key block), so the range-count
+// assertions stay exact while the server absorbs genuine mixed traffic.
+func clientWorker(cfg clientConfig, p workload.Pattern, patternIdx, w, count int) error {
 	c, err := server.DialTimeout(cfg.addr, 5*time.Second)
 	if err != nil {
 		return err
@@ -165,13 +197,34 @@ func clientWorker(cfg clientConfig, p workload.Pattern, w, count int) error {
 	if err != nil {
 		return err
 	}
+	insertBase := int64(cfg.n) + 1 + int64((patternIdx*cfg.clients+w)*cfg.inserts)
+	inserted := 0
+	insertEvery := 0
+	if cfg.inserts > 0 {
+		insertEvery = count / cfg.inserts
+		if insertEvery < 1 {
+			insertEvery = 1
+		}
+	}
 	var repeatStmt string
 	var repeatWant int64
+	qi := 0
 	for {
 		q, ok := gen.Next()
 		if !ok {
 			break
 		}
+		if insertEvery > 0 && qi%insertEvery == 0 && inserted < cfg.inserts {
+			key := insertBase + int64(inserted)
+			ins := fmt.Sprintf("INSERT INTO bench VALUES (%d, %d)", key, key)
+			if resp, err := c.Exec(ins); err != nil {
+				return fmt.Errorf("worker %d: %s: %w", w, ins, err)
+			} else if resp.Err != "" {
+				return fmt.Errorf("worker %d: %s: %s", w, ins, resp.Err)
+			}
+			inserted++
+		}
+		qi++
 		// Tapestry values live in 1..n; the generator emits [lo, hi) over
 		// [0, n), so shift by one.
 		stmt := fmt.Sprintf("SELECT COUNT(*) FROM bench WHERE c0 >= %d AND c0 < %d", q.Lo+1, q.Hi+1)
@@ -184,6 +237,17 @@ func clientWorker(cfg clientConfig, p workload.Pattern, w, count int) error {
 		}
 		if repeatStmt == "" {
 			repeatStmt, repeatWant = stmt, got
+		}
+	}
+	// Flush inserts a short stream did not interleave, so the -check
+	// arithmetic (inserts × clients × patterns) always holds.
+	for ; inserted < cfg.inserts; inserted++ {
+		key := insertBase + int64(inserted)
+		ins := fmt.Sprintf("INSERT INTO bench VALUES (%d, %d)", key, key)
+		if resp, err := c.Exec(ins); err != nil {
+			return fmt.Errorf("worker %d: %s: %w", w, ins, err)
+		} else if resp.Err != "" {
+			return fmt.Errorf("worker %d: %s: %s", w, ins, resp.Err)
 		}
 	}
 	if cfg.check && repeatStmt != "" {

@@ -4,8 +4,9 @@
 //
 // Usage:
 //
-//	crackbench -fig 1a|1b|1c|2|3|8|9|10|11|hiking|sql|parallel|stochastic|shard|all [flags]
+//	crackbench -fig 1a|1b|1c|2|3|8|9|10|11|hiking|sql|parallel|stochastic|shard|recovery|all [flags]
 //	crackbench -addr host:port [-clients c] [-queries q] [-workload w] [-check]
+//	           [-inserts k] [-expectrows m] [-exec stmt]
 //
 // Flags:
 //
@@ -50,7 +51,7 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate: 1a,1b,1c,2,3,8,9,10,11,hiking,sql,parallel,stochastic,shard,all")
+		fig      = flag.String("fig", "all", "figure to regenerate: 1a,1b,1c,2,3,8,9,10,11,hiking,sql,parallel,stochastic,shard,recovery,all")
 		n        = flag.Int("n", 0, "cardinality override (0 = figure default)")
 		k        = flag.Int("k", 0, "sequence length override (0 = figure default)")
 		seed     = flag.Int64("seed", 42, "RNG seed")
@@ -65,6 +66,9 @@ func main() {
 		addr     = flag.String("addr", "", "client mode: drive load at a running cracksrv instead of running a figure")
 		clients  = flag.Int("clients", 0, "client mode: concurrent connections (default 4)")
 		check    = flag.Bool("check", false, "client mode: assert exact counts and server stats")
+		inserts  = flag.Int("inserts", 0, "client mode: rows each worker INSERTs mid-stream (keys above the domain)")
+		expect   = flag.Int("expectrows", 0, "client mode: with -check, expected COUNT(*) (0 = n + this run's inserts)")
+		execCmd  = flag.String("exec", "", "client mode: run one statement or /meta command, print the reply, exit")
 	)
 	flag.Parse()
 
@@ -89,6 +93,7 @@ func main() {
 		err := runClient(clientConfig{
 			addr: *addr, clients: *clients, queries: *queries, n: *n,
 			seed: *seed, sel: *sel, workload: wl, strategy: strategy, check: *check,
+			inserts: *inserts, expect: *expect, exec: *execCmd,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "crackbench:", err)
@@ -96,8 +101,8 @@ func main() {
 		}
 		return
 	}
-	if *clients != 0 || *check {
-		fmt.Fprintln(os.Stderr, "crackbench: -clients/-check require client mode (-addr)")
+	if *clients != 0 || *check || *inserts != 0 || *expect != 0 || *execCmd != "" {
+		fmt.Fprintln(os.Stderr, "crackbench: -clients/-check/-inserts/-expectrows/-exec require client mode (-addr)")
 		os.Exit(1)
 	}
 
@@ -114,9 +119,9 @@ func main() {
 		switch target {
 		case "all":
 			target = "stochastic"
-		case "stochastic":
+		case "stochastic", "recovery":
 		default:
-			fmt.Fprintf(os.Stderr, "crackbench: -strategy only applies to -fig stochastic, not -fig %s\n", target)
+			fmt.Fprintf(os.Stderr, "crackbench: -strategy only applies to -fig stochastic or recovery, not -fig %s\n", target)
 			os.Exit(1)
 		}
 	}
@@ -132,9 +137,13 @@ func main() {
 	}
 	// -queries/-sel don't imply a figure ("-fig all -sel 0.05" tunes the
 	// stochastic and shard legs of the full sweep).
-	if (*queries != 0 || *sel != 0) && target != "stochastic" && target != "shard" && target != "all" {
-		fmt.Fprintf(os.Stderr, "crackbench: -queries/-sel only apply to the stochastic and shard figures, not -fig %s\n", target)
-		os.Exit(1)
+	switch target {
+	case "stochastic", "shard", "recovery", "all":
+	default:
+		if *queries != 0 || *sel != 0 {
+			fmt.Fprintf(os.Stderr, "crackbench: -queries/-sel only apply to the stochastic, shard and recovery figures, not -fig %s\n", target)
+			os.Exit(1)
+		}
 	}
 	cfg := benchConfig{
 		n: *n, k: *k, seed: *seed, summary: *summary, budget: *budget,
@@ -223,6 +232,16 @@ func run(fig string, cfg benchConfig) error {
 				shcfg.Workloads = []string{cfg.workload}
 			}
 			return emit(figures.FigShard(shcfg))
+		case "recovery":
+			nq := cfg.queries
+			if nq == 0 {
+				nq = k
+			}
+			rcfg := figures.FigRecoveryConfig{N: n, K: nq, Seed: seed, Selectivity: cfg.sel}
+			if cfg.strategy != "all" {
+				rcfg.Strategy = cfg.strategy
+			}
+			return emit(figures.FigRecovery(rcfg))
 		case "sql":
 			res, err := figures.SQLLevel(figures.SQLLevelConfig{N: n, Seed: seed})
 			if err != nil {
@@ -231,12 +250,12 @@ func run(fig string, cfg benchConfig) error {
 			fmt.Print(res)
 			return nil
 		default:
-			return fmt.Errorf("unknown figure %q (want 1a,1b,1c,2,3,8,9,10,11,hiking,sql,parallel,stochastic,shard,all)", id)
+			return fmt.Errorf("unknown figure %q (want 1a,1b,1c,2,3,8,9,10,11,hiking,sql,parallel,stochastic,shard,recovery,all)", id)
 		}
 	}
 
 	if fig == "all" {
-		for _, id := range []string{"1a", "1b", "1c", "2", "3", "8", "9", "10", "11", "hiking", "sql", "parallel", "stochastic", "shard"} {
+		for _, id := range []string{"1a", "1b", "1c", "2", "3", "8", "9", "10", "11", "hiking", "sql", "parallel", "stochastic", "shard", "recovery"} {
 			fmt.Printf("=== figure %s ===\n", id)
 			if err := runOne(id); err != nil {
 				return fmt.Errorf("figure %s: %w", id, err)

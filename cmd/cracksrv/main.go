@@ -7,15 +7,23 @@
 //
 //	cracksrv [-addr :7744] [-shards 4] [-partition hash|range]
 //	         [-domain 1048576] [-strategy mdd1r] [-seed 42]
-//	         [-tapestry name,n,alpha]
+//	         [-tapestry name,n,alpha] [-data dir]
 //
 // The wire protocol is length-prefixed text frames (see
 // internal/server): each request is one SQL statement or one /meta
 // command (/ping, /tables, /shards, /stats <t> <c>, /strategy,
-// /tapestry, /quit). Drive it with cmd/crackbench's client mode:
+// /tapestry, /save, /wal, /quit). Drive it with cmd/crackbench's client
+// mode:
 //
 //	cracksrv -addr 127.0.0.1:7744 -shards 4 &
 //	crackbench -addr 127.0.0.1:7744 -clients 4 -queries 2000 -check
+//
+// With -data the server is durable: every mutation is appended to
+// <dir>/wal.log — fsynced, group-committed — before it is acked, /save
+// checkpoints a warm crack-state snapshot into <dir>/store/ and rotates
+// the log, and boot recovers snapshot + WAL suffix, so even a SIGKILL
+// loses nothing that was acked. When a snapshot exists its recorded
+// sharding configuration wins over the command-line flags.
 //
 // SIGINT/SIGTERM shut the server down cleanly (drain, then exit 0), so
 // process supervisors and the CI smoke harness can assert a clean stop.
@@ -44,15 +52,44 @@ func main() {
 		strat    = flag.String("strategy", "standard", "crack strategy on every shard: standard, ddc, ddr, mdd1r")
 		seed     = flag.Int64("seed", 42, "strategy RNG seed (per-shard sub-seeds are derived)")
 		tapestry = flag.String("tapestry", "", "preload a DBtapestry table: name,n,alpha (e.g. bench,100000,2)")
+		dataDir  = flag.String("data", "", "durable data directory (insert WAL + /save snapshots); empty = volatile")
 	)
 	flag.Parse()
+
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "cracksrv: "+format+"\n", args...)
+	}
 
 	kind, err := shard.ParseKind(*partKind)
 	if err != nil {
 		fatal(err)
 	}
-	store := shard.New(shard.Options{Shards: *shards, Kind: kind, Domain: [2]int64{0, *domain}})
-	if *strat != "" && *strat != "standard" {
+	opts := shard.Options{Shards: *shards, Kind: kind, Domain: [2]int64{0, *domain}}
+	var store *shard.Store
+	recovered := false
+	if *dataDir != "" {
+		st, info, err := shard.OpenDurable(*dataDir, opts)
+		if err != nil {
+			fatal(err)
+		}
+		store = st
+		recovered = info.Recovered
+		switch {
+		case info.Recovered:
+			logf("recovered %d tables from %s (warm snapshot through seq %d, %d WAL records replayed)",
+				len(store.Tables()), *dataDir, info.AppliedSeq, info.Replayed)
+		case info.Replayed > 0:
+			logf("recovered %d tables from %s (no snapshot, %d WAL records replayed)",
+				len(store.Tables()), *dataDir, info.Replayed)
+		default:
+			logf("durable in %s (fresh data directory)", *dataDir)
+		}
+	} else {
+		store = shard.New(opts)
+	}
+	// A recovered snapshot carries its own strategy configuration; only
+	// force the flag onto a store that has no history to contradict it.
+	if *strat != "" && *strat != "standard" && !recovered {
 		if err := store.SetCrackStrategy(*strat, *seed); err != nil {
 			fatal(err)
 		}
@@ -62,15 +99,27 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := store.LoadTapestry(name, n, alpha, *seed); err != nil {
+		err = store.LoadTapestry(name, n, alpha, *seed)
+		switch {
+		case err == nil:
+			fmt.Fprintf(os.Stderr, "cracksrv: preloaded tapestry %s (%d x %d)\n", name, n, alpha)
+		case strings.Contains(err.Error(), "already exists"):
+			// The table came back from the data directory. Refuse to serve
+			// if it is not the table the flag asked for — a silent skip
+			// would hand exact-count clients a differently-sized table.
+			rows, rerr := store.NumRows(name)
+			if rerr != nil {
+				fatal(rerr)
+			}
+			if rows < n {
+				fatal(fmt.Errorf("recovered table %s has %d rows, -tapestry wants %d; use a fresh -data dir or drop the flag", name, rows, n))
+			}
+			fmt.Fprintf(os.Stderr, "cracksrv: tapestry %s already recovered (%d rows), skipping preload\n", name, rows)
+		default:
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "cracksrv: preloaded tapestry %s (%d x %d)\n", name, n, alpha)
 	}
 
-	logf := func(format string, args ...any) {
-		fmt.Fprintf(os.Stderr, "cracksrv: "+format+"\n", args...)
-	}
 	srv := server.New(store, logf)
 
 	sig := make(chan os.Signal, 1)
@@ -84,6 +133,9 @@ func main() {
 		logf("received %s, shutting down", s)
 		srv.Shutdown(5 * time.Second)
 		if err := <-done; err != nil {
+			fatal(err)
+		}
+		if err := store.CloseWAL(); err != nil {
 			fatal(err)
 		}
 	}

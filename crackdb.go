@@ -36,6 +36,7 @@ import (
 	"crackdb/internal/bat"
 	"crackdb/internal/catalog"
 	"crackdb/internal/core"
+	"crackdb/internal/durable"
 	"crackdb/internal/expr"
 	"crackdb/internal/mqs"
 	"crackdb/internal/relation"
@@ -66,6 +67,10 @@ type Store struct {
 	strategyName string
 	strategySeed int64
 	strategySeq  atomic.Int64
+
+	// wal, when attached, receives every mutation before it is applied
+	// (see persist.go: AttachWAL, logRecord, Apply).
+	wal *durable.WAL
 }
 
 // New returns an empty store.
@@ -100,6 +105,9 @@ func (s *Store) SetCrackStrategy(name string, seed int64) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.logRecord(durable.Record{Kind: durable.KindStrategy, Name: name, Seed: seed, Shard: -1}); err != nil {
+		return err
+	}
 	s.strategyName = name
 	s.strategySeed = seed
 	return nil
@@ -125,6 +133,9 @@ func (s *Store) CreateTable(name string, cols ...string) error {
 	if _, exists := s.tables[name]; exists {
 		return fmt.Errorf("crackdb: table %q already exists", name)
 	}
+	if err := s.logRecord(durable.Record{Kind: durable.KindCreate, Table: name, Cols: cols}); err != nil {
+		return err
+	}
 	defs := make([]catalog.ColumnDef, len(cols))
 	for i, c := range cols {
 		defs[i] = catalog.ColumnDef{Name: c, Type: "int"}
@@ -142,6 +153,9 @@ func (s *Store) DropTable(name string) error {
 	defer s.mu.Unlock()
 	if _, ok := s.tables[name]; !ok {
 		return fmt.Errorf("crackdb: table %q does not exist", name)
+	}
+	if err := s.logRecord(durable.Record{Kind: durable.KindDrop, Table: name}); err != nil {
+		return err
 	}
 	if err := s.cat.DropTable(name); err != nil {
 		return err
@@ -161,6 +175,19 @@ func (s *Store) InsertRows(name string, rows [][]int64) error {
 	t, ok := s.tables[name]
 	if !ok {
 		return fmt.Errorf("crackdb: table %q does not exist", name)
+	}
+	// Validate arity up front: the WAL must only ever hold batches that
+	// re-apply cleanly on replay, and a partially applied batch behind an
+	// already written record would be exactly that kind of poison.
+	for i, r := range rows {
+		if len(r) != t.Arity() {
+			return fmt.Errorf("crackdb: row %d arity %d, table %q has %d", i, len(r), name, t.Arity())
+		}
+	}
+	if len(rows) > 0 {
+		if err := s.logRecord(durable.Record{Kind: durable.KindInsert, Table: name, Rows: rows}); err != nil {
+			return err
+		}
 	}
 	ct, ok := s.cracked[name]
 	if !ok {
@@ -184,6 +211,12 @@ func (s *Store) LoadTapestry(name string, n, alpha int, seed int64) error {
 	defer s.mu.Unlock()
 	if _, exists := s.tables[name]; exists {
 		return fmt.Errorf("crackdb: table %q already exists", name)
+	}
+	// Logged by its generator parameters: the tapestry is deterministic
+	// in (n, alpha, seed), so replay regenerates instead of re-reading
+	// n×alpha values from the log.
+	if err := s.logRecord(durable.Record{Kind: durable.KindTapestry, Table: name, N: n, Alpha: alpha, Seed: seed}); err != nil {
+		return err
 	}
 	t := mqs.Tapestry(n, alpha, seed)
 	t.Name = name
@@ -260,9 +293,11 @@ func (s *Store) crackedFor(name string) (*core.CrackedTable, *relation.Table, er
 	return ct, t, nil
 }
 
-// columnOptions materializes the store-wide cracker options. The caller
-// holds s.mu.
-func (s *Store) columnOptions() []core.Option {
+// baseColumnOptions materializes the store-wide cracker options except
+// the strategy — the shape warm restore needs, which reattaches each
+// column's own restored strategy instance instead of drawing a fresh one
+// from the factory. The caller holds s.mu.
+func (s *Store) baseColumnOptions() []core.Option {
 	var opts []core.Option
 	if s.maxPieces > 0 {
 		opts = append(opts, core.WithMaxPieces(s.maxPieces))
@@ -270,6 +305,13 @@ func (s *Store) columnOptions() []core.Option {
 	if s.ripple {
 		opts = append(opts, core.WithUpdateStrategy(core.MergeRipple))
 	}
+	return opts
+}
+
+// columnOptions materializes the store-wide cracker options. The caller
+// holds s.mu.
+func (s *Store) columnOptions() []core.Option {
+	opts := s.baseColumnOptions()
 	if name := s.strategyName; name != "" && name != "standard" {
 		base := s.strategySeed
 		seq := &s.strategySeq

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"crackdb/internal/bat"
+)
+
+// Export/import of a cracker column's auxiliary state, the seam the
+// durability subsystem (internal/durable) serializes through. The paper's
+// prototype drops this state on shutdown — "each table comes with its own
+// cracker index and they are not saved between sessions" (§5.2) — so a
+// restart re-pays the full crack convergence cost. ColumnState captures
+// everything a warm restart needs: the physically reorganized value/oid
+// vectors, the registered cut set, pending updates, and the crack
+// strategy's identity and RNG position so the post-restart cut sequence
+// continues exactly where the pre-crash one left off.
+//
+// Deliberately volatile (not exported): the work counters (Stats) and the
+// lineage DAG's crack history. Counters restart at zero; the lineage is
+// rebuilt flat — one root cracked into the current leaf pieces — because
+// the piece tiling, not the order cracks happened in, is what queries and
+// invariants consume.
+
+// StrategyState is the serializable identity of a crack strategy: its
+// registry name, cut-off granularity, and the opaque RNG state word of
+// the stochastic variants. internal/strategy turns it back into a live
+// instance (strategy.Restore).
+type StrategyState struct {
+	Name     string
+	MinPiece int
+	RNG      uint64
+}
+
+// StatefulStrategy is implemented by strategies whose state can be
+// round-tripped through StrategyState. A strategy that does not implement
+// it is persisted by name only and restarts from its seed.
+type StatefulStrategy interface {
+	CrackStrategy
+	Export() StrategyState
+}
+
+// PendingState is one queued insert awaiting consolidation.
+type PendingState struct {
+	OID bat.OID
+	Val int64
+}
+
+// ColumnState is the complete serializable state of a cracker column.
+type ColumnState struct {
+	Name    string
+	Vals    []int64
+	OIDs    []bat.OID
+	Cuts    []Cut
+	Sorted  bool
+	NextOID bat.OID
+	Pending []PendingState
+	Deleted []bat.OID
+
+	// Strategy is nil for standard cracking and for strategies that do
+	// not implement StatefulStrategy.
+	Strategy *StrategyState
+}
+
+// ExportState snapshots the column under its read lock. The returned
+// slices are copies; the column may keep cracking afterwards.
+func (c *Column) ExportState() ColumnState {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	st := ColumnState{
+		Name:    c.name,
+		Vals:    append([]int64(nil), c.vals...),
+		OIDs:    append([]bat.OID(nil), c.oids...),
+		Cuts:    c.idx.Cuts(),
+		Sorted:  c.sorted,
+		NextOID: c.nextOID,
+	}
+	for _, p := range c.pending {
+		st.Pending = append(st.Pending, PendingState{OID: p.oid, Val: p.val})
+	}
+	for oid := range c.deleted {
+		st.Deleted = append(st.Deleted, oid)
+	}
+	sortOIDs(st.Deleted)
+	if ss, ok := c.strategy.(StatefulStrategy); ok {
+		s := ss.Export()
+		st.Strategy = &s
+	}
+	return st
+}
+
+// ColumnFromState reconstructs a cracker column from an exported state,
+// validating the cut invariants before accepting it (a corrupted or
+// hand-edited snapshot must not poison future cracks). Options apply as
+// in NewColumn; pass WithStrategy to reattach a restored strategy
+// instance — the state's Strategy field is identity only, it is not
+// instantiated here (core cannot depend on internal/strategy).
+func ColumnFromState(st ColumnState, opts ...Option) (*Column, error) {
+	if len(st.Vals) != len(st.OIDs) {
+		return nil, fmt.Errorf("core: column %q state has %d values but %d oids",
+			st.Name, len(st.Vals), len(st.OIDs))
+	}
+	c := &Column{
+		id:      columnIDs.Add(1),
+		name:    st.Name,
+		vals:    append([]int64(nil), st.Vals...),
+		oids:    append([]bat.OID(nil), st.OIDs...),
+		idx:     &Index{},
+		sorted:  st.Sorted,
+		nextOID: st.NextOID,
+		deleted: make(map[bat.OID]struct{}, len(st.Deleted)),
+	}
+	for _, cut := range st.Cuts {
+		if cut.Pos < 0 || cut.Pos > len(c.vals) {
+			return nil, fmt.Errorf("core: column %q cut %v out of range [0,%d]",
+				st.Name, cut, len(c.vals))
+		}
+		c.idx.Insert(cut.Val, cut.Incl, cut.Pos)
+	}
+	for _, p := range st.Pending {
+		if p.OID >= c.nextOID {
+			return nil, fmt.Errorf("core: column %q pending oid %d >= next oid %d",
+				st.Name, p.OID, c.nextOID)
+		}
+		c.pending = append(c.pending, pendingInsert{oid: p.OID, val: p.Val})
+	}
+	for _, oid := range st.Deleted {
+		c.deleted[oid] = struct{}{}
+	}
+	// Rebuild a flat lineage: one root cracked into the restored pieces.
+	// The crack-by-crack history is deliberately volatile (see above).
+	c.lin = NewLineage(c.name)
+	root := c.lin.Root(0, len(c.vals))
+	if pieces := c.idx.Pieces(len(c.vals)); len(pieces) > 1 {
+		c.lin.Crack(root, "Ξ", "restored", pieces...)
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	if err := c.Verify(); err != nil {
+		return nil, fmt.Errorf("core: column %q state rejected: %w", st.Name, err)
+	}
+	return c, nil
+}
+
+// sortOIDs orders an OID slice ascending (deterministic snapshots).
+func sortOIDs(s []bat.OID) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}

@@ -71,6 +71,46 @@ func (ct *CrackedTable) ColumnFor(attr string) (*Column, error) {
 	return c, nil
 }
 
+// Column returns the existing cracker column for attr without creating
+// one — the non-faulting lookup the durability snapshot walks.
+func (ct *CrackedTable) Column(attr string) (*Column, bool) {
+	ct.mu.RLock()
+	defer ct.mu.RUnlock()
+	c, ok := ct.cols[attr]
+	return c, ok
+}
+
+// Options returns the option list applied to columns this table creates,
+// so a restored column can be rebuilt under the same configuration.
+func (ct *CrackedTable) Options() []Option {
+	return append([]Option(nil), ct.opts...)
+}
+
+// RestoreColumn installs a reconstructed cracker column (ColumnFromState)
+// for attr. The attribute must exist in the base relation, must not have
+// a live cracker column yet, and the restored column's tuple count must
+// match the base cardinality — OID alignment is what makes fetches
+// through the surrogate key correct.
+func (ct *CrackedTable) RestoreColumn(attr string, c *Column) error {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	if _, exists := ct.cols[attr]; exists {
+		return fmt.Errorf("core: column %q already cracked, refusing restore", attr)
+	}
+	ct.baseMu.RLock()
+	hasCol := ct.base.HasColumn(attr)
+	baseLen := ct.base.Len()
+	ct.baseMu.RUnlock()
+	if !hasCol {
+		return fmt.Errorf("core: table %q has no column %q to restore", ct.base.Name, attr)
+	}
+	if got := c.Len(); got != baseLen {
+		return fmt.Errorf("core: restored column %q has %d tuples, base has %d", attr, got, baseLen)
+	}
+	ct.cols[attr] = c
+	return nil
+}
+
 // CrackedColumns returns the attributes that currently have a cracker
 // column (i.e. have been filtered on at least once).
 func (ct *CrackedTable) CrackedColumns() []string {

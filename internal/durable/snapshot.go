@@ -1,0 +1,365 @@
+package durable
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"crackdb/internal/bat"
+	"crackdb/internal/core"
+)
+
+// Crack-state snapshots: the serialized form of every cracker column's
+// auxiliary state (core.ColumnState), versioned alongside the BAT
+// manifest it accompanies. The file layout is:
+//
+//	magic      [4]byte  "CRKS"
+//	version    uint8    1
+//	appliedSeq uint64   WAL seq the image covers (replay skips below it)
+//	config     store-wide crack configuration (strategy, pieces, ripple)
+//	ncols      uint32
+//	columns    ncols × column records (table, attr, ColumnState)
+//	crc        uint32   CRC-32 (IEEE) of everything above
+//
+// The trailing checksum mirrors the BAT image format: a torn snapshot is
+// detected and rejected as a whole — recovery then falls back to the
+// cold image plus full WAL replay rather than trusting half a cut set.
+
+var snapMagic = [4]byte{'C', 'R', 'K', 'S'}
+
+const snapVersion = 1
+
+// StoreConfig is the store-wide crack configuration a snapshot carries,
+// so columns created after a warm reopen behave like columns created
+// before the shutdown.
+type StoreConfig struct {
+	StrategyName string
+	StrategySeed int64
+	MaxPieces    int
+	Ripple       bool
+}
+
+// ColumnSnapshot binds one column's exported state to its table and
+// attribute.
+type ColumnSnapshot struct {
+	Table string
+	Attr  string
+	State core.ColumnState
+}
+
+// StoreSnapshot is the full crack-state image of one store.
+type StoreSnapshot struct {
+	AppliedSeq uint64
+	Config     StoreConfig
+	Columns    []ColumnSnapshot
+}
+
+// WriteSnapshot serializes the snapshot to path atomically (temp file +
+// rename), fsyncing before the rename so a crash leaves either the old
+// image or the complete new one.
+func WriteSnapshot(path string, s *StoreSnapshot) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	crc := crc32.NewIEEE()
+	w := io.MultiWriter(bw, crc)
+
+	if err := encodeSnapshot(w, s); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc.Sum32())
+	if _, err := bw.Write(sum[:]); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func encodeSnapshot(w io.Writer, s *StoreSnapshot) error {
+	buf := make([]byte, 0, 1<<16)
+	buf = append(buf, snapMagic[:]...)
+	buf = append(buf, snapVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, s.AppliedSeq)
+	buf = appendString(buf, s.Config.StrategyName)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.Config.StrategySeed))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.Config.MaxPieces))
+	buf = appendBool(buf, s.Config.Ripple)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.Columns)))
+	if _, err := w.Write(buf); err != nil {
+		return err
+	}
+	for i := range s.Columns {
+		if err := encodeColumn(w, &s.Columns[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+func encodeColumn(w io.Writer, cs *ColumnSnapshot) error {
+	st := &cs.State
+	buf := make([]byte, 0, 1<<12)
+	buf = appendString(buf, cs.Table)
+	buf = appendString(buf, cs.Attr)
+	buf = appendString(buf, st.Name)
+	buf = appendBool(buf, st.Sorted)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(st.NextOID))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(st.Vals)))
+	if _, err := w.Write(buf); err != nil {
+		return err
+	}
+	// The cracked vectors dominate the image; stream them in chunks
+	// instead of building one giant buffer.
+	chunk := make([]byte, 0, 1<<16)
+	for _, v := range st.Vals {
+		chunk = binary.LittleEndian.AppendUint64(chunk, uint64(v))
+		if len(chunk) >= 1<<16-8 {
+			if _, err := w.Write(chunk); err != nil {
+				return err
+			}
+			chunk = chunk[:0]
+		}
+	}
+	for _, o := range st.OIDs {
+		chunk = binary.LittleEndian.AppendUint32(chunk, uint32(o))
+		if len(chunk) >= 1<<16-8 {
+			if _, err := w.Write(chunk); err != nil {
+				return err
+			}
+			chunk = chunk[:0]
+		}
+	}
+	chunk = binary.LittleEndian.AppendUint64(chunk, uint64(len(st.Cuts)))
+	for _, c := range st.Cuts {
+		chunk = binary.LittleEndian.AppendUint64(chunk, uint64(c.Val))
+		chunk = appendBool(chunk, c.Incl)
+		chunk = binary.LittleEndian.AppendUint64(chunk, uint64(c.Pos))
+	}
+	chunk = binary.LittleEndian.AppendUint64(chunk, uint64(len(st.Pending)))
+	for _, p := range st.Pending {
+		chunk = binary.LittleEndian.AppendUint32(chunk, uint32(p.OID))
+		chunk = binary.LittleEndian.AppendUint64(chunk, uint64(p.Val))
+	}
+	chunk = binary.LittleEndian.AppendUint64(chunk, uint64(len(st.Deleted)))
+	for _, o := range st.Deleted {
+		chunk = binary.LittleEndian.AppendUint32(chunk, uint32(o))
+	}
+	if st.Strategy != nil {
+		chunk = appendBool(chunk, true)
+		chunk = appendString(chunk, st.Strategy.Name)
+		chunk = binary.LittleEndian.AppendUint64(chunk, uint64(st.Strategy.MinPiece))
+		chunk = binary.LittleEndian.AppendUint64(chunk, st.Strategy.RNG)
+	} else {
+		chunk = appendBool(chunk, false)
+	}
+	_, err := w.Write(chunk)
+	return err
+}
+
+// ReadSnapshot loads and validates a snapshot written by WriteSnapshot.
+func ReadSnapshot(path string) (*StoreSnapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	br := bufio.NewReaderSize(f, 1<<20)
+	crc := crc32.NewIEEE()
+	// limit caps every length-prefixed allocation by what the file could
+	// possibly hold: a bit-flipped count field must fail cleanly as
+	// corruption, not abort the process allocating petabytes before the
+	// trailing checksum would have exposed it.
+	r := &snapReader{r: io.TeeReader(br, crc), limit: fi.Size()}
+
+	var magic [4]byte
+	r.read(magic[:])
+	if r.err != nil || magic != snapMagic {
+		return nil, fmt.Errorf("%w: bad snapshot magic", ErrCorrupt)
+	}
+	if v := r.u8(); r.err == nil && v != snapVersion {
+		return nil, fmt.Errorf("durable: unsupported snapshot version %d", v)
+	}
+	s := &StoreSnapshot{}
+	s.AppliedSeq = r.u64()
+	s.Config.StrategyName = r.str()
+	s.Config.StrategySeed = int64(r.u64())
+	s.Config.MaxPieces = int(int64(r.u64()))
+	s.Config.Ripple = r.bool()
+	ncols := r.u32()
+	if !r.count(uint64(ncols), 16, "column") { // conservative minimum per column record
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, r.err)
+	}
+	for i := uint32(0); i < ncols && r.err == nil; i++ {
+		s.Columns = append(s.Columns, r.column())
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, r.err)
+	}
+	// The checksum trails the teed content: read it from the underlying
+	// reader so it does not feed back into the running CRC.
+	want := crc.Sum32()
+	var sum [4]byte
+	if _, err := io.ReadFull(br, sum[:]); err != nil {
+		return nil, fmt.Errorf("%w: missing snapshot checksum: %v", ErrCorrupt, err)
+	}
+	if got := binary.LittleEndian.Uint32(sum[:]); got != want {
+		return nil, fmt.Errorf("%w: snapshot checksum mismatch (got %08x want %08x)", ErrCorrupt, got, want)
+	}
+	return s, nil
+}
+
+// snapReader is a little decoding cursor with sticky error handling.
+type snapReader struct {
+	r     io.Reader
+	err   error
+	limit int64 // file size: upper bound for any on-disk length field
+	buf   [8]byte
+}
+
+// count validates a length field: n entries of at least entrySize bytes
+// each must fit in the file, or the field is corrupt.
+func (s *snapReader) count(n uint64, entrySize int64, what string) bool {
+	if s.err != nil {
+		return false
+	}
+	if n > uint64(s.limit)/uint64(entrySize) {
+		s.err = fmt.Errorf("%s count %d exceeds file capacity", what, n)
+		return false
+	}
+	return true
+}
+
+func (s *snapReader) read(p []byte) {
+	if s.err != nil {
+		return
+	}
+	_, s.err = io.ReadFull(s.r, p)
+}
+
+func (s *snapReader) u8() uint8 {
+	s.read(s.buf[:1])
+	return s.buf[0]
+}
+
+func (s *snapReader) bool() bool { return s.u8() != 0 }
+
+func (s *snapReader) u32() uint32 {
+	s.read(s.buf[:4])
+	return binary.LittleEndian.Uint32(s.buf[:4])
+}
+
+func (s *snapReader) u64() uint64 {
+	s.read(s.buf[:8])
+	return binary.LittleEndian.Uint64(s.buf[:8])
+}
+
+func (s *snapReader) str() string {
+	n := s.u32()
+	if s.err != nil {
+		return ""
+	}
+	if n > 1<<20 {
+		s.err = fmt.Errorf("implausible string length %d", n)
+		return ""
+	}
+	b := make([]byte, n)
+	s.read(b)
+	return string(b)
+}
+
+func (s *snapReader) column() ColumnSnapshot {
+	var cs ColumnSnapshot
+	cs.Table = s.str()
+	cs.Attr = s.str()
+	st := &cs.State
+	st.Name = s.str()
+	st.Sorted = s.bool()
+	st.NextOID = bat.OID(s.u64())
+	n := s.u64()
+	if !s.count(n, 12, "column cardinality") { // 8 bytes/value + 4/oid
+		return cs
+	}
+	st.Vals = make([]int64, n)
+	for i := range st.Vals {
+		st.Vals[i] = int64(s.u64())
+	}
+	st.OIDs = make([]bat.OID, n)
+	for i := range st.OIDs {
+		st.OIDs[i] = bat.OID(s.u32())
+	}
+	// Cut counts are not bounded by cardinality: distinct cut values may
+	// share a position (tiny pieces under many predicates), so cuts are
+	// bounded by file capacity only — core.ColumnFromState enforces the
+	// real invariants.
+	ncuts := s.u64()
+	if !s.count(ncuts, 17, "cut") { // 8 val + 1 incl + 8 pos
+		return cs
+	}
+	st.Cuts = make([]core.Cut, ncuts)
+	for i := range st.Cuts {
+		st.Cuts[i] = core.Cut{
+			Val:  int64(s.u64()),
+			Incl: s.bool(),
+			Pos:  int(int64(s.u64())),
+		}
+	}
+	npend := s.u64()
+	if !s.count(npend, 12, "pending") { // 4 oid + 8 val
+		return cs
+	}
+	st.Pending = make([]core.PendingState, npend)
+	for i := range st.Pending {
+		st.Pending[i] = core.PendingState{OID: bat.OID(s.u32()), Val: int64(s.u64())}
+	}
+	ndel := s.u64()
+	if !s.count(ndel, 4, "deleted") {
+		return cs
+	}
+	st.Deleted = make([]bat.OID, ndel)
+	for i := range st.Deleted {
+		st.Deleted[i] = bat.OID(s.u32())
+	}
+	if s.bool() {
+		st.Strategy = &core.StrategyState{
+			Name:     s.str(),
+			MinPiece: int(int64(s.u64())),
+			RNG:      s.u64(),
+		}
+	}
+	return cs
+}

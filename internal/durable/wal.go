@@ -1,0 +1,357 @@
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// The WAL file layout:
+//
+//	magic   [4]byte  "CWAL"
+//	version uint8    1
+//	baseSeq uint64   sequence number of the first record in this file
+//	records ...      frameRecord frames, one per logged mutation
+//
+// Record seq numbers are implicit: the i-th frame has seq baseSeq+i.
+// Rotation (after a checkpoint) replaces the file with an empty one whose
+// baseSeq equals the checkpoint's applied-seq stamp, so replay can always
+// line the log up against any snapshot: records with seq below the
+// snapshot stamp are already inside the image and are skipped.
+
+var walMagic = [4]byte{'C', 'W', 'A', 'L'}
+
+const walVersion = 1
+const walHeaderSize = 4 + 1 + 8
+
+// WAL is an append-only, checksummed mutation log with group commit:
+// concurrent Append calls are batched into one write+fsync, so the
+// per-insert durability cost is amortized across whatever concurrency
+// the server is sustaining. Append returns only after the record is on
+// stable storage — the caller may then apply and ack.
+type WAL struct {
+	path string
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	f      *os.File
+	cur    *walBatch // batch being accumulated for the next flush
+	err    error     // sticky: a failed flush poisons the log
+	closed bool
+	done   chan struct{} // flusher exit
+
+	base  uint64 // seq of the first record in the current file
+	seq   uint64 // seq of the next record to append
+	bytes int64  // current file size
+}
+
+// walBatch is one group-commit unit: every record appended while the
+// previous batch was being fsynced.
+type walBatch struct {
+	buf  []byte
+	n    int // records in the batch
+	err  error
+	done chan struct{}
+}
+
+// Status is a point-in-time description of the log (the /wal meta).
+type Status struct {
+	Path    string
+	BaseSeq uint64
+	NextSeq uint64
+	Records uint64 // records in the current file
+	Bytes   int64
+}
+
+// Create makes a fresh WAL at path (truncating any existing file) whose
+// first record will carry seq baseSeq.
+func Create(path string, baseSeq uint64) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	hdr := make([]byte, 0, walHeaderSize)
+	hdr = append(hdr, walMagic[:]...)
+	hdr = append(hdr, walVersion)
+	hdr = binary.LittleEndian.AppendUint64(hdr, baseSeq)
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := syncDir(filepath.Dir(path)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	w := newWAL(path, f, baseSeq, walHeaderSize)
+	return w, nil
+}
+
+func newWAL(path string, f *os.File, baseSeq uint64, size int64) *WAL {
+	w := &WAL{
+		path:  path,
+		f:     f,
+		base:  baseSeq,
+		seq:   baseSeq,
+		bytes: size,
+		done:  make(chan struct{}),
+	}
+	w.cond = sync.NewCond(&w.mu)
+	go w.flusher()
+	return w
+}
+
+// Open replays an existing WAL (calling apply for every complete record,
+// in order, with its seq) and returns the log positioned to append. A
+// truncated or corrupt tail — the expected residue of a crash mid-append
+// — is cut off at the last complete record, so recovery is always
+// prefix-consistent. If the file does not exist, a fresh log with
+// baseSeq is created and apply is never called.
+//
+// apply may be nil (pure open). An apply error aborts the open: the
+// store is in an undefined partial state and the caller must not serve.
+func Open(path string, baseSeq uint64, apply func(seq uint64, r Record) error) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if os.IsNotExist(err) {
+		return Create(path, baseSeq)
+	}
+	if err != nil {
+		return nil, err
+	}
+	base, goodEnd, recs, err := scanWAL(f, apply)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	// Cut the torn tail (no-op when the file ends on a record boundary).
+	if err := f.Truncate(goodEnd); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(goodEnd, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	w := newWAL(path, f, base, goodEnd)
+	w.seq = base + recs
+	return w, nil
+}
+
+// scanWAL walks the frames from the start, applying complete records and
+// reporting where the valid prefix ends.
+func scanWAL(f *os.File, apply func(uint64, Record) error) (base uint64, goodEnd int64, recs uint64, err error) {
+	hdr := make([]byte, walHeaderSize)
+	if _, err := io.ReadFull(f, hdr); err != nil {
+		return 0, 0, 0, fmt.Errorf("%w: short WAL header: %v", ErrCorrupt, err)
+	}
+	if [4]byte(hdr[:4]) != walMagic {
+		return 0, 0, 0, fmt.Errorf("%w: bad WAL magic %q", ErrCorrupt, hdr[:4])
+	}
+	if hdr[4] != walVersion {
+		return 0, 0, 0, fmt.Errorf("durable: unsupported WAL version %d", hdr[4])
+	}
+	base = binary.LittleEndian.Uint64(hdr[5:])
+	goodEnd = walHeaderSize
+
+	var frame [8]byte
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(f, frame[:4]); err != nil {
+			return base, goodEnd, recs, nil // clean EOF or torn length: prefix ends here
+		}
+		n := binary.LittleEndian.Uint32(frame[:4])
+		if n > 1<<30 {
+			return base, goodEnd, recs, nil // garbage length: treat as torn tail
+		}
+		if uint64(cap(payload)) < uint64(n) {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return base, goodEnd, recs, nil
+		}
+		if _, err := io.ReadFull(f, frame[4:8]); err != nil {
+			return base, goodEnd, recs, nil
+		}
+		if binary.LittleEndian.Uint32(frame[4:8]) != crc32.ChecksumIEEE(payload) {
+			return base, goodEnd, recs, nil // torn or bit-flipped record: stop at the prefix
+		}
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			// The checksum matched but the payload is structurally invalid:
+			// that is corruption, not a torn tail — refuse to serve.
+			return base, goodEnd, recs, err
+		}
+		if apply != nil {
+			if err := apply(base+recs, rec); err != nil {
+				return base, goodEnd, recs, fmt.Errorf("durable: replay seq %d (%s %s): %w",
+					base+recs, rec.Kind, rec.Table, err)
+			}
+		}
+		goodEnd += int64(4 + n + 4)
+		recs++
+	}
+}
+
+// Append logs one record and returns its sequence number after the
+// record — batched with any concurrent appends — is written and fsynced.
+func (w *WAL) Append(r Record) (uint64, error) {
+	w.mu.Lock()
+	if w.err != nil {
+		defer w.mu.Unlock()
+		return 0, w.err
+	}
+	if w.closed {
+		defer w.mu.Unlock()
+		return 0, fmt.Errorf("durable: append to closed WAL")
+	}
+	if w.cur == nil {
+		w.cur = &walBatch{done: make(chan struct{})}
+		w.cond.Signal()
+	}
+	b := w.cur
+	b.buf = frameRecord(b.buf, r)
+	b.n++
+	seq := w.seq
+	w.seq++
+	w.mu.Unlock()
+
+	<-b.done
+	return seq, b.err
+}
+
+// flusher is the group-commit loop: it takes whatever batch accumulated
+// while the previous write+fsync was in flight and commits it in one go.
+func (w *WAL) flusher() {
+	defer close(w.done)
+	for {
+		w.mu.Lock()
+		for w.cur == nil && !w.closed {
+			w.cond.Wait()
+		}
+		if w.cur == nil && w.closed {
+			w.mu.Unlock()
+			return
+		}
+		b := w.cur
+		w.cur = nil
+		f := w.f
+		w.mu.Unlock()
+
+		err := writeAndSync(f, b.buf)
+
+		w.mu.Lock()
+		if err != nil {
+			w.err = err
+		} else {
+			w.bytes += int64(len(b.buf))
+		}
+		w.mu.Unlock()
+		b.err = err
+		close(b.done)
+	}
+}
+
+func writeAndSync(f *os.File, buf []byte) error {
+	if _, err := f.Write(buf); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// Seq returns the sequence number the next appended record will carry —
+// equivalently, one past the last durable record. A snapshot taken while
+// appends are quiesced stamps itself with this value.
+func (w *WAL) Seq() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.seq
+}
+
+// Status reports the log's current shape.
+func (w *WAL) Status() Status {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return Status{
+		Path:    w.path,
+		BaseSeq: w.base,
+		NextSeq: w.seq,
+		Records: w.seq - w.base,
+		Bytes:   w.bytes,
+	}
+}
+
+// Rotate replaces the log with a fresh empty file whose baseSeq is the
+// given checkpoint stamp, atomically (write new file, rename over). The
+// caller must have quiesced appenders (no Append may be in flight): the
+// checkpoint that justifies discarding the old records and the rotation
+// must happen under the same exclusion, or a record could slip between
+// snapshot and rotation and be lost.
+func (w *WAL) Rotate(baseSeq uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	if w.closed {
+		return fmt.Errorf("durable: rotate of closed WAL")
+	}
+	if w.cur != nil {
+		return fmt.Errorf("durable: rotate with appends in flight")
+	}
+	tmp := w.path + ".tmp"
+	nf, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	hdr := make([]byte, 0, walHeaderSize)
+	hdr = append(hdr, walMagic[:]...)
+	hdr = append(hdr, walVersion)
+	hdr = binary.LittleEndian.AppendUint64(hdr, baseSeq)
+	if _, err := nf.Write(hdr); err != nil {
+		nf.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := nf.Sync(); err != nil {
+		nf.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, w.path); err != nil {
+		nf.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := syncDir(filepath.Dir(w.path)); err != nil {
+		nf.Close()
+		return err
+	}
+	w.f.Close()
+	w.f = nf
+	w.base = baseSeq
+	w.seq = baseSeq
+	w.bytes = walHeaderSize
+	return nil
+}
+
+// Close drains the flusher and closes the file. Appends after Close fail.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	w.cond.Signal()
+	w.mu.Unlock()
+	<-w.done
+	return w.f.Close()
+}

@@ -1,0 +1,117 @@
+package server
+
+import (
+	"net"
+	"strconv"
+	"testing"
+	"time"
+
+	"crackdb/internal/shard"
+)
+
+// startDurableServer is startServer over an OpenDurable store in dir.
+func startDurableServer(t *testing.T, dir string, opts shard.Options) (string, *shard.Store, func()) {
+	t.Helper()
+	st, _, err := shard.OpenDurable(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(st, nil)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(ln) }()
+	return ln.Addr().String(), st, func() {
+		srv.Shutdown(2 * time.Second)
+		if err := <-served; err != nil {
+			t.Errorf("Serve returned %v after shutdown, want nil", err)
+		}
+		if err := st.CloseWAL(); err != nil {
+			t.Errorf("CloseWAL: %v", err)
+		}
+	}
+}
+
+// TestServerSaveAndWALMetas drives the durability metas over the wire:
+// INSERTs are WAL'd before the ack, /wal reports them, /save rotates the
+// log, and a rebooted server serves the same data warm.
+func TestServerSaveAndWALMetas(t *testing.T) {
+	dir := t.TempDir()
+	opts := shard.Options{Shards: 2, Kind: shard.Hash}
+	addr, _, stop := startDurableServer(t, dir, opts)
+
+	c, err := DialTimeout(addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec := func(stmt string) *Response {
+		t.Helper()
+		resp, err := c.Exec(stmt)
+		if err != nil {
+			t.Fatalf("%s: %v", stmt, err)
+		}
+		return resp
+	}
+	mustExec("CREATE TABLE t (k, v)")
+	mustExec("INSERT INTO t VALUES (1, 10), (2, 20), (3, 30)")
+
+	wal := mustExec("/wal")
+	recs, err := strconv.Atoi(wal.Rows[0][2])
+	if err != nil || recs != 2 {
+		t.Fatalf("/wal reports %s records (err %v), want 2 (create + insert)", wal.Rows[0][2], err)
+	}
+
+	save := mustExec("/save")
+	if save.Message == "" {
+		t.Fatalf("/save returned %+v", save)
+	}
+	wal = mustExec("/wal")
+	if wal.Rows[0][2] != "0" {
+		t.Fatalf("/wal after /save reports %s records, want 0", wal.Rows[0][2])
+	}
+	mustExec("INSERT INTO t VALUES (4, 40)")
+	c.Close()
+	stop()
+
+	// Reboot from the same dir: snapshot + one replayed insert.
+	addr2, st2, stop2 := startDurableServer(t, dir, opts)
+	defer stop2()
+	c2, err := DialTimeout(addr2, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	n, err := c2.Count("SELECT COUNT(*) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("rebooted server holds %d rows, want 4", n)
+	}
+	if !st2.Durable() {
+		t.Fatal("rebooted store is not durable")
+	}
+}
+
+// TestServerMetasOnVolatileStore: /save and /wal must refuse, not
+// crash, when the server was started without -data.
+func TestServerMetasOnVolatileStore(t *testing.T) {
+	addr, _, stop := startServer(t, shard.Options{Shards: 2})
+	defer stop()
+	c, err := DialTimeout(addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for _, meta := range []string{"/save", "/wal"} {
+		resp, err := c.Do(meta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Err == "" {
+			t.Fatalf("%s on a volatile store returned %+v, want an error", meta, resp)
+		}
+	}
+}

@@ -181,7 +181,33 @@ func (s *Server) meta(cmd string) (*Response, bool) {
 	case "/quit":
 		return &Response{Message: "bye"}, true
 	case "/help":
-		return &Response{Message: "/ping /tables /shards /stats <table> <col> /strategy <name> [seed] [shard] /tapestry <name> <n> <alpha> [seed] /quit — anything else is SQL"}, false
+		return &Response{Message: "/ping /tables /shards /stats <table> <col> /strategy <name> [seed] [shard] /tapestry <name> <n> <alpha> [seed] /save /wal /quit — anything else is SQL"}, false
+	case "/save":
+		// Checkpoint: warm snapshot + WAL rotation. Requires a store booted
+		// with -data; mutations block for the duration, queries keep running.
+		if !s.store.Durable() {
+			return &Response{Err: "store is not durable (start cracksrv with -data)"}, false
+		}
+		if err := s.store.Checkpoint(); err != nil {
+			return &Response{Err: err.Error()}, false
+		}
+		st, _ := s.store.WALStatus()
+		s.logf("checkpoint complete (wal rotated at seq %d)", st.BaseSeq)
+		return &Response{Message: fmt.Sprintf("checkpoint complete, wal rotated at seq %d", st.BaseSeq)}, false
+	case "/wal":
+		st, ok := s.store.WALStatus()
+		if !ok {
+			return &Response{Err: "store is not durable (start cracksrv with -data)"}, false
+		}
+		return &Response{
+			Columns: []string{"base_seq", "next_seq", "records", "bytes"},
+			Rows: [][]string{{
+				strconv.FormatUint(st.BaseSeq, 10),
+				strconv.FormatUint(st.NextSeq, 10),
+				strconv.FormatUint(st.Records, 10),
+				strconv.FormatInt(st.Bytes, 10),
+			}},
+		}, false
 	case "/tables":
 		resp := &Response{Columns: []string{"table", "rows", "columns"}}
 		for _, t := range s.store.Tables() {

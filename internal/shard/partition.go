@@ -2,6 +2,7 @@ package shard
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 )
@@ -36,11 +37,45 @@ func ParseKind(s string) (Kind, error) {
 // partitioner maps key values to shard indexes. span is the contiguous
 // shard interval that can hold keys in the inclusive range [lo, hi] —
 // for hash partitioning that is every shard unless the range pins a
-// single value.
+// single value. spec is the serializable identity sharded persistence
+// round-trips: partFromSpec(p.spec()) routes byte-identically to p.
 type partitioner interface {
 	route(v int64) int
 	span(lo, hi int64) (first, last int)
 	describe() string
+	spec() PartSpec
+}
+
+// PartSpec is the on-disk form of a partitioner: everything routing
+// depends on, so a reopened router sends every key to the same shard the
+// original did.
+type PartSpec struct {
+	Kind   Kind    `json:"kind"`
+	Shards int     `json:"shards"`
+	Bounds []int64 `json:"bounds,omitempty"` // range only: upper-exclusive cut points
+}
+
+// partFromSpec rebuilds a partitioner from its serialized identity.
+func partFromSpec(sp PartSpec) (partitioner, error) {
+	if sp.Shards < 1 {
+		return nil, fmt.Errorf("shard: partition spec with %d shards", sp.Shards)
+	}
+	switch sp.Kind {
+	case Hash:
+		return hashPart{n: sp.Shards}, nil
+	case Range:
+		if len(sp.Bounds) != sp.Shards-1 {
+			return nil, fmt.Errorf("shard: range spec has %d bounds for %d shards", len(sp.Bounds), sp.Shards)
+		}
+		for i := 1; i < len(sp.Bounds); i++ {
+			if sp.Bounds[i] <= sp.Bounds[i-1] {
+				return nil, fmt.Errorf("shard: range spec bounds not strictly increasing at %d", i)
+			}
+		}
+		return rangePart{bounds: append([]int64(nil), sp.Bounds...)}, nil
+	default:
+		return nil, fmt.Errorf("shard: unknown partition kind %q in spec", sp.Kind)
+	}
 }
 
 // hashPart routes by a splitmix64 finalizer so adjacent keys land on
@@ -66,6 +101,8 @@ func (h hashPart) span(lo, hi int64) (int, int) {
 
 func (h hashPart) describe() string { return fmt.Sprintf("hash(%d)", h.n) }
 
+func (h hashPart) spec() PartSpec { return PartSpec{Kind: Hash, Shards: h.n} }
+
 // rangePart routes by binary search over upper-exclusive split bounds:
 // shard i holds keys in [bounds[i-1], bounds[i]), with the first and
 // last shards open toward the respective infinities so no key is ever
@@ -80,6 +117,10 @@ func (r rangePart) route(v int64) int {
 
 func (r rangePart) span(lo, hi int64) (int, int) { return r.route(lo), r.route(hi) }
 
+func (r rangePart) spec() PartSpec {
+	return PartSpec{Kind: Range, Shards: len(r.bounds) + 1, Bounds: append([]int64(nil), r.bounds...)}
+}
+
 func (r rangePart) describe() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "range(%d, bounds=[", len(r.bounds)+1)
@@ -91,6 +132,42 @@ func (r rangePart) describe() string {
 	}
 	b.WriteString("])")
 	return b.String()
+}
+
+// minSampleRows is the smallest first batch worth deriving sampled range
+// bounds from: below it the quantile estimates are noise and the even
+// domain split stands.
+const minSampleRows = 64
+
+// sampledBounds derives n-1 strictly-increasing upper-exclusive cut
+// points from the observed key distribution, placing near-equal
+// populations in each shard — the data-driven alternative to evenBounds
+// when the keys are skewed relative to the configured domain (a Zipfian
+// id column, timestamps clustered in the recent past, ...). Equal keys
+// never straddle a cut (the cut value moves past the run), so heavy
+// duplicates cost balance, not correctness. Returns nil when the keys
+// cannot support n distinct intervals; the caller keeps its even split.
+func sampledBounds(keys []int64, n int) []int64 {
+	if n < 2 || len(keys) < minSampleRows || len(keys) < n {
+		return nil
+	}
+	sorted := append([]int64(nil), keys...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	out := make([]int64, 0, n-1)
+	prev := int64(math.MinInt64)
+	havePrev := false
+	for i := 1; i < n; i++ {
+		q := sorted[len(sorted)*i/n]
+		if havePrev && q <= prev {
+			continue // duplicate-heavy region: skip the degenerate cut
+		}
+		out = append(out, q)
+		prev, havePrev = q, true
+	}
+	if len(out) != n-1 {
+		return nil // not enough distinct quantiles for n shards
+	}
+	return out
 }
 
 // evenBounds splits the inclusive domain [lo, hi] into n near-equal

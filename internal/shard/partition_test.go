@@ -2,6 +2,7 @@ package shard
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 
 	"crackdb"
@@ -70,6 +71,146 @@ func TestRangePartCoversAxis(t *testing.T) {
 	lo, hi := p.span(100, 400)
 	if lo > hi {
 		t.Fatalf("span inverted: [%d,%d]", lo, hi)
+	}
+}
+
+// TestSampledBoundsSkew is the satellite's skew test: under a heavily
+// skewed key distribution the even domain split dumps almost everything
+// on one shard, while sampled quantile bounds land near-equal
+// populations.
+func TestSampledBoundsSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	const n = 40_000
+	const shards = 4
+	// Zipf-ish skew over a huge configured domain: ~99% of the keys live
+	// in the bottom 1% of [0, 1<<20].
+	zipf := rand.NewZipf(rng, 1.3, 8, 1<<20-1)
+	keys := make([]int64, n)
+	for i := range keys {
+		keys[i] = int64(zipf.Uint64())
+	}
+
+	spread := func(p partitioner) (min, max int) {
+		counts := make([]int, shards)
+		for _, k := range keys {
+			counts[p.route(k)]++
+		}
+		min, max = counts[0], counts[0]
+		for _, c := range counts[1:] {
+			if c < min {
+				min = c
+			}
+			if c > max {
+				max = c
+			}
+		}
+		return min, max
+	}
+
+	evenMin, evenMax := spread(rangePart{bounds: evenBounds(0, 1<<20, shards)})
+	bounds := sampledBounds(keys, shards)
+	if bounds == nil {
+		t.Fatal("sampledBounds declined a 40k-key sample")
+	}
+	if len(bounds) != shards-1 {
+		t.Fatalf("got %d bounds, want %d", len(bounds), shards-1)
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			t.Fatalf("sampled bounds not strictly increasing: %v", bounds)
+		}
+	}
+	sampMin, sampMax := spread(rangePart{bounds: bounds})
+
+	if evenMin > 0 && evenMax/evenMin < 100 {
+		t.Fatalf("skew premise broken: even split spread only %d..%d", evenMin, evenMax)
+	}
+	if sampMin == 0 || sampMax/sampMin > 3 {
+		t.Fatalf("sampled bounds still skewed: %d..%d (even split: %d..%d)",
+			sampMin, sampMax, evenMin, evenMax)
+	}
+}
+
+// TestFirstInsertSamplesBounds: a range table's first batch rewrites the
+// even split into data-driven bounds end to end, and the persisted spec
+// round-trips them.
+func TestFirstInsertSamplesBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	s := New(Options{Shards: 4, Kind: Range, Domain: [2]int64{0, 1 << 20}})
+	if err := s.CreateTable("t", "k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	// All keys inside [0, 4000) — 0.4% of the configured domain.
+	rows := make([][]int64, 10_000)
+	for i := range rows {
+		rows[i] = []int64{rng.Int63n(4000), rng.Int63n(100)}
+	}
+	if err := s.InsertRows("t", rows); err != nil {
+		t.Fatal(err)
+	}
+	min, max := -1, -1
+	for i := 0; i < s.ShardCount(); i++ {
+		n, err := s.Shard(i).NumRows("t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if min == -1 || n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+	}
+	if min == 0 || max > 2*min {
+		t.Fatalf("first-batch sampling left populations %d..%d", min, max)
+	}
+	// The routing must actually have left the even split behind.
+	even := (rangePart{bounds: evenBounds(0, 1<<20, 4)}).describe()
+	if s.Partitions()[0].Scheme == even {
+		t.Fatal("partitioner still describes the even split after sampling")
+	}
+	// A later batch must NOT move the bounds (rows are already routed).
+	before := s.Partitions()[0].Scheme
+	if err := s.InsertRows("t", [][]int64{{1 << 19, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if after := s.Partitions()[0].Scheme; after != before {
+		t.Fatalf("bounds moved after the first batch:\n before %s\n after  %s", before, after)
+	}
+	// Static mode keeps the even split.
+	s2 := New(Options{Shards: 4, Kind: Range, Domain: [2]int64{0, 1 << 20}, StaticRangeBounds: true})
+	if err := s2.CreateTable("t", "k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.InsertRows("t", rows); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := s2.Partitions()[0].Scheme, (rangePart{bounds: evenBounds(0, 1<<20, 4)}).describe(); got != want {
+		t.Fatalf("static mode rewrote bounds: %s", got)
+	}
+}
+
+func TestPartSpecRoundTrip(t *testing.T) {
+	for _, p := range []partitioner{
+		hashPart{n: 4},
+		rangePart{bounds: evenBounds(0, 1000, 8)},
+		rangePart{bounds: []int64{-5, 0, 99}},
+	} {
+		got, err := partFromSpec(p.spec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := int64(-2000); v < 2000; v += 7 {
+			if got.route(v) != p.route(v) {
+				t.Fatalf("%s: route(%d) diverges after spec round-trip", p.describe(), v)
+			}
+		}
+	}
+	if _, err := partFromSpec(PartSpec{Kind: Range, Shards: 3, Bounds: []int64{5, 5}}); err == nil {
+		t.Fatal("accepted non-increasing range bounds")
+	}
+	if _, err := partFromSpec(PartSpec{Kind: "banana", Shards: 2}); err == nil {
+		t.Fatal("accepted an unknown partition kind")
 	}
 }
 

@@ -1,0 +1,334 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"crackdb"
+	"crackdb/internal/durable"
+)
+
+// Sharded persistence: the router is saved as a JSON manifest
+// (shard.json — partition kind, per-table routing specs, shard count)
+// next to one complete crackdb store image per shard, and reopens
+// byte-identical: every key routes to the same shard, every shard holds
+// the same rows, and — warm — every cracker column resumes with the same
+// cut set and strategy RNG position. OpenDurable adds the WAL on top:
+// boot = newest snapshot + replay of the log suffix, and Checkpoint
+// (the server's /save) atomically writes a new snapshot and rotates the
+// log under full mutation exclusion.
+
+// routerManifestName is the router image marker inside a saved dir.
+const routerManifestName = "shard.json"
+
+// Inside a durable data dir:
+const (
+	dataStoreDir = "store"   // current snapshot (a Save/SaveWarm image)
+	dataWALName  = "wal.log" // the mutation log
+)
+
+// routerManifest is the on-disk description of a sharded store.
+type routerManifest struct {
+	Version           int                `json:"version"`
+	Shards            int                `json:"shards"`
+	Kind              Kind               `json:"kind"`
+	Domain            [2]int64           `json:"domain"`
+	StaticRangeBounds bool               `json:"static_range_bounds,omitempty"`
+	AppliedSeq        uint64             `json:"applied_seq"`
+	Tables            []routerTableEntry `json:"tables"`
+}
+
+type routerTableEntry struct {
+	Name   string   `json:"name"`
+	Key    string   `json:"key"`
+	KeyIdx int      `json:"key_idx"`
+	Cols   []string `json:"columns"`
+	Seeded bool     `json:"seeded"`
+	Part   PartSpec `json:"partition"`
+}
+
+// logRecord appends a mutation to the attached WAL, if any. Callers hold
+// walMu for reading and must log before applying.
+func (s *Store) logRecord(rec durable.Record) error {
+	if s.wal == nil {
+		return nil
+	}
+	if _, err := s.wal.Append(rec); err != nil {
+		return fmt.Errorf("shard: wal append: %w", err)
+	}
+	return nil
+}
+
+// Save writes the sharded store's cold image (router + per-shard tables,
+// no cracker state) to a directory, atomically replacing any previous
+// image.
+func (s *Store) Save(dir string) error { return s.save(dir, false) }
+
+// SaveWarm writes the warm image: the router plus each shard's warm
+// store image, so OpenWarm resumes every shard's cracker state.
+func (s *Store) SaveWarm(dir string) error { return s.save(dir, true) }
+
+func (s *Store) save(dir string, warm bool) error {
+	// Exclude mutations for the whole image: the router manifest, the
+	// per-shard images and the WAL stamp must describe one instant.
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	return s.saveLocked(dir, warm)
+}
+
+// saveLocked writes the image. The caller holds walMu exclusively.
+func (s *Store) saveLocked(dir string, warm bool) error {
+	return durable.AtomicReplaceDir(dir, func(tmp string) error {
+		m := routerManifest{
+			Version:           1,
+			Shards:            len(s.shards),
+			Kind:              s.opts.Kind,
+			Domain:            s.opts.Domain,
+			StaticRangeBounds: s.opts.StaticRangeBounds,
+		}
+		if s.wal != nil {
+			m.AppliedSeq = s.wal.Seq()
+		}
+		s.mu.RLock()
+		for name, tm := range s.tables {
+			m.Tables = append(m.Tables, routerTableEntry{
+				Name:   name,
+				Key:    tm.key,
+				KeyIdx: tm.keyIdx,
+				Cols:   append([]string(nil), tm.cols...),
+				Seeded: tm.seeded,
+				Part:   tm.part.spec(),
+			})
+		}
+		s.mu.RUnlock()
+		sort.Slice(m.Tables, func(a, b int) bool { return m.Tables[a].Name < m.Tables[b].Name })
+		data, err := json.MarshalIndent(m, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(tmp, routerManifestName), data, 0o644); err != nil {
+			return err
+		}
+		for i, st := range s.shards {
+			sub := filepath.Join(tmp, fmt.Sprintf("shard-%d", i))
+			var err error
+			if warm {
+				err = st.SaveWarm(sub)
+			} else {
+				err = st.Save(sub)
+			}
+			if err != nil {
+				return fmt.Errorf("shard %d: %w", i, err)
+			}
+		}
+		return nil
+	})
+}
+
+// Open loads a sharded store's cold image previously written by Save.
+func Open(dir string) (*Store, error) {
+	s, _, err := open(dir, false)
+	return s, err
+}
+
+// OpenWarm loads a warm image, resuming every shard's cracker state, and
+// returns the WAL sequence the image covers.
+func OpenWarm(dir string) (*Store, uint64, error) {
+	return open(dir, true)
+}
+
+func open(dir string, warm bool) (*Store, uint64, error) {
+	durable.RecoverDirSwap(dir, routerManifestName)
+	data, err := os.ReadFile(filepath.Join(dir, routerManifestName))
+	if err != nil {
+		return nil, 0, fmt.Errorf("shard: open store: %w", err)
+	}
+	var m routerManifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, 0, fmt.Errorf("shard: corrupt router manifest: %w", err)
+	}
+	if m.Version != 1 {
+		return nil, 0, fmt.Errorf("shard: unsupported router version %d", m.Version)
+	}
+	if m.Shards < 1 {
+		return nil, 0, fmt.Errorf("shard: router manifest with %d shards", m.Shards)
+	}
+	s := &Store{
+		opts: Options{
+			Shards:            m.Shards,
+			Kind:              m.Kind,
+			Domain:            m.Domain,
+			StaticRangeBounds: m.StaticRangeBounds,
+		},
+		shards: make([]*crackdb.Store, m.Shards),
+		tables: make(map[string]*tableMeta, len(m.Tables)),
+	}
+	for i := range s.shards {
+		sub := filepath.Join(dir, fmt.Sprintf("shard-%d", i))
+		if warm {
+			s.shards[i], _, err = crackdb.OpenWarm(sub)
+		} else {
+			s.shards[i], err = crackdb.Open(sub)
+		}
+		if err != nil {
+			return nil, 0, fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	for _, te := range m.Tables {
+		part, err := partFromSpec(te.Part)
+		if err != nil {
+			return nil, 0, fmt.Errorf("shard: table %q: %w", te.Name, err)
+		}
+		if te.Part.Shards != m.Shards {
+			return nil, 0, fmt.Errorf("shard: table %q partitioned over %d shards, router has %d",
+				te.Name, te.Part.Shards, m.Shards)
+		}
+		if te.KeyIdx < 0 || te.KeyIdx >= len(te.Cols) || te.Cols[te.KeyIdx] != te.Key {
+			return nil, 0, fmt.Errorf("shard: table %q key %q does not match column %d",
+				te.Name, te.Key, te.KeyIdx)
+		}
+		s.tables[te.Name] = &tableMeta{
+			cols:   te.Cols,
+			key:    te.Key,
+			keyIdx: te.KeyIdx,
+			part:   part,
+			seeded: te.Seeded,
+		}
+	}
+	return s, m.AppliedSeq, nil
+}
+
+// BootInfo describes what OpenDurable recovered.
+type BootInfo struct {
+	Recovered  bool   // a snapshot was found and loaded
+	AppliedSeq uint64 // WAL seq the snapshot covered
+	Replayed   int    // WAL records replayed on top of it
+}
+
+// OpenDurable boots a sharded store from a data directory:
+//
+//	dir/store/    newest snapshot (written by Checkpoint), if any
+//	dir/wal.log   the mutation log
+//
+// The snapshot (when present) is opened warm, the WAL's uncovered suffix
+// is replayed, and the log is attached so every further mutation is
+// WAL-first. A missing directory is a cold boot: a fresh store under
+// opts with an empty log. Either way the returned store is ready to
+// serve and Checkpoint-able.
+func OpenDurable(dir string, opts Options) (*Store, BootInfo, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, BootInfo{}, err
+	}
+	storeDir := filepath.Join(dir, dataStoreDir)
+	durable.RecoverDirSwap(storeDir, routerManifestName)
+
+	var s *Store
+	var info BootInfo
+	if _, err := os.Stat(filepath.Join(storeDir, routerManifestName)); err == nil {
+		st, applied, err := OpenWarm(storeDir)
+		if err != nil {
+			return nil, BootInfo{}, err
+		}
+		s, info.Recovered, info.AppliedSeq = st, true, applied
+	} else {
+		s = New(opts)
+	}
+	wal, err := durable.Open(filepath.Join(dir, dataWALName), info.AppliedSeq,
+		func(seq uint64, rec durable.Record) error {
+			if seq < info.AppliedSeq {
+				return nil // already inside the snapshot
+			}
+			info.Replayed++
+			return s.Apply(rec)
+		})
+	if err != nil {
+		return nil, BootInfo{}, err
+	}
+	s.walMu.Lock()
+	s.wal = wal
+	s.dataDir = dir
+	s.walMu.Unlock()
+	return s, info, nil
+}
+
+// Apply replays one WAL record against the router — the boot-time
+// inverse of the logging in the mutating methods. Only call before the
+// WAL is attached (replay must not re-log itself).
+func (s *Store) Apply(rec durable.Record) error {
+	switch rec.Kind {
+	case durable.KindCreate:
+		if rec.Part == "" {
+			return s.CreateTable(rec.Table, rec.Cols...)
+		}
+		kind, err := ParseKind(rec.Part)
+		if err != nil {
+			return err
+		}
+		return s.CreateTableKeyed(rec.Table, rec.Key, kind, rec.Cols...)
+	case durable.KindInsert:
+		return s.InsertRows(rec.Table, rec.Rows)
+	case durable.KindDrop:
+		return s.DropTable(rec.Table)
+	case durable.KindTapestry:
+		return s.LoadTapestry(rec.Table, rec.N, rec.Alpha, rec.Seed)
+	case durable.KindStrategy:
+		if rec.Shard < 0 {
+			return s.SetCrackStrategy(rec.Name, rec.Seed)
+		}
+		return s.SetShardCrackStrategy(rec.Shard, rec.Name, rec.Seed)
+	default:
+		return fmt.Errorf("shard: cannot apply WAL record kind %v", rec.Kind)
+	}
+}
+
+// Durable reports whether the store was booted with OpenDurable (and so
+// supports Checkpoint and WALStatus).
+func (s *Store) Durable() bool {
+	s.walMu.RLock()
+	defer s.walMu.RUnlock()
+	return s.wal != nil && s.dataDir != ""
+}
+
+// Checkpoint writes a fresh warm snapshot into the data directory and
+// rotates the WAL, under full mutation exclusion: no insert can slip
+// between the image and the log cut, so nothing acked is ever lost and
+// nothing is replayed twice. Queries keep running throughout — they
+// reorganize crack state, which the snapshot captures per column
+// atomically and which is re-derivable anyway.
+func (s *Store) Checkpoint() error {
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	if s.wal == nil || s.dataDir == "" {
+		return fmt.Errorf("shard: store is not durable (no data directory)")
+	}
+	seq := s.wal.Seq()
+	if err := s.saveLocked(filepath.Join(s.dataDir, dataStoreDir), true); err != nil {
+		return err
+	}
+	return s.wal.Rotate(seq)
+}
+
+// WALStatus reports the attached log's shape (the /wal meta).
+func (s *Store) WALStatus() (durable.Status, bool) {
+	s.walMu.RLock()
+	defer s.walMu.RUnlock()
+	if s.wal == nil {
+		return durable.Status{}, false
+	}
+	return s.wal.Status(), true
+}
+
+// CloseWAL drains and closes the attached log (clean shutdown).
+func (s *Store) CloseWAL() error {
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	if s.wal == nil {
+		return nil
+	}
+	err := s.wal.Close()
+	s.wal = nil
+	return err
+}

@@ -1,0 +1,301 @@
+package shard_test
+
+import (
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"crackdb"
+	"crackdb/internal/shard"
+)
+
+// loadMixed builds a sharded store with a cracked table: bulk load,
+// query stream, trickle inserts mid-stream.
+func loadMixed(t *testing.T, opts shard.Options, seed int64) (*shard.Store, [][]int64) {
+	t.Helper()
+	s := shard.New(opts)
+	if err := s.CreateTable("t", "k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var all [][]int64
+	batch := func(n int) [][]int64 {
+		rows := make([][]int64, n)
+		for i := range rows {
+			rows[i] = []int64{rng.Int63n(8000), rng.Int63n(500)}
+		}
+		all = append(all, rows...)
+		return rows
+	}
+	if err := s.InsertRows("t", batch(5000)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		lo := rng.Int63n(7000)
+		if _, err := s.CountWhere("t",
+			crackdb.Cond{Col: "k", Op: ">=", Val: lo},
+			crackdb.Cond{Col: "k", Op: "<", Val: lo + 400}); err != nil {
+			t.Fatal(err)
+		}
+		if i == 15 {
+			if err := s.InsertRows("t", batch(400)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return s, all
+}
+
+// TestShardSaveOpenByteIdentical: a reopened sharded store must answer
+// every query — rows, order, counts, group-bys — exactly like the
+// original, for both partition kinds, cold and warm.
+func TestShardSaveOpenByteIdentical(t *testing.T) {
+	for _, kind := range []shard.Kind{shard.Hash, shard.Range} {
+		for _, warm := range []bool{false, true} {
+			name := string(kind)
+			if warm {
+				name += "/warm"
+			} else {
+				name += "/cold"
+			}
+			t.Run(name, func(t *testing.T) {
+				opts := shard.Options{Shards: 4, Kind: kind, Domain: [2]int64{0, 8000}}
+				src, _ := loadMixed(t, opts, 31)
+				dir := filepath.Join(t.TempDir(), "img")
+				var dst *shard.Store
+				var err error
+				if warm {
+					if err = src.SaveWarm(dir); err != nil {
+						t.Fatal(err)
+					}
+					dst, _, err = shard.OpenWarm(dir)
+				} else {
+					if err = src.Save(dir); err != nil {
+						t.Fatal(err)
+					}
+					dst, err = shard.Open(dir)
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got, want := dst.ShardCount(), src.ShardCount(); got != want {
+					t.Fatalf("reopened with %d shards, want %d", got, want)
+				}
+				if !reflect.DeepEqual(dst.Partitions(), src.Partitions()) {
+					t.Fatalf("routing changed across reopen:\n got %+v\nwant %+v",
+						dst.Partitions(), src.Partitions())
+				}
+				// Per-shard row placement must be identical, not just the
+				// merged answer: that is what "byte-identical router" means.
+				for i := 0; i < src.ShardCount(); i++ {
+					a, err := src.Shard(i).NumRows("t")
+					if err != nil {
+						t.Fatal(err)
+					}
+					b, err := dst.Shard(i).NumRows("t")
+					if err != nil {
+						t.Fatal(err)
+					}
+					if a != b {
+						t.Fatalf("shard %d holds %d rows reopened, %d originally", i, b, a)
+					}
+				}
+				rng := rand.New(rand.NewSource(77))
+				for i := 0; i < 30; i++ {
+					lo := rng.Int63n(7000)
+					conds := []crackdb.Cond{
+						{Col: "k", Op: ">=", Val: lo},
+						{Col: "k", Op: "<=", Val: lo + rng.Int63n(500)},
+					}
+					ra, err := src.SelectWhere("t", conds...)
+					if err != nil {
+						t.Fatal(err)
+					}
+					rb, err := dst.SelectWhere("t", conds...)
+					if err != nil {
+						t.Fatal(err)
+					}
+					rowsA, err := ra.Rows("k", "v")
+					if err != nil {
+						t.Fatal(err)
+					}
+					rowsB, err := rb.Rows("k", "v")
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(rowsA, rowsB) {
+						t.Fatalf("query %d: row sets diverge across reopen", i)
+					}
+				}
+				ga, err := src.GroupBy("t", "v")
+				if err != nil {
+					t.Fatal(err)
+				}
+				gb, err := dst.GroupBy("t", "v")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(ga, gb) {
+					t.Fatal("group-by diverges across reopen")
+				}
+				if warm {
+					// Crack state survived per shard.
+					pa, err := src.ShardStats("t", "k")
+					if err != nil {
+						t.Fatal(err)
+					}
+					pb, err := dst.ShardStats("t", "k")
+					if err != nil {
+						t.Fatal(err)
+					}
+					for i := range pa {
+						if pa[i].Pieces != pb[i].Pieces {
+							t.Fatalf("shard %d pieces: %d reopened, %d originally", i, pb[i].Pieces, pa[i].Pieces)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestOpenDurableCheckpointCrash walks the full recovery protocol:
+// mutations, checkpoint, more mutations, "crash" (drop everything),
+// reboot — and after reboot both the pre- and post-checkpoint mutations
+// are there, exactly once.
+func TestOpenDurableCheckpointCrash(t *testing.T) {
+	dir := t.TempDir()
+	opts := shard.Options{Shards: 3, Kind: shard.Range, Domain: [2]int64{0, 1000}}
+
+	s1, info, err := shard.OpenDurable(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Recovered || info.Replayed != 0 {
+		t.Fatalf("fresh dir reported %+v", info)
+	}
+	if !s1.Durable() {
+		t.Fatal("OpenDurable store does not report durable")
+	}
+	if err := s1.CreateTable("t", "k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	rows1 := [][]int64{{1, 10}, {500, 20}, {900, 30}}
+	if err := s1.InsertRows("t", rows1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.CountWhere("t", crackdb.Cond{Col: "k", Op: "<", Val: 600}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	st, ok := s1.WALStatus()
+	if !ok || st.Records != 0 || st.BaseSeq == 0 {
+		t.Fatalf("post-checkpoint WAL status %+v ok=%v", st, ok)
+	}
+	// Post-checkpoint mutations live only in the WAL.
+	rows2 := [][]int64{{42, 1}, {777, 2}}
+	if err := s1.InsertRows("t", rows2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.SetCrackStrategy("mdd1r", 5); err != nil {
+		t.Fatal(err)
+	}
+	// Crash: no shutdown, no WAL close. (The WAL is fsynced per append,
+	// so simply abandoning the handles models SIGKILL.)
+
+	s2, info2, err := shard.OpenDurable(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info2.Recovered {
+		t.Fatal("reboot found no snapshot")
+	}
+	if info2.Replayed != 2 {
+		t.Fatalf("reboot replayed %d records, want 2 (insert + strategy)", info2.Replayed)
+	}
+	n, err := s2.NumRows("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(rows1) + len(rows2); n != want {
+		t.Fatalf("recovered %d rows, want %d", n, want)
+	}
+	for _, probe := range []struct {
+		key  int64
+		want int
+	}{{1, 1}, {500, 1}, {900, 1}, {42, 1}, {777, 1}, {43, 0}} {
+		got, err := s2.CountWhere("t", crackdb.Cond{Col: "k", Op: "=", Val: probe.key})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != probe.want {
+			t.Fatalf("key %d: count %d, want %d", probe.key, got, probe.want)
+		}
+	}
+	// The recovered store checkpoints again cleanly, and a third boot
+	// needs no replay.
+	if err := s2.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+	s3, info3, err := shard.OpenDurable(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info3.Recovered || info3.Replayed != 0 {
+		t.Fatalf("third boot %+v, want recovered with 0 replayed", info3)
+	}
+	if n3, _ := s3.NumRows("t"); n3 != len(rows1)+len(rows2) {
+		t.Fatalf("third boot holds %d rows", n3)
+	}
+	if err := s3.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDurableTapestryReplay: a tapestry load replays from its generator
+// parameters, so a reboot reproduces the exact permutation.
+func TestDurableTapestryReplay(t *testing.T) {
+	dir := t.TempDir()
+	opts := shard.Options{Shards: 2, Kind: shard.Hash}
+	s1, _, err := shard.OpenDurable(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.LoadTapestry("w", 2000, 2, 9); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.InsertRows("w", [][]int64{{5000, 5000}}); err != nil {
+		t.Fatal(err)
+	}
+	s2, info, err := shard.OpenDurable(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Replayed != 2 {
+		t.Fatalf("replayed %d records, want 2 (tapestry + insert)", info.Replayed)
+	}
+	// The permutation property: every key in 1..2000 exactly once.
+	for _, k := range []int64{1, 1000, 2000, 5000} {
+		got, err := s2.CountWhere("w", crackdb.Cond{Col: "c0", Op: "=", Val: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != 1 {
+			t.Fatalf("key %d: count %d, want 1", k, got)
+		}
+	}
+	total, err := s2.NumRows("w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 2001 {
+		t.Fatalf("recovered %d rows, want 2001", total)
+	}
+	s2.CloseWAL()
+}

@@ -24,8 +24,10 @@ import (
 
 	"crackdb"
 	"crackdb/internal/core"
+	"crackdb/internal/durable"
 	"crackdb/internal/mqs"
 	"crackdb/internal/sql"
+	"crackdb/internal/strategy"
 )
 
 // Options configures a sharded store.
@@ -40,6 +42,12 @@ type Options struct {
 	// its data is known (default [0, 1<<20]). LoadTapestry overrides it
 	// with the generated key domain.
 	Domain [2]int64
+	// StaticRangeBounds disables data-driven range bounds. By default a
+	// range-partitioned table's first insert batch is sampled and the
+	// even domain split is replaced with population quantiles, so skewed
+	// key distributions still land near-equal shard populations; set
+	// this to keep the configured even split regardless of the data.
+	StaticRangeBounds bool
 }
 
 func (o *Options) defaults() {
@@ -63,6 +71,13 @@ type Store struct {
 	opts   Options
 	shards []*crackdb.Store
 	tables map[string]*tableMeta
+
+	// Durability (see persist.go in this package): mutators hold walMu
+	// for reading around log-then-apply; Checkpoint holds it exclusively
+	// so no mutation can slip between the snapshot and the WAL rotation.
+	walMu   sync.RWMutex
+	wal     *durable.WAL
+	dataDir string
 }
 
 type tableMeta struct {
@@ -70,6 +85,10 @@ type tableMeta struct {
 	key    string
 	keyIdx int
 	part   partitioner
+	// seeded is set once the first insert batch has landed: from then on
+	// the partitioner is final (data-driven range bounds are derived from
+	// the first batch and must never move under routed rows).
+	seeded bool
 }
 
 // New returns an empty sharded store.
@@ -92,8 +111,16 @@ func (s *Store) Shard(i int) *crackdb.Store { return s.shards[i] }
 // the call on every shard, deriving a distinct sub-seed per shard so
 // concurrent shards draw independent RNG streams.
 func (s *Store) SetCrackStrategy(name string, seed int64) error {
+	if _, err := strategy.New(name, seed); err != nil {
+		return fmt.Errorf("shard: %w", err)
+	}
+	s.walMu.RLock()
+	defer s.walMu.RUnlock()
+	if err := s.logRecord(durable.Record{Kind: durable.KindStrategy, Name: name, Seed: seed, Shard: -1}); err != nil {
+		return err
+	}
 	for i := range s.shards {
-		if err := s.SetShardCrackStrategy(i, name, seed+int64(i)*7919); err != nil {
+		if err := s.setShardStrategy(i, name, seed+int64(i)*7919); err != nil {
 			return err
 		}
 	}
@@ -103,21 +130,46 @@ func (s *Store) SetCrackStrategy(name string, seed int64) error {
 // SetShardCrackStrategy selects the crack strategy of a single shard —
 // shards facing different workload slices may want different defenses.
 func (s *Store) SetShardCrackStrategy(i int, name string, seed int64) error {
+	if _, err := strategy.New(name, seed); err != nil {
+		return fmt.Errorf("shard: %w", err)
+	}
+	if i < 0 || i >= len(s.shards) {
+		return fmt.Errorf("shard: index %d out of range [0,%d)", i, len(s.shards))
+	}
+	s.walMu.RLock()
+	defer s.walMu.RUnlock()
+	if err := s.logRecord(durable.Record{Kind: durable.KindStrategy, Name: name, Seed: seed, Shard: i}); err != nil {
+		return err
+	}
+	return s.setShardStrategy(i, name, seed)
+}
+
+// setShardStrategy applies a validated strategy change to one shard
+// without logging it (the public wrappers log).
+func (s *Store) setShardStrategy(i int, name string, seed int64) error {
 	if i < 0 || i >= len(s.shards) {
 		return fmt.Errorf("shard: index %d out of range [0,%d)", i, len(s.shards))
 	}
 	return s.shards[i].SetCrackStrategy(name, seed)
 }
 
-// meta resolves a table's routing metadata.
-func (s *Store) meta(table string) (*tableMeta, error) {
+// meta resolves a table's routing metadata together with a consistent
+// snapshot of its partitioner. The partitioner must be captured under
+// the lock: a range table's first insert batch may replace the even
+// domain split with sampled bounds, and partitioner values are immutable
+// once published, so routing from the snapshot is always self-consistent.
+func (s *Store) meta(table string) (*tableMeta, partitioner, error) {
 	s.mu.RLock()
 	m, ok := s.tables[table]
+	var part partitioner
+	if ok {
+		part = m.part
+	}
 	s.mu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("shard: table %q does not exist", table)
+		return nil, nil, fmt.Errorf("shard: table %q does not exist", table)
 	}
-	return m, nil
+	return m, part, nil
 }
 
 // partitionerFor builds a partitioner for the given kind over the key
@@ -159,8 +211,18 @@ func (s *Store) CreateTableKeyed(name, key string, kind Kind, cols ...string) er
 	if err != nil {
 		return err
 	}
+	s.walMu.RLock()
+	defer s.walMu.RUnlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if _, exists := s.tables[name]; exists {
+		return fmt.Errorf("shard: table %q already exists", name)
+	}
+	if err := s.logRecord(durable.Record{
+		Kind: durable.KindCreate, Table: name, Cols: cols, Key: key, Part: string(kind),
+	}); err != nil {
+		return err
+	}
 	return s.createLocked(name, key, keyIdx, part, cols)
 }
 
@@ -184,10 +246,15 @@ func (s *Store) createLocked(name, key string, keyIdx int, part partitioner, col
 
 // DropTable removes a table from every shard.
 func (s *Store) DropTable(name string) error {
+	s.walMu.RLock()
+	defer s.walMu.RUnlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.tables[name]; !ok {
 		return fmt.Errorf("shard: table %q does not exist", name)
+	}
+	if err := s.logRecord(durable.Record{Kind: durable.KindDrop, Table: name}); err != nil {
+		return err
 	}
 	for _, st := range s.shards {
 		if err := st.DropTable(name); err != nil {
@@ -200,18 +267,63 @@ func (s *Store) DropTable(name string) error {
 
 // InsertRows routes tuples to their shards by partition key and appends
 // shard batches in parallel. Stream order is preserved within each
-// shard, so repeated loads are deterministic.
+// shard, so repeated loads are deterministic. When a WAL is attached the
+// whole batch is logged — and fsynced — before any row is applied, so a
+// batch the caller was acked for survives a crash.
 func (s *Store) InsertRows(name string, rows [][]int64) error {
-	m, err := s.meta(name)
-	if err != nil {
-		return err
+	return s.insertRows(name, rows, true)
+}
+
+func (s *Store) insertRows(name string, rows [][]int64, logIt bool) error {
+	s.walMu.RLock()
+	defer s.walMu.RUnlock()
+	return s.insertRowsWALHeld(name, rows, logIt)
+}
+
+// insertRowsWALHeld is insertRows for callers already holding walMu for
+// reading (LoadTapestry inserts the generated rows under the same hold
+// that logged the tapestry record, so a checkpoint cannot land between
+// the two).
+func (s *Store) insertRowsWALHeld(name string, rows [][]int64, logIt bool) error {
+	s.mu.RLock()
+	m, ok := s.tables[name]
+	var part partitioner
+	var seeded bool
+	if ok {
+		part, seeded = m.part, m.seeded
 	}
-	groups := make([][][]int64, len(s.shards))
+	s.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("shard: table %q does not exist", name)
+	}
 	for _, r := range rows {
 		if len(r) != len(m.cols) {
 			return fmt.Errorf("shard: table %q arity %d, row has %d values", name, len(m.cols), len(r))
 		}
-		t := m.part.route(r[m.keyIdx])
+	}
+	if len(rows) == 0 {
+		return nil
+	}
+	if logIt {
+		if err := s.logRecord(durable.Record{Kind: durable.KindInsert, Table: name, Rows: rows}); err != nil {
+			return err
+		}
+	}
+	if !seeded {
+		// The first batch is applied under the table-registry lock: it may
+		// replace the even range split with bounds sampled from the data,
+		// and no row must route under bounds that are about to move.
+		return s.firstInsert(name, m, rows)
+	}
+	return s.routeAndApply(name, part, m.keyIdx, rows)
+}
+
+// routeAndApply groups the batch by partition key and appends the
+// per-shard groups in parallel.
+func (s *Store) routeAndApply(name string, part partitioner, keyIdx int, rows [][]int64) error {
+	groups := make([][][]int64, len(s.shards))
+	for _, r := range rows {
+		t := part.route(r[keyIdx])
 		groups[t] = append(groups[t], r)
 	}
 	return s.fanOut(func(i int) error {
@@ -220,6 +332,36 @@ func (s *Store) InsertRows(name string, rows [][]int64) error {
 		}
 		return s.shards[i].InsertRows(name, groups[i])
 	})
+}
+
+// firstInsert lands a table's first batch. For range partitioning (and
+// unless Options.StaticRangeBounds) the batch's keys are sampled and the
+// even domain split is replaced with population quantiles — near-equal
+// shard populations whatever the key distribution (the data-driven
+// bounds the even split can only guess at). Serialized under s.mu so a
+// racing insert cannot route under bounds that are being replaced;
+// per-table this cost is paid exactly once.
+func (s *Store) firstInsert(name string, m *tableMeta, rows [][]int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, stillThere := s.tables[name]; !stillThere {
+		return fmt.Errorf("shard: table %q does not exist", name)
+	}
+	if !m.seeded {
+		m.seeded = true
+		if _, isRange := m.part.(rangePart); isRange && !s.opts.StaticRangeBounds {
+			keys := make([]int64, len(rows))
+			for i, r := range rows {
+				keys[i] = r[m.keyIdx]
+			}
+			if bounds := sampledBounds(keys, len(s.shards)); bounds != nil {
+				m.part = rangePart{bounds: bounds}
+			}
+		}
+		return s.routeAndApply(name, m.part, m.keyIdx, rows)
+	}
+	// Lost the first-batch race: the winner's bounds are final.
+	return s.routeAndApply(name, m.part, m.keyIdx, rows)
 }
 
 // fanOut runs fn for every shard index concurrently and returns the
@@ -288,13 +430,14 @@ func keyBounds(key string, conds []crackdb.Cond) (lo, hi int64, empty bool) {
 	return lo, hi, lo > hi
 }
 
-// targets resolves which shards a conjunction must visit.
-func (m *tableMeta) targets(conds []crackdb.Cond) (first, last int, empty bool) {
+// targets resolves which shards a conjunction must visit, routing
+// through the partitioner snapshot the caller captured via meta.
+func (m *tableMeta) targets(part partitioner, conds []crackdb.Cond) (first, last int, empty bool) {
 	lo, hi, empty := keyBounds(m.key, conds)
 	if empty {
 		return 0, -1, true
 	}
-	first, last = m.part.span(lo, hi)
+	first, last = part.span(lo, hi)
 	return first, last, false
 }
 
@@ -303,11 +446,11 @@ func (m *tableMeta) targets(conds []crackdb.Cond) (first, last int, empty bool) 
 // receives the full conjunction, so its cracker sees exactly the
 // workload slice routed to it.
 func (s *Store) SelectWhere(table string, conds ...crackdb.Cond) (sql.Rows, error) {
-	m, err := s.meta(table)
+	m, part, err := s.meta(table)
 	if err != nil {
 		return nil, err
 	}
-	first, last, empty := m.targets(conds)
+	first, last, empty := m.targets(part, conds)
 	if empty {
 		return &Result{}, nil
 	}
@@ -332,11 +475,11 @@ func (s *Store) SelectWhere(table string, conds ...crackdb.Cond) (sql.Rows, erro
 
 // CountWhere sums the qualifying-tuple counts of the target shards.
 func (s *Store) CountWhere(table string, conds ...crackdb.Cond) (int, error) {
-	m, err := s.meta(table)
+	m, part, err := s.meta(table)
 	if err != nil {
 		return 0, err
 	}
-	first, last, empty := m.targets(conds)
+	first, last, empty := m.targets(part, conds)
 	if empty {
 		return 0, nil
 	}
@@ -364,7 +507,7 @@ func (s *Store) CountWhere(table string, conds ...crackdb.Cond) (int, error) {
 // GroupBy runs the Ω cracker on every shard (each clusters its slice)
 // and merges the per-shard group counts by value.
 func (s *Store) GroupBy(table, col string) ([]crackdb.GroupInfo, error) {
-	if _, err := s.meta(table); err != nil {
+	if _, _, err := s.meta(table); err != nil {
 		return nil, err
 	}
 	parts := make([][]crackdb.GroupInfo, len(s.shards))
@@ -392,7 +535,7 @@ func (s *Store) GroupBy(table, col string) ([]crackdb.GroupInfo, error) {
 
 // Columns returns a table's column names.
 func (s *Store) Columns(table string) ([]string, error) {
-	m, err := s.meta(table)
+	m, _, err := s.meta(table)
 	if err != nil {
 		return nil, err
 	}
@@ -413,7 +556,7 @@ func (s *Store) Tables() []string {
 
 // NumRows sums a table's cardinality over the shards.
 func (s *Store) NumRows(table string) (int, error) {
-	if _, err := s.meta(table); err != nil {
+	if _, _, err := s.meta(table); err != nil {
 		return 0, err
 	}
 	total := 0
@@ -450,7 +593,7 @@ func (s *Store) Partitions() []PartitionInfo {
 // ShardStats returns one column's crack counters per shard, indexed by
 // shard. A shard that never saw a query on the column reports zeros.
 func (s *Store) ShardStats(table, col string) ([]crackdb.ColumnStats, error) {
-	if _, err := s.meta(table); err != nil {
+	if _, _, err := s.meta(table); err != nil {
 		return nil, err
 	}
 	out := make([]crackdb.ColumnStats, len(s.shards))
@@ -488,11 +631,15 @@ func (s *Store) Stats(table, col string) (crackdb.ColumnStats, error) {
 // LoadTapestry creates a table with the paper's DBtapestry generator
 // (n rows, alpha shuffled permutation columns c0..c{alpha-1}) and
 // distributes it on c0. Range partitioning uses the known key domain
-// [1, n], so the shards split the permutation evenly.
+// [1, n], so the shards split the permutation evenly. The load is
+// logged as one tapestry record — replay regenerates the rows from
+// (n, alpha, seed) instead of reading n×alpha values back from the log.
 func (s *Store) LoadTapestry(name string, n, alpha int, seed int64) error {
 	if n < 1 || alpha < 1 {
 		return fmt.Errorf("shard: tapestry %dx%d invalid", n, alpha)
 	}
+	s.walMu.RLock()
+	defer s.walMu.RUnlock()
 	t := mqs.Tapestry(n, alpha, seed)
 	cols := t.ColumnNames()
 	part, err := s.partitionerFor(s.opts.Kind, 1, int64(n))
@@ -500,6 +647,16 @@ func (s *Store) LoadTapestry(name string, n, alpha int, seed int64) error {
 		return err
 	}
 	s.mu.Lock()
+	if _, exists := s.tables[name]; exists {
+		s.mu.Unlock()
+		return fmt.Errorf("shard: table %q already exists", name)
+	}
+	if err := s.logRecord(durable.Record{
+		Kind: durable.KindTapestry, Table: name, N: n, Alpha: alpha, Seed: seed,
+	}); err != nil {
+		s.mu.Unlock()
+		return err
+	}
 	err = s.createLocked(name, cols[0], 0, part, cols)
 	s.mu.Unlock()
 	if err != nil {
@@ -509,7 +666,7 @@ func (s *Store) LoadTapestry(name string, n, alpha int, seed int64) error {
 	for i := range rows {
 		rows[i] = t.Row(i)
 	}
-	return s.InsertRows(name, rows)
+	return s.insertRowsWALHeld(name, rows, false)
 }
 
 // Result is a selection merged across shards. Count is the sum of the

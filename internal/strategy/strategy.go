@@ -28,21 +28,50 @@
 //     of an out-of-place result materialization, preserving core's
 //     contiguous-View contract.
 //
-// Every stochastic strategy draws from an explicit seeded rand.Rand —
+// Every stochastic strategy draws from an explicit seeded generator —
 // never the math/rand globals — so figures and benchmarks are
-// reproducible run to run. Instances must not be shared across columns:
-// the RNG is guarded only by the owning column's write lock. Create one
-// instance per column (strategy.New per column, or
+// reproducible run to run. The generator is a splitmix64 stream whose
+// entire state is one exportable word, so the durability subsystem can
+// round-trip it (Export / Restore): a warm-reopened column continues the
+// exact pivot sequence the pre-shutdown column would have drawn, instead
+// of re-seeding and diverging. Instances must not be shared across
+// columns: the RNG is guarded only by the owning column's write lock.
+// Create one instance per column (strategy.New per column, or
 // core.WithStrategyFactory at table level).
 package strategy
 
 import (
 	"fmt"
-	"math/rand"
 	"strings"
 
 	"crackdb/internal/core"
 )
+
+// prng is a splitmix64 pseudo-random stream. Unlike rand.Rand its whole
+// state is a single word, exported verbatim into core.StrategyState and
+// restored by Restore — serializability is the reason it exists.
+type prng struct {
+	state uint64
+}
+
+func newPRNG(seed int64) *prng { return &prng{state: uint64(seed)} }
+
+func (p *prng) next() uint64 {
+	p.state += 0x9e3779b97f4a7c15
+	z := p.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a pseudo-random int in [0, n). The modulo bias is
+// immaterial for pivot sampling (n ≪ 2⁶⁴).
+func (p *prng) Intn(n int) int {
+	if n <= 0 {
+		panic("strategy: Intn on non-positive n")
+	}
+	return int(p.next() % uint64(n))
+}
 
 // DefaultMinPiece is the piece size below which the stochastic
 // strategies stop injecting auxiliary cuts. Halim et al. stop cracking
@@ -77,6 +106,12 @@ func NewDDC(minPiece int) *DDC {
 // Name implements core.CrackStrategy.
 func (d *DDC) Name() string { return "ddc" }
 
+// Export implements core.StatefulStrategy. DDC is deterministic: its
+// state is its configuration.
+func (d *DDC) Export() core.StrategyState {
+	return core.StrategyState{Name: "ddc", MinPiece: d.minPiece}
+}
+
 // AdviseCut implements core.CrackStrategy.
 func (d *DDC) AdviseCut(pc core.PieceContext) core.CutPlan {
 	if pc.Size() <= d.minPiece {
@@ -100,7 +135,7 @@ func (d *DDC) AdviseCut(pc core.PieceContext) core.CutPlan {
 // than DDC (no min/max scan) at the cost of less balanced splits.
 type DDR struct {
 	minPiece int
-	rng      *rand.Rand
+	rng      *prng
 }
 
 // NewDDR returns a DDR strategy with its own seeded RNG;
@@ -109,11 +144,16 @@ func NewDDR(minPiece int, seed int64) *DDR {
 	if minPiece <= 0 {
 		minPiece = DefaultMinPiece
 	}
-	return &DDR{minPiece: minPiece, rng: rand.New(rand.NewSource(seed))}
+	return &DDR{minPiece: minPiece, rng: newPRNG(seed)}
 }
 
 // Name implements core.CrackStrategy.
 func (d *DDR) Name() string { return "ddr" }
+
+// Export implements core.StatefulStrategy.
+func (d *DDR) Export() core.StrategyState {
+	return core.StrategyState{Name: "ddr", MinPiece: d.minPiece, RNG: d.rng.state}
+}
 
 // AdviseCut implements core.CrackStrategy.
 func (d *DDR) AdviseCut(pc core.PieceContext) core.CutPlan {
@@ -133,7 +173,7 @@ func (d *DDR) AdviseCut(pc core.PieceContext) core.CutPlan {
 // constant cost.
 type MDD1R struct {
 	minPiece int
-	rng      *rand.Rand
+	rng      *prng
 }
 
 // NewMDD1R returns an MDD1R strategy with its own seeded RNG;
@@ -142,11 +182,16 @@ func NewMDD1R(minPiece int, seed int64) *MDD1R {
 	if minPiece <= 0 {
 		minPiece = DefaultMinPiece
 	}
-	return &MDD1R{minPiece: minPiece, rng: rand.New(rand.NewSource(seed))}
+	return &MDD1R{minPiece: minPiece, rng: newPRNG(seed)}
 }
 
 // Name implements core.CrackStrategy.
 func (m *MDD1R) Name() string { return "mdd1r" }
+
+// Export implements core.StatefulStrategy.
+func (m *MDD1R) Export() core.StrategyState {
+	return core.StrategyState{Name: "mdd1r", MinPiece: m.minPiece, RNG: m.rng.state}
+}
 
 // AdviseCut implements core.CrackStrategy.
 func (m *MDD1R) AdviseCut(pc core.PieceContext) core.CutPlan {
@@ -179,3 +224,33 @@ func New(name string, seed int64) (core.CrackStrategy, error) {
 			name, strings.Join(Names(), ", "))
 	}
 }
+
+// Restore rebuilds a live strategy instance from an exported state: the
+// inverse of core.StatefulStrategy.Export, used by the durability
+// subsystem on warm reopen. The restored instance continues the exact
+// RNG stream the exported one would have drawn next.
+func Restore(st core.StrategyState) (core.CrackStrategy, error) {
+	switch strings.ToLower(st.Name) {
+	case "", "standard", "std":
+		return nil, nil
+	case "ddc":
+		return NewDDC(st.MinPiece), nil
+	case "ddr":
+		d := NewDDR(st.MinPiece, 0)
+		d.rng.state = st.RNG
+		return d, nil
+	case "mdd1r":
+		m := NewMDD1R(st.MinPiece, 0)
+		m.rng.state = st.RNG
+		return m, nil
+	default:
+		return nil, fmt.Errorf("strategy: cannot restore unknown strategy %q", st.Name)
+	}
+}
+
+// Compile-time checks: every stateful strategy round-trips.
+var (
+	_ core.StatefulStrategy = (*DDC)(nil)
+	_ core.StatefulStrategy = (*DDR)(nil)
+	_ core.StatefulStrategy = (*MDD1R)(nil)
+)

@@ -7,14 +7,26 @@ import (
 	"path/filepath"
 
 	"crackdb/internal/bat"
+	"crackdb/internal/core"
+	"crackdb/internal/durable"
 	"crackdb/internal/relation"
+	"crackdb/internal/strategy"
 )
 
 // Store persistence: each column is saved as one checksummed BAT image,
-// bound together by a JSON manifest. Cracked state is an auxiliary
-// structure and is deliberately not persisted, matching the paper's
-// prototype: "each table comes with its own cracker index and they are
-// not saved between sessions" (§5.2).
+// bound together by a JSON manifest. Save/Open persist the cold image
+// only, matching the paper's prototype ("each table comes with its own
+// cracker index and they are not saved between sessions", §5.2);
+// SaveWarm/OpenWarm additionally round-trip the cracker state — cut
+// sets, cracked vectors, pending updates, strategy RNG positions —
+// through a versioned crack-state snapshot (internal/durable), so a
+// reopened store resumes at converged per-query latency.
+//
+// Every save is atomic: the image is written into a fresh temp directory
+// next to the target and swapped in with renames, so a crash mid-save
+// leaves the previous image intact. AttachWAL adds the last durability
+// layer: mutations are logged (and fsynced, group-committed) before they
+// are applied, and Apply replays a log against a reopened store.
 
 // manifest is the on-disk description of a store.
 type manifest struct {
@@ -28,17 +40,34 @@ type manifestTable struct {
 	Rows    int      `json:"rows"`
 }
 
-const manifestName = "crackdb.json"
+const (
+	manifestName   = "crackdb.json"
+	crackStateName = "crackstate.crk"
+)
 
-// Save writes the store to a directory (created if missing). The write
-// is not atomic across files; callers wanting atomicity should save to a
-// fresh directory and rename it.
-func (s *Store) Save(dir string) error {
+// Save writes the store's cold image (tables, no cracker state) to a
+// directory, atomically replacing any previous image.
+func (s *Store) Save(dir string) error { return s.save(dir, false) }
+
+// SaveWarm writes the store's warm image: the cold image plus a
+// crack-state snapshot of every cracker column, so OpenWarm resumes with
+// the indexes the queries have paid for. When a WAL is attached the
+// snapshot is stamped with the current WAL sequence, making it a
+// checkpoint: replay skips the records the image already covers.
+func (s *Store) SaveWarm(dir string) error { return s.save(dir, true) }
+
+func (s *Store) save(dir string, warm bool) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
-	}
+	return durable.AtomicReplaceDir(dir, func(tmp string) error {
+		return s.saveLocked(tmp, warm)
+	})
+}
+
+// saveLocked writes the image into dir (which exists and is empty). The
+// caller holds s.mu, so no insert can slip between the BAT images, the
+// crack-state snapshot, and the WAL stamp.
+func (s *Store) saveLocked(dir string, warm bool) error {
 	var m manifest
 	m.Version = 1
 	for name, t := range s.tables {
@@ -58,11 +87,41 @@ func (s *Store) Save(dir string) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(filepath.Join(dir, manifestName), data, 0o644)
+	if err := os.WriteFile(filepath.Join(dir, manifestName), data, 0o644); err != nil {
+		return err
+	}
+	if !warm {
+		return nil
+	}
+	snap := &durable.StoreSnapshot{
+		Config: durable.StoreConfig{
+			StrategyName: s.strategyName,
+			StrategySeed: s.strategySeed,
+			MaxPieces:    s.maxPieces,
+			Ripple:       s.ripple,
+		},
+	}
+	if s.wal != nil {
+		snap.AppliedSeq = s.wal.Seq()
+	}
+	for name, ct := range s.cracked {
+		for _, attr := range ct.CrackedColumns() {
+			c, ok := ct.Column(attr)
+			if !ok {
+				continue
+			}
+			snap.Columns = append(snap.Columns, durable.ColumnSnapshot{
+				Table: name, Attr: attr, State: c.ExportState(),
+			})
+		}
+	}
+	return durable.WriteSnapshot(filepath.Join(dir, crackStateName), snap)
 }
 
-// Open loads a store previously written by Save.
+// Open loads a store's cold image previously written by Save (or the
+// table data of a SaveWarm image, ignoring its cracker state).
 func Open(dir string) (*Store, error) {
+	durable.RecoverDirSwap(dir, manifestName)
 	data, err := os.ReadFile(filepath.Join(dir, manifestName))
 	if err != nil {
 		return nil, fmt.Errorf("crackdb: open store: %w", err)
@@ -98,6 +157,123 @@ func Open(dir string) (*Store, error) {
 		}
 	}
 	return s, nil
+}
+
+// OpenWarm loads a warm image: the cold image plus, when present, the
+// crack-state snapshot, reattaching every column's cut set, cracked
+// vectors, pending updates and strategy (with its RNG position). It
+// returns the WAL sequence the image covers, so the caller can replay
+// only the log suffix. A directory written by the cold Save opens
+// successfully with appliedSeq 0 — there is simply no warmth to restore.
+func OpenWarm(dir string) (*Store, uint64, error) {
+	s, err := Open(dir)
+	if err != nil {
+		return nil, 0, err
+	}
+	snap, err := durable.ReadSnapshot(filepath.Join(dir, crackStateName))
+	if os.IsNotExist(err) {
+		return s, 0, nil
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := s.restoreSnapshot(snap); err != nil {
+		return nil, 0, err
+	}
+	return s, snap.AppliedSeq, nil
+}
+
+// restoreSnapshot applies a crack-state snapshot to a freshly opened
+// store.
+func (s *Store) restoreSnapshot(snap *durable.StoreSnapshot) error {
+	if name := snap.Config.StrategyName; name != "" {
+		if err := s.SetCrackStrategy(name, snap.Config.StrategySeed); err != nil {
+			return err
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.maxPieces = snap.Config.MaxPieces
+	s.ripple = snap.Config.Ripple
+	for _, cs := range snap.Columns {
+		t, ok := s.tables[cs.Table]
+		if !ok {
+			return fmt.Errorf("crackdb: crack state for unknown table %q", cs.Table)
+		}
+		ct, ok := s.cracked[cs.Table]
+		if !ok {
+			ct = core.NewCrackedTable(t, s.columnOptions()...)
+			s.cracked[cs.Table] = ct
+		}
+		opts := s.baseColumnOptions()
+		if cs.State.Strategy != nil {
+			st, err := strategy.Restore(*cs.State.Strategy)
+			if err != nil {
+				return fmt.Errorf("crackdb: restore %s.%s: %w", cs.Table, cs.Attr, err)
+			}
+			opts = append(opts, core.WithStrategy(st))
+		}
+		col, err := core.ColumnFromState(cs.State, opts...)
+		if err != nil {
+			return fmt.Errorf("crackdb: restore %s.%s: %w", cs.Table, cs.Attr, err)
+		}
+		if err := ct.RestoreColumn(cs.Attr, col); err != nil {
+			return fmt.Errorf("crackdb: restore %s.%s: %w", cs.Table, cs.Attr, err)
+		}
+	}
+	return nil
+}
+
+// AttachWAL arms write-ahead logging: every subsequent CreateTable,
+// DropTable, InsertRows, LoadTapestry and SetCrackStrategy is appended
+// to the log — and fsynced, group-committed — before it is applied, so
+// an acked mutation survives a crash. Attach after Apply-driven replay,
+// never before (replay must not re-log itself).
+func (s *Store) AttachWAL(w *durable.WAL) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.wal = w
+}
+
+// WAL returns the attached log, if any.
+func (s *Store) WAL() *durable.WAL {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.wal
+}
+
+// logRecord appends a mutation to the attached WAL, if any. Callers hold
+// s.mu (so snapshotting, which also holds s.mu, can never interleave
+// between a record being logged and applied) and must call it before
+// mutating anything.
+func (s *Store) logRecord(rec durable.Record) error {
+	if s.wal == nil {
+		return nil
+	}
+	if _, err := s.wal.Append(rec); err != nil {
+		return fmt.Errorf("crackdb: wal append: %w", err)
+	}
+	return nil
+}
+
+// Apply replays one WAL record against the store — the boot-time inverse
+// of the logging in the mutating methods. Replay a log with
+// durable.Open's apply callback before calling AttachWAL.
+func (s *Store) Apply(rec durable.Record) error {
+	switch rec.Kind {
+	case durable.KindCreate:
+		return s.CreateTable(rec.Table, rec.Cols...)
+	case durable.KindInsert:
+		return s.InsertRows(rec.Table, rec.Rows)
+	case durable.KindDrop:
+		return s.DropTable(rec.Table)
+	case durable.KindTapestry:
+		return s.LoadTapestry(rec.Table, rec.N, rec.Alpha, rec.Seed)
+	case durable.KindStrategy:
+		return s.SetCrackStrategy(rec.Name, rec.Seed)
+	default:
+		return fmt.Errorf("crackdb: cannot apply WAL record kind %v", rec.Kind)
+	}
 }
 
 func columnPath(dir, table, col string) string {

@@ -1,0 +1,319 @@
+package crackdb_test
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"crackdb"
+	"crackdb/internal/durable"
+)
+
+// buildCrackedStore makes a two-column store, cracks it with a mixed
+// stream (selects, inserts mid-stream), and returns the query oracle:
+// the rows, so a naive scan can recompute any count.
+func buildCrackedStore(t *testing.T, strategy string, seed int64) (*crackdb.Store, [][]int64) {
+	t.Helper()
+	s := crackdb.New()
+	if strategy != "" && strategy != "standard" {
+		if err := s.SetCrackStrategy(strategy, seed); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.CreateTable("t", "k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var all [][]int64
+	batch := func(n int) [][]int64 {
+		rows := make([][]int64, n)
+		for i := range rows {
+			rows[i] = []int64{rng.Int63n(10_000), rng.Int63n(1000)}
+		}
+		all = append(all, rows...)
+		return rows
+	}
+	if err := s.InsertRows("t", batch(6000)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		lo := rng.Int63n(9000)
+		if _, err := s.Count("t", "k", lo, lo+rng.Int63n(800)+1); err != nil {
+			t.Fatal(err)
+		}
+		if i == 20 || i == 40 {
+			if err := s.InsertRows("t", batch(500)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Leave pending inserts unconsolidated: the snapshot must carry them.
+	if err := s.InsertRows("t", batch(300)); err != nil {
+		t.Fatal(err)
+	}
+	return s, all
+}
+
+func naiveCount(rows [][]int64, lo, hi int64) int {
+	n := 0
+	for _, r := range rows {
+		if r[0] >= lo && r[0] <= hi {
+			n++
+		}
+	}
+	return n
+}
+
+// TestWarmReopenOracle is the satellite's oracle test: for all four
+// strategies, snapshot+reopen must answer every query exactly like the
+// live store and like a naive scan — and continued cracking after the
+// reopen must track the live store's cut placement (which, for the
+// stochastic strategies, proves the RNG stream resumed mid-position).
+func TestWarmReopenOracle(t *testing.T) {
+	for _, strat := range []string{"standard", "ddc", "ddr", "mdd1r"} {
+		t.Run(strat, func(t *testing.T) {
+			live, rows := buildCrackedStore(t, strat, 99)
+			dir := filepath.Join(t.TempDir(), "img")
+			if err := live.SaveWarm(dir); err != nil {
+				t.Fatal(err)
+			}
+			warm, applied, err := crackdb.OpenWarm(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if applied != 0 {
+				t.Fatalf("no WAL attached but applied seq %d", applied)
+			}
+
+			// The same post-restart stream against both stores; every
+			// answer is also checked against the naive oracle.
+			rng := rand.New(rand.NewSource(7))
+			for i := 0; i < 80; i++ {
+				lo := rng.Int63n(9000)
+				hi := lo + rng.Int63n(900) + 1
+				a, err := live.Count("t", "k", lo, hi)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := warm.Count("t", "k", lo, hi)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := naiveCount(rows, lo, hi)
+				if a != want || b != want {
+					t.Fatalf("query %d [%d,%d]: live %d, warm %d, oracle %d", i, lo, hi, a, b, want)
+				}
+			}
+			// Row-level equality through OID fetches.
+			resA, err := live.Select("t", "k", 2000, 2500)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resB, err := warm.Select("t", "k", 2000, 2500)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rowsA, err := resA.Rows("k", "v")
+			if err != nil {
+				t.Fatal(err)
+			}
+			rowsB, err := resB.Rows("k", "v")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(rowsA, rowsB) {
+				t.Fatal("row sets diverge after warm reopen")
+			}
+			// Physical state tracks exactly: continued cracking lands the
+			// same cuts, so the piece counts stay in lockstep.
+			sa, err := live.Stats("t", "k")
+			if err != nil {
+				t.Fatal(err)
+			}
+			sb, err := warm.Stats("t", "k")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sa.Pieces != sb.Pieces {
+				t.Fatalf("piece counts diverged after reopen: live %d, warm %d", sa.Pieces, sb.Pieces)
+			}
+			// MDD1R stops refining at the minPiece granule, so its piece
+			// count is legitimately small; any strategy must still carry
+			// more than one piece through the reopen.
+			if sb.Pieces < 4 {
+				t.Fatalf("warm store has only %d pieces — crack state did not survive", sb.Pieces)
+			}
+		})
+	}
+}
+
+// TestWarmReopenIsWarm pins the point of the subsystem: the reopened
+// store answers a repeat query by index lookup, touching no tuples,
+// while a cold reopen pays a partition pass.
+func TestWarmReopenIsWarm(t *testing.T) {
+	live, _ := buildCrackedStore(t, "standard", 5)
+	// Consolidate pending inserts so the repeat query is a pure lookup.
+	if _, err := live.Count("t", "k", 1000, 1800); err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "img")
+	if err := live.SaveWarm(dir); err != nil {
+		t.Fatal(err)
+	}
+	warm, _, err := crackdb.OpenWarm(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := warm.Count("t", "k", 1000, 1800); err != nil {
+		t.Fatal(err)
+	}
+	st, err := warm.Stats("t", "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TuplesTouched != 0 {
+		t.Fatalf("warm repeat query touched %d tuples, want 0 (pure index lookup)", st.TuplesTouched)
+	}
+	cold, err := crackdb.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cold.Count("t", "k", 1000, 1800); err != nil {
+		t.Fatal(err)
+	}
+	cst, err := cold.Stats("t", "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cst.TuplesTouched == 0 {
+		t.Fatal("cold reopen answered without touching tuples — test premise broken")
+	}
+}
+
+// TestAtomicSaveSurvivesCrashedSave simulates every crash window of the
+// save swap and checks an existing image always reopens intact.
+func TestAtomicSaveSurvivesCrashedSave(t *testing.T) {
+	live, rows := buildCrackedStore(t, "standard", 17)
+	dir := filepath.Join(t.TempDir(), "img")
+	if err := live.SaveWarm(dir); err != nil {
+		t.Fatal(err)
+	}
+	check := func(label string) {
+		t.Helper()
+		s, _, err := crackdb.OpenWarm(dir)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		got, err := s.Count("t", "k", 0, 10_000)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		if want := naiveCount(rows, 0, 10_000); got != want {
+			t.Fatalf("%s: count %d, want %d", label, got, want)
+		}
+	}
+	check("baseline")
+
+	// Crash while the temp image was being written: a half-full temp dir
+	// sits next to the intact target.
+	tmp := filepath.Join(filepath.Dir(dir), ".saving-img-crashed")
+	if err := os.MkdirAll(tmp, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(tmp, "t.k.bat"), []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	check("stray temp dir")
+
+	// Crash between the two renames: the image sits under img.old and
+	// img is gone. Open must finish the swap.
+	if err := os.Rename(dir, dir+".old"); err != nil {
+		t.Fatal(err)
+	}
+	check("interrupted swap")
+	if _, err := os.Stat(dir + ".old"); !os.IsNotExist(err) {
+		t.Fatal("recovery left the .old image behind")
+	}
+
+	// A second save over the recovered image still works.
+	if err := live.SaveWarm(dir); err != nil {
+		t.Fatal(err)
+	}
+	check("resave")
+}
+
+// TestStoreWALReplayTruncatedEveryOffset is the store-level
+// prefix-consistency property: a store rebuilt from a WAL cut at any
+// byte offset must hold exactly the insert batches whose records
+// survived whole — never a partial batch.
+func TestStoreWALReplayTruncatedEveryOffset(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	w, err := durable.Create(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := crackdb.New()
+	src.AttachWAL(w)
+	if err := src.CreateTable("t", "k"); err != nil {
+		t.Fatal(err)
+	}
+	batches := [][][]int64{
+		{{1}, {2}, {3}},
+		{{10}, {11}},
+		{{20}, {21}, {22}, {23}},
+		{{30}},
+	}
+	for _, b := range batches {
+		if err := src.InsertRows("t", b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	trunc := filepath.Join(dir, "trunc.log")
+	for cut := 0; cut <= len(full); cut++ {
+		if err := os.WriteFile(trunc, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s := crackdb.New()
+		replayed := 0
+		tw, err := durable.Open(trunc, 0, func(_ uint64, rec durable.Record) error {
+			replayed++
+			return s.Apply(rec)
+		})
+		if err != nil {
+			if cut < 13 { // shorter than the header: corrupt, acceptable refusal
+				continue
+			}
+			t.Fatalf("cut at %d: %v", cut, err)
+		}
+		tw.Close()
+		if replayed == 0 {
+			continue // not even the create survived: an empty store is a valid prefix
+		}
+		// The recovered store must hold a whole-batch prefix: its row
+		// count is exactly the sum of the first replayed-1 batches (the
+		// first record is the create), never a partial batch.
+		got, err := s.NumRows("t")
+		if err != nil {
+			t.Fatalf("cut at %d: %v", cut, err)
+		}
+		want := 0
+		for _, b := range batches[:replayed-1] {
+			want += len(b)
+		}
+		if got != want {
+			t.Fatalf("cut at %d: recovered %d rows after %d records, want %d — a torn batch leaked",
+				cut, got, replayed, want)
+		}
+	}
+}
