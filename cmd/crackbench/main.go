@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	crackbench -fig 1a|1b|1c|2|3|8|9|10|11|hiking|sql|parallel|stochastic|shard|recovery|all [flags]
+//	crackbench -fig 1a|1b|1c|2|3|8|9|10|11|hiking|sql|parallel|stochastic|shard|recovery|sideways|all [flags]
 //	crackbench -addr host:port [-clients c] [-queries q] [-workload w] [-check]
 //	           [-inserts k] [-expectrows m] [-exec stmt]
 //
@@ -51,7 +51,7 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate: 1a,1b,1c,2,3,8,9,10,11,hiking,sql,parallel,stochastic,shard,recovery,all")
+		fig      = flag.String("fig", "all", "figure to regenerate: 1a,1b,1c,2,3,8,9,10,11,hiking,sql,parallel,stochastic,shard,recovery,sideways,all")
 		n        = flag.Int("n", 0, "cardinality override (0 = figure default)")
 		k        = flag.Int("k", 0, "sequence length override (0 = figure default)")
 		seed     = flag.Int64("seed", 42, "RNG seed")
@@ -119,9 +119,9 @@ func main() {
 		switch target {
 		case "all":
 			target = "stochastic"
-		case "stochastic", "recovery":
+		case "stochastic", "recovery", "sideways":
 		default:
-			fmt.Fprintf(os.Stderr, "crackbench: -strategy only applies to -fig stochastic or recovery, not -fig %s\n", target)
+			fmt.Fprintf(os.Stderr, "crackbench: -strategy only applies to -fig stochastic, recovery or sideways, not -fig %s\n", target)
 			os.Exit(1)
 		}
 	}
@@ -138,10 +138,10 @@ func main() {
 	// -queries/-sel don't imply a figure ("-fig all -sel 0.05" tunes the
 	// stochastic and shard legs of the full sweep).
 	switch target {
-	case "stochastic", "shard", "recovery", "all":
+	case "stochastic", "shard", "recovery", "sideways", "all":
 	default:
 		if *queries != 0 || *sel != 0 {
-			fmt.Fprintf(os.Stderr, "crackbench: -queries/-sel only apply to the stochastic, shard and recovery figures, not -fig %s\n", target)
+			fmt.Fprintf(os.Stderr, "crackbench: -queries/-sel only apply to the stochastic, shard, recovery and sideways figures, not -fig %s\n", target)
 			os.Exit(1)
 		}
 	}
@@ -242,6 +242,16 @@ func run(fig string, cfg benchConfig) error {
 				rcfg.Strategy = cfg.strategy
 			}
 			return emit(figures.FigRecovery(rcfg))
+		case "sideways":
+			nq := cfg.queries
+			if nq == 0 {
+				nq = k
+			}
+			swcfg := figures.FigSidewaysConfig{N: n, K: nq, Seed: seed, Selectivity: cfg.sel}
+			if cfg.strategy != "all" {
+				swcfg.Strategy = cfg.strategy
+			}
+			return emit(figures.FigSideways(swcfg))
 		case "sql":
 			res, err := figures.SQLLevel(figures.SQLLevelConfig{N: n, Seed: seed})
 			if err != nil {
@@ -250,12 +260,12 @@ func run(fig string, cfg benchConfig) error {
 			fmt.Print(res)
 			return nil
 		default:
-			return fmt.Errorf("unknown figure %q (want 1a,1b,1c,2,3,8,9,10,11,hiking,sql,parallel,stochastic,shard,recovery,all)", id)
+			return fmt.Errorf("unknown figure %q (want 1a,1b,1c,2,3,8,9,10,11,hiking,sql,parallel,stochastic,shard,recovery,sideways,all)", id)
 		}
 	}
 
 	if fig == "all" {
-		for _, id := range []string{"1a", "1b", "1c", "2", "3", "8", "9", "10", "11", "hiking", "sql", "parallel", "stochastic", "shard", "recovery"} {
+		for _, id := range []string{"1a", "1b", "1c", "2", "3", "8", "9", "10", "11", "hiking", "sql", "parallel", "stochastic", "shard", "recovery", "sideways"} {
 			fmt.Printf("=== figure %s ===\n", id)
 			if err := runOne(id); err != nil {
 				return fmt.Errorf("figure %s: %w", id, err)

@@ -53,6 +53,7 @@ func main() {
 		seed     = flag.Int64("seed", 42, "strategy RNG seed (per-shard sub-seeds are derived)")
 		tapestry = flag.String("tapestry", "", "preload a DBtapestry table: name,n,alpha (e.g. bench,100000,2)")
 		dataDir  = flag.String("data", "", "durable data directory (insert WAL + /save snapshots); empty = volatile")
+		walWin   = flag.Duration("walwindow", 0, "WAL group-commit fsync coalescing window (0 = fsync-latency batching only)")
 	)
 	flag.Parse()
 
@@ -86,6 +87,13 @@ func main() {
 		}
 	} else {
 		store = shard.New(opts)
+	}
+	if *walWin > 0 {
+		if *dataDir == "" {
+			fatal(fmt.Errorf("-walwindow requires a durable store (-data)"))
+		}
+		store.SetWALCoalesceWindow(*walWin)
+		logf("WAL group-commit coalescing window %v", *walWin)
 	}
 	// A recovered snapshot carries its own strategy configuration; only
 	// force the flag onto a store that has no history to contradict it.

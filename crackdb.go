@@ -40,6 +40,7 @@ import (
 	"crackdb/internal/expr"
 	"crackdb/internal/mqs"
 	"crackdb/internal/relation"
+	"crackdb/internal/sideways"
 	"crackdb/internal/strategy"
 )
 
@@ -71,14 +72,22 @@ type Store struct {
 	// wal, when attached, receives every mutation before it is applied
 	// (see persist.go: AttachWAL, logRecord, Apply).
 	wal *durable.WAL
+
+	// sideways holds the store's partial sideways-cracking maps: aligned
+	// (key, oid, payload) vectors cracked in lockstep with the primary
+	// columns, so multi-attribute projection reads co-cracked windows
+	// sequentially instead of fetching tuples through the base table one
+	// OID at a time. See internal/sideways and DESIGN.md.
+	sideways *sideways.Registry
 }
 
 // New returns an empty store.
 func New() *Store {
 	return &Store{
-		cat:     catalog.New(),
-		tables:  make(map[string]*relation.Table),
-		cracked: make(map[string]*core.CrackedTable),
+		cat:      catalog.New(),
+		tables:   make(map[string]*relation.Table),
+		cracked:  make(map[string]*core.CrackedTable),
+		sideways: sideways.NewRegistry(sideways.DefaultBudget),
 	}
 }
 
@@ -110,7 +119,81 @@ func (s *Store) SetCrackStrategy(name string, seed int64) error {
 	}
 	s.strategyName = name
 	s.strategySeed = seed
+	s.sideways.SetStrategyFactory(s.sidewaysStrategyLocked())
 	return nil
+}
+
+// SetSidewaysBudget bounds the sideways-cracking subsystem: at most n
+// payload vectors (one per projected (key, payload) attribute pair) are
+// kept live, least-recently-used pairs evicted first. n = 0 disables
+// sideways cracking — every projection pays the base-table fetch — and
+// n < 0 removes the bound. The default is sideways.DefaultBudget.
+func (s *Store) SetSidewaysBudget(n int) { s.sideways.SetBudget(n) }
+
+// SidewaysStats reports the work counters of the sideways-cracking
+// subsystem (see DESIGN.md, Sideways cracking).
+type SidewaysStats struct {
+	Sets        int   // live map spines (one per projected key column)
+	Pays        int   // live payload vectors (the budgeted quantity)
+	Builds      int64 // payload vectors materialized from the base table
+	Evictions   int64 // payload vectors dropped by the LRU budget
+	Projections int64 // projections served from the maps
+	Fallbacks   int64 // projections that fell back to the base fetch
+	Cracks      int64 // partition passes over map vectors
+}
+
+// SidewaysStats returns a snapshot of the sideways subsystem's counters.
+func (s *Store) SidewaysStats() SidewaysStats {
+	st := s.sideways.Snapshot()
+	return SidewaysStats{
+		Sets:        st.Sets,
+		Pays:        st.Pays,
+		Builds:      st.Builds,
+		Evictions:   st.Evictions,
+		Projections: st.Projections,
+		Fallbacks:   st.Fallbacks,
+		Cracks:      st.Cracks,
+	}
+}
+
+// FetchedTuples reports how many tuples of a table have been
+// reconstructed through the base table by OID fetches — the random
+// access cost sideways cracking avoids (a converged sideways projection
+// leaves the counter untouched).
+func (s *Store) FetchedTuples(table string) (int64, error) {
+	ct, _, err := s.crackedFor(table)
+	if err != nil {
+		return 0, err
+	}
+	return ct.FetchedTuples(), nil
+}
+
+// sidewaysStrategyLocked derives the map-strategy factory from the
+// store's crack-strategy configuration. Map seeds hash the map identity
+// (table, key) instead of drawing from the creation-order counter the
+// columns use, so a store and its warm-reopened twin — whose maps may be
+// created in different orders — still derive identical map strategies.
+// The caller holds s.mu.
+func (s *Store) sidewaysStrategyLocked() func(table, key string) core.CrackStrategy {
+	name, seed := s.strategyName, s.strategySeed
+	if name == "" || name == "standard" {
+		return nil
+	}
+	return func(table, key string) core.CrackStrategy {
+		st, _ := strategy.New(name, sidewaysSeed(seed, table, key))
+		return st
+	}
+}
+
+// sidewaysSeed mixes the store seed with an FNV-1a hash of the map
+// identity.
+func sidewaysSeed(base int64, table, key string) int64 {
+	h := uint64(1469598103934665603)
+	for _, b := range []byte(table + "." + key) {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return base ^ int64(h)
 }
 
 // SetRippleUpdates switches columns cracked after the call to ripple
@@ -162,6 +245,7 @@ func (s *Store) DropTable(name string) error {
 	}
 	delete(s.tables, name)
 	delete(s.cracked, name)
+	s.sideways.DropTable(name)
 	return nil
 }
 
@@ -191,7 +275,7 @@ func (s *Store) InsertRows(name string, rows [][]int64) error {
 	}
 	ct, ok := s.cracked[name]
 	if !ok {
-		ct = core.NewCrackedTable(t, s.columnOptions()...)
+		ct = s.newCrackedTableLocked(name, t)
 		s.cracked[name] = ct
 	}
 	if err := ct.AppendRows(rows); err != nil {
@@ -287,10 +371,28 @@ func (s *Store) crackedFor(name string) (*core.CrackedTable, *relation.Table, er
 	}
 	ct, ok = s.cracked[name]
 	if !ok {
-		ct = core.NewCrackedTable(t, s.columnOptions()...)
+		ct = s.newCrackedTableLocked(name, t)
 		s.cracked[name] = ct
 	}
 	return ct, t, nil
+}
+
+// currentCracked returns the live cracked wrapper of a table, or nil.
+func (s *Store) currentCracked(name string) *core.CrackedTable {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.cracked[name]
+}
+
+// newCrackedTableLocked wraps a relation with cracker state and wires
+// the sideways lockstep observer: every single-range selection the
+// wrapper answers is forwarded to the sideways registry, which applies
+// the same cuts to any aligned maps of the queried key column. The
+// caller holds s.mu.
+func (s *Store) newCrackedTableLocked(name string, t *relation.Table) *core.CrackedTable {
+	ct := core.NewCrackedTable(t, s.columnOptions()...)
+	ct.SetSelectObserver(func(r expr.Range) { s.sideways.Observe(ct, name, r) })
+	return ct
 }
 
 // baseColumnOptions materializes the store-wide cracker options except
@@ -333,11 +435,12 @@ func (s *Store) Select(table, col string, low, high int64) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	vals, oids, err := ct.SelectCopy(expr.Range{Col: col, Low: low, High: high, LowIncl: true, HighIncl: true})
+	r := expr.Range{Col: col, Low: low, High: high, LowIncl: true, HighIncl: true}
+	vals, oids, err := ct.SelectCopy(r)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{store: s, table: t, cracked: ct, vals: vals, oids: oids}, nil
+	return &Result{store: s, table: t, cracked: ct, vals: vals, oids: oids, rng: r, hasRange: true}, nil
 }
 
 // Count is Select without result materialization: the query still cracks
@@ -362,6 +465,13 @@ type Result struct {
 	cracked *core.CrackedTable
 	vals    []int64
 	oids    []bat.OID
+
+	// rng is the range the Select answered — the key predicate the
+	// sideways maps re-apply to serve Rows without base-table fetches.
+	// Results without a single range predicate (SelectWhere) always fetch
+	// through the base.
+	rng      expr.Range
+	hasRange bool
 }
 
 // Count returns the number of qualifying tuples.
@@ -372,9 +482,37 @@ func (r *Result) Count() int { return len(r.oids) }
 // use Rows to fetch attributes.
 func (r *Result) Values() []int64 { return r.vals }
 
-// Rows fetches the requested attributes of the qualifying tuples through
-// their OIDs, one row per tuple.
+// Rows fetches the requested attributes of the qualifying tuples, one
+// row per tuple. Row order is the store's physical (cracked) order and
+// is unspecified beyond that; sort for stable presentation.
+//
+// When the store's sideways maps can serve the projection — the result
+// came from Select and no insert has landed inside its range since —
+// the rows are assembled by sequentially scanning the co-cracked
+// (key, payload) windows; otherwise each tuple is reconstructed through
+// its OID against the base table.
 func (r *Result) Rows(cols ...string) ([][]int64, error) {
+	// Sideways maps are keyed by table name, so only the table's live
+	// wrapper may feed them: a stale Result — its table dropped (and
+	// possibly recreated) since the Select — must not register spines
+	// built from data the name no longer refers to. Stale results fall
+	// through to the base fetch, which answers from their own snapshot.
+	if r.hasRange && r.store != nil && r.store.currentCracked(r.table.Name) == r.cracked {
+		if wins, ok := r.store.sideways.Project(r.cracked, r.table.Name, r.rng, cols, len(r.oids)); ok {
+			n := len(r.oids)
+			backing := make([]int64, n*len(cols))
+			out := make([][]int64, n)
+			for i := range out {
+				out[i] = backing[i*len(cols) : (i+1)*len(cols) : (i+1)*len(cols)]
+			}
+			for j, w := range wins {
+				for i, v := range w {
+					out[i][j] = v
+				}
+			}
+			return out, nil
+		}
+	}
 	res, err := r.cracked.Fetch(r.oids, cols...)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,100 @@
+package core
+
+import "crackdb/internal/bat"
+
+// Aligned crack kernels for sideways cracking (internal/sideways): the
+// same branch-free shuffle-exchange as Column.crackInTwo/crackInThree,
+// extended to swap any number of payload vectors in lockstep with the
+// key vector. A sideways cracker map is a set of parallel vectors —
+// (key value, oid, payload value, payload value, ...) — whose i-th
+// elements always describe the same tuple; partitioning on the key must
+// therefore apply the identical permutation to every vector, or the
+// alignment that makes projection a sequential scan is destroyed.
+//
+// The kernels are free functions (not Column methods) because the map
+// vectors live outside any Column; callers account their own stats from
+// the returned touched/moved counts and serialize access themselves.
+
+// CompareCuts orders two cuts by (value, inclusive) with false < true —
+// the exported form of the ordering the cracker index uses, so other
+// packages can detect empty or inverted ranges the way Select does.
+func CompareCuts(v1 int64, i1 bool, v2 int64, i2 bool) int {
+	return cmpCut(v1, i1, v2, i2)
+}
+
+// AlignedCrackInTwo partitions keys[lo:hi) — and oids and every payload
+// vector, in lockstep — so that elements satisfying the cut predicate
+// (< val, or <= val when incl) precede the rest, returning the split
+// position. Like Column.crackInTwo the inclusivity test is hoisted into
+// an exclusive threshold, so the inner loop is one comparison per
+// element.
+func AlignedCrackInTwo(keys []int64, oids []bat.OID, pays [][]int64, lo, hi int, val int64, incl bool) (pos int, touched, moved int64) {
+	t, all := cutThreshold(val, incl)
+	if all { // <= MaxInt64: every element goes left
+		return hi, int64(hi - lo), 0
+	}
+	i, j := lo, hi-1
+	for i <= j {
+		for i <= j && keys[i] < t {
+			i++
+		}
+		for i <= j && keys[j] >= t {
+			j--
+		}
+		if i < j {
+			keys[i], keys[j] = keys[j], keys[i]
+			oids[i], oids[j] = oids[j], oids[i]
+			for _, p := range pays {
+				p[i], p[j] = p[j], p[i]
+			}
+			moved += int64(2 * (2 + len(pays)))
+			i++
+			j--
+		}
+	}
+	return i, int64(hi - lo), moved
+}
+
+// AlignedCrackInThree partitions keys[lo:hi) — with oids and payloads in
+// lockstep — into three pieces in a single Dutch-national-flag pass:
+// values before the lower cut, values inside the range, values past the
+// upper cut. It returns the answer window [m1, m2). Like the column
+// kernel, MaxInt64-inclusive cuts fall back to two crack-in-two passes
+// so the main loop stays threshold-only.
+func AlignedCrackInThree(keys []int64, oids []bat.OID, pays [][]int64, lo, hi int, loVal int64, loIncl bool, hiVal int64, hiIncl bool) (m1, m2 int, touched, moved int64) {
+	tLo, allLo := cutThreshold(loVal, loIncl)
+	tHi, allHi := cutThreshold(hiVal, hiIncl)
+	if allLo || allHi {
+		var t1, mv1, t2, mv2 int64
+		m1, t1, mv1 = AlignedCrackInTwo(keys, oids, pays, lo, hi, loVal, loIncl)
+		m2, t2, mv2 = AlignedCrackInTwo(keys, oids, pays, m1, hi, hiVal, hiIncl)
+		return m1, m2, t1 + t2, mv1 + mv2
+	}
+	lt, gt, i := lo, hi-1, lo
+	for i <= gt {
+		switch e := keys[i]; {
+		case e < tLo:
+			if i != lt {
+				keys[i], keys[lt] = keys[lt], e
+				oids[i], oids[lt] = oids[lt], oids[i]
+				for _, p := range pays {
+					p[i], p[lt] = p[lt], p[i]
+				}
+				moved += int64(2 * (2 + len(pays)))
+			}
+			lt++
+			i++
+		case e >= tHi:
+			keys[i], keys[gt] = keys[gt], e
+			oids[i], oids[gt] = oids[gt], oids[i]
+			for _, p := range pays {
+				p[i], p[gt] = p[gt], p[i]
+			}
+			moved += int64(2 * (2 + len(pays)))
+			gt--
+		default:
+			i++
+		}
+	}
+	return lt, gt + 1, int64(hi - lo), moved
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"crackdb/internal/bat"
+)
+
+// alignedFixture builds parallel vectors where pays[p][i] is derived
+// from keys[i], so lockstep violations are detectable per element.
+func alignedFixture(n, npays int, seed int64) ([]int64, []bat.OID, [][]int64) {
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]int64, n)
+	oids := make([]bat.OID, n)
+	pays := make([][]int64, npays)
+	for p := range pays {
+		pays[p] = make([]int64, n)
+	}
+	for i := range keys {
+		keys[i] = rng.Int63n(1000)
+		oids[i] = bat.OID(i)
+		for p := range pays {
+			pays[p][i] = keys[i]*10 + int64(p)
+		}
+	}
+	return keys, oids, pays
+}
+
+func checkAligned(t *testing.T, keys []int64, oids []bat.OID, pays [][]int64) {
+	t.Helper()
+	for i := range keys {
+		for p := range pays {
+			if pays[p][i] != keys[i]*10+int64(p) {
+				t.Fatalf("pays[%d][%d]=%d out of lockstep with key %d", p, i, pays[p][i], keys[i])
+			}
+		}
+	}
+	seen := make([]bool, len(oids))
+	for _, o := range oids {
+		if int(o) >= len(seen) || seen[o] {
+			t.Fatalf("oid vector no longer a permutation (oid %d)", o)
+		}
+		seen[o] = true
+	}
+}
+
+func TestAlignedCrackInTwo(t *testing.T) {
+	for _, npays := range []int{0, 1, 3} {
+		keys, oids, pays := alignedFixture(500, npays, 1)
+		pos, touched, _ := AlignedCrackInTwo(keys, oids, pays, 0, len(keys), 400, false)
+		if touched != 500 {
+			t.Fatalf("touched %d, want 500", touched)
+		}
+		for i, v := range keys {
+			if i < pos && v >= 400 || i >= pos && v < 400 {
+				t.Fatalf("keys[%d]=%d on wrong side of cut <400@%d", i, v, pos)
+			}
+		}
+		checkAligned(t, keys, oids, pays)
+		// Inclusive cut inside the right piece.
+		pos2, _, _ := AlignedCrackInTwo(keys, oids, pays, pos, len(keys), 700, true)
+		for i := pos; i < len(keys); i++ {
+			if i < pos2 && keys[i] > 700 || i >= pos2 && keys[i] <= 700 {
+				t.Fatalf("keys[%d]=%d on wrong side of cut <=700@%d", i, keys[i], pos2)
+			}
+		}
+		checkAligned(t, keys, oids, pays)
+	}
+}
+
+func TestAlignedCrackInTwoMaxInt(t *testing.T) {
+	keys, oids, pays := alignedFixture(100, 2, 2)
+	pos, _, moved := AlignedCrackInTwo(keys, oids, pays, 0, len(keys), math.MaxInt64, true)
+	if pos != len(keys) || moved != 0 {
+		t.Fatalf("<=MaxInt64 cut: pos %d moved %d, want %d and 0", pos, moved, len(keys))
+	}
+	checkAligned(t, keys, oids, pays)
+}
+
+func TestAlignedCrackInThree(t *testing.T) {
+	for _, npays := range []int{0, 2} {
+		keys, oids, pays := alignedFixture(800, npays, 3)
+		// (300, 600]: lower cut <=300, upper cut <=600 — loIncl carries
+		// the Select convention (cut is "left of": <= for exclusive low).
+		m1, m2, touched, _ := AlignedCrackInThree(keys, oids, pays, 0, len(keys), 300, true, 600, true)
+		if touched != 800 {
+			t.Fatalf("touched %d, want 800", touched)
+		}
+		for i, v := range keys {
+			switch {
+			case i < m1 && v > 300:
+				t.Fatalf("keys[%d]=%d in left piece of (300,600]", i, v)
+			case i >= m1 && i < m2 && (v <= 300 || v > 600):
+				t.Fatalf("keys[%d]=%d in answer window of (300,600]", i, v)
+			case i >= m2 && v <= 600:
+				t.Fatalf("keys[%d]=%d in right piece of (300,600]", i, v)
+			}
+		}
+		checkAligned(t, keys, oids, pays)
+	}
+}
+
+func TestAlignedCrackInThreeMaxIntFallback(t *testing.T) {
+	keys, oids, pays := alignedFixture(300, 1, 4)
+	// Upper cut <=MaxInt64 forces the two-pass fallback.
+	m1, m2, _, _ := AlignedCrackInThree(keys, oids, pays, 0, len(keys), 500, false, math.MaxInt64, true)
+	if m2 != len(keys) {
+		t.Fatalf("m2 = %d, want n", m2)
+	}
+	for i, v := range keys {
+		if i < m1 && v >= 500 || i >= m1 && v < 500 {
+			t.Fatalf("keys[%d]=%d on wrong side of fallback cut", i, v)
+		}
+	}
+	checkAligned(t, keys, oids, pays)
+}
+
+// TestAlignedMatchesColumnKernel pins that the aligned two-way kernel
+// partitions exactly like the column kernel it mirrors: same split
+// position and the same resulting key multiset per side.
+func TestAlignedMatchesColumnKernel(t *testing.T) {
+	vals := make([]int64, 1000)
+	rng := rand.New(rand.NewSource(5))
+	for i := range vals {
+		vals[i] = rng.Int63n(500)
+	}
+	col := NewColumn("t.k", vals)
+	v := col.Select(0, 199, true, true) // installs cuts via crackInThree
+
+	keys := append([]int64(nil), vals...)
+	oids := make([]bat.OID, len(keys))
+	for i := range oids {
+		oids[i] = bat.OID(i)
+	}
+	// Select's cut convention: inclusive low 0 is the cut "< 0",
+	// inclusive high 199 the cut "<= 199".
+	m1, m2, _, _ := AlignedCrackInThree(keys, oids, nil, 0, len(keys), 0, false, 199, true)
+	if m1 != v.Lo || m2 != v.Hi {
+		t.Fatalf("aligned window [%d,%d), column window [%d,%d)", m1, m2, v.Lo, v.Hi)
+	}
+}

@@ -182,6 +182,10 @@ func (c *Column) Pieces() int {
 // Stats returns a snapshot of the accumulated work counters.
 func (c *Column) Stats() Stats { return c.stats.snapshot() }
 
+// touchTuples charges n inspected tuples to the work counters — the
+// method value strategy consultations receive as their touch callback.
+func (c *Column) touchTuples(n int64) { c.stats.tuplesTouched.Add(n) }
+
 // ResetStats zeroes the counters.
 func (c *Column) ResetStats() { c.stats.reset() }
 

@@ -51,8 +51,11 @@ type CutPlan struct {
 }
 
 // PieceContext describes the piece a pending cut falls into. It is only
-// valid for the duration of one AdviseCut call (the column's write lock
-// is held); implementations must not retain it.
+// valid for the duration of one AdviseCut call (the owner's write lock
+// is held); implementations must not retain it. Columns build their own
+// contexts; other cracker structures (the sideways maps of
+// internal/sideways) use NewPieceContext, so one strategy implementation
+// advises every aligned structure the same way.
 type PieceContext struct {
 	Lo, Hi int   // piece bounds [Lo, Hi) in the column
 	N      int   // total column cardinality
@@ -60,7 +63,17 @@ type PieceContext struct {
 	Incl   bool  // cut inclusivity (partition <= Val / > Val when true)
 	Depth  int   // auxiliary cracks already applied for this bound
 
-	col *Column
+	vals  []int64     // the full value vector the piece indexes into
+	touch func(int64) // charges tuples the strategy inspects; may be nil
+}
+
+// NewPieceContext builds a consultation context over an arbitrary value
+// vector — the hook internal/sideways uses so stochastic pivots apply to
+// the aligned cracker maps exactly as they do to the primary column.
+// vals is the full vector (Lo/Hi are absolute positions into it); touch,
+// when non-nil, is charged with every tuple a strategy scan inspects.
+func NewPieceContext(lo, hi, n int, val int64, incl bool, depth int, vals []int64, touch func(int64)) PieceContext {
+	return PieceContext{Lo: lo, Hi: hi, N: n, Val: val, Incl: incl, Depth: depth, vals: vals, touch: touch}
 }
 
 // Size returns the piece width.
@@ -70,17 +83,17 @@ func (pc PieceContext) Size() int { return pc.Hi - pc.Lo }
 // Sampling piece elements is how data-driven strategies pick pivots that
 // provably respect the global cut invariant: any value drawn from inside
 // the piece sorts between the piece's bounding cuts.
-func (pc PieceContext) ValueAt(i int) int64 { return pc.col.vals[i] }
+func (pc PieceContext) ValueAt(i int) int64 { return pc.vals[i] }
 
 // MinMax scans the piece for its value extremes, charging the touched
-// tuples to the column's work counters (the scan is real work the
+// tuples to the owner's work counters (the scan is real work the
 // strategy causes, and the figures plot it).
 func (pc PieceContext) MinMax() (int64, int64) {
 	if pc.Lo >= pc.Hi {
 		return 0, 0
 	}
-	mn, mx := pc.col.vals[pc.Lo], pc.col.vals[pc.Lo]
-	for _, v := range pc.col.vals[pc.Lo+1 : pc.Hi] {
+	mn, mx := pc.vals[pc.Lo], pc.vals[pc.Lo]
+	for _, v := range pc.vals[pc.Lo+1 : pc.Hi] {
 		if v < mn {
 			mn = v
 		}
@@ -88,7 +101,9 @@ func (pc PieceContext) MinMax() (int64, int64) {
 			mx = v
 		}
 	}
-	pc.col.stats.tuplesTouched.Add(int64(pc.Hi - pc.Lo))
+	if pc.touch != nil {
+		pc.touch(int64(pc.Hi - pc.Lo))
+	}
 	return mn, mx
 }
 
@@ -151,7 +166,8 @@ func (c *Column) adviseLocked(val int64, incl bool) bool {
 			return true
 		}
 		plan := c.strategy.AdviseCut(PieceContext{
-			Lo: lo, Hi: hi, N: len(c.vals), Val: val, Incl: incl, Depth: depth, col: c,
+			Lo: lo, Hi: hi, N: len(c.vals), Val: val, Incl: incl, Depth: depth,
+			vals: c.vals, touch: c.touchTuples,
 		})
 		if !plan.HasPivot {
 			return plan.RegisterQuery
@@ -166,7 +182,7 @@ func (c *Column) adviseLocked(val int64, incl bool) bool {
 		if !progressed {
 			final := c.strategy.AdviseCut(PieceContext{
 				Lo: lo, Hi: hi, N: len(c.vals), Val: val, Incl: incl,
-				Depth: maxAuxCracksPerCut, col: c,
+				Depth: maxAuxCracksPerCut, vals: c.vals, touch: c.touchTuples,
 			})
 			if !final.HasPivot {
 				return final.RegisterQuery

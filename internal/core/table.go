@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"crackdb/internal/bat"
 	"crackdb/internal/expr"
@@ -25,6 +26,19 @@ type CrackedTable struct {
 	// (attribute fetches, post-filtering, cracker-column creation) while
 	// AppendRows extends it exclusively. Lock order: mu before baseMu.
 	baseMu sync.RWMutex
+
+	// selectObs, when set, is invoked after every single-range selection
+	// with the range that was answered — the registration hook sideways
+	// cracking uses to keep its aligned maps cracked in lockstep with the
+	// primary column. Set it before the table is shared between
+	// goroutines (the store wires it at wrapper creation); it runs
+	// outside every table and column lock.
+	selectObs func(r expr.Range)
+
+	// fetched counts tuples materialized through the base table by Fetch
+	// — the random-access reconstruction cost sideways cracking exists to
+	// avoid, and the quantity the warm-projection tests pin at zero.
+	fetched atomic.Int64
 }
 
 // NewCrackedTable wraps a relation for adaptive querying. Options are
@@ -123,6 +137,18 @@ func (ct *CrackedTable) CrackedColumns() []string {
 	return out
 }
 
+// SetSelectObserver registers a callback fired after every single-range
+// selection (Select / SelectCopy) with the answered range. It must be
+// set before the table is shared between goroutines; pass nil to clear.
+func (ct *CrackedTable) SetSelectObserver(f func(r expr.Range)) { ct.selectObs = f }
+
+// FetchedTuples returns the number of tuples reconstructed through the
+// base table by Fetch since creation (or the last reset).
+func (ct *CrackedTable) FetchedTuples() int64 { return ct.fetched.Load() }
+
+// ResetFetchedTuples zeroes the base-fetch counter.
+func (ct *CrackedTable) ResetFetchedTuples() { ct.fetched.Store(0) }
+
 // Select answers a range query over one attribute by cracking that
 // attribute's column. The returned view aliases the column; concurrent
 // callers should use SelectCopy.
@@ -131,7 +157,11 @@ func (ct *CrackedTable) Select(r expr.Range) (View, error) {
 	if err != nil {
 		return View{}, err
 	}
-	return c.SelectRange(r), nil
+	v := c.SelectRange(r)
+	if ct.selectObs != nil {
+		ct.selectObs(r)
+	}
+	return v, nil
 }
 
 // SelectCopy answers a range query returning copies of the qualifying
@@ -143,6 +173,9 @@ func (ct *CrackedTable) SelectCopy(r expr.Range) ([]int64, []bat.OID, error) {
 		return nil, nil, err
 	}
 	vals, oids := c.SelectRangeCopy(r)
+	if ct.selectObs != nil {
+		ct.selectObs(r)
+	}
 	return vals, oids, nil
 }
 
@@ -219,6 +252,58 @@ func (ct *CrackedTable) Fetch(oids []bat.OID, attrs ...string) (*relation.Table,
 		if err := out.AppendRow(row...); err != nil {
 			return nil, err
 		}
+	}
+	ct.fetched.Add(int64(len(oids)))
+	return out, nil
+}
+
+// BaseLen returns the base relation's current cardinality under the
+// read lock.
+func (ct *CrackedTable) BaseLen() int { return ct.baseLen() }
+
+// BaseRows copies the attribute values of base rows [from, to) in base
+// order, one slice per requested attribute — the pull path sideways maps
+// use to absorb rows appended since their last synchronization.
+func (ct *CrackedTable) BaseRows(from, to int, attrs ...string) ([][]int64, error) {
+	ct.baseMu.RLock()
+	defer ct.baseMu.RUnlock()
+	if from < 0 || to > ct.base.Len() || from > to {
+		return nil, fmt.Errorf("core: base rows [%d, %d) out of range [0, %d)", from, to, ct.base.Len())
+	}
+	out := make([][]int64, len(attrs))
+	for i, a := range attrs {
+		b, err := ct.base.Column(a)
+		if err != nil {
+			return nil, err
+		}
+		vals := make([]int64, to-from)
+		for j := range vals {
+			vals[j] = b.Int(from + j)
+		}
+		out[i] = vals
+	}
+	return out, nil
+}
+
+// GatherBase materializes one attribute for the given OIDs, in argument
+// order — the one-time random-access pass that builds a sideways payload
+// vector aligned with an existing map. Unlike Fetch it does not count
+// toward FetchedTuples: it is map construction, not per-query tuple
+// reconstruction.
+func (ct *CrackedTable) GatherBase(attr string, oids []bat.OID) ([]int64, error) {
+	ct.baseMu.RLock()
+	defer ct.baseMu.RUnlock()
+	b, err := ct.base.Column(attr)
+	if err != nil {
+		return nil, err
+	}
+	n := ct.base.Len()
+	out := make([]int64, len(oids))
+	for i, oid := range oids {
+		if int(oid) >= n {
+			return nil, fmt.Errorf("core: gather of unknown oid %d", oid)
+		}
+		out[i] = b.Int(int(oid))
 	}
 	return out, nil
 }

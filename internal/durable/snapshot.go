@@ -10,6 +10,7 @@ import (
 
 	"crackdb/internal/bat"
 	"crackdb/internal/core"
+	"crackdb/internal/sideways"
 )
 
 // Crack-state snapshots: the serialized form of every cracker column's
@@ -17,12 +18,18 @@ import (
 // manifest it accompanies. The file layout is:
 //
 //	magic      [4]byte  "CRKS"
-//	version    uint8    1
+//	version    uint8    2
 //	appliedSeq uint64   WAL seq the image covers (replay skips below it)
-//	config     store-wide crack configuration (strategy, pieces, ripple)
+//	config     store-wide crack configuration (strategy, pieces, ripple,
+//	           and — version 2 — the sideways map budget)
 //	ncols      uint32
 //	columns    ncols × column records (table, attr, ColumnState)
+//	nsets      uint32   (version 2) sideways map spines
+//	sideways   nsets × map records (table, key, vectors, cuts, payloads)
 //	crc        uint32   CRC-32 (IEEE) of everything above
+//
+// Version 1 images (no sideways section, no budget field) still open:
+// the maps simply start cold and the budget takes its default.
 //
 // The trailing checksum mirrors the BAT image format: a torn snapshot is
 // detected and rejected as a whole — recovery then falls back to the
@@ -30,16 +37,17 @@ import (
 
 var snapMagic = [4]byte{'C', 'R', 'K', 'S'}
 
-const snapVersion = 1
+const snapVersion = 2
 
 // StoreConfig is the store-wide crack configuration a snapshot carries,
 // so columns created after a warm reopen behave like columns created
 // before the shutdown.
 type StoreConfig struct {
-	StrategyName string
-	StrategySeed int64
-	MaxPieces    int
-	Ripple       bool
+	StrategyName   string
+	StrategySeed   int64
+	MaxPieces      int
+	Ripple         bool
+	SidewaysBudget int
 }
 
 // ColumnSnapshot binds one column's exported state to its table and
@@ -55,6 +63,12 @@ type StoreSnapshot struct {
 	AppliedSeq uint64
 	Config     StoreConfig
 	Columns    []ColumnSnapshot
+
+	// Sideways carries the partial sideways-cracking maps (aligned
+	// key/oid/payload vectors plus cut sets), so a warm reopen resumes
+	// multi-attribute projections without re-materializing or re-cracking
+	// a single map.
+	Sideways []sideways.MapState
 }
 
 // WriteSnapshot serializes the snapshot to path atomically (temp file +
@@ -108,6 +122,7 @@ func encodeSnapshot(w io.Writer, s *StoreSnapshot) error {
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.Config.StrategySeed))
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.Config.MaxPieces))
 	buf = appendBool(buf, s.Config.Ripple)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.Config.SidewaysBudget))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.Columns)))
 	if _, err := w.Write(buf); err != nil {
 		return err
@@ -117,7 +132,85 @@ func encodeSnapshot(w io.Writer, s *StoreSnapshot) error {
 			return err
 		}
 	}
+	var nsets [4]byte
+	binary.LittleEndian.PutUint32(nsets[:], uint32(len(s.Sideways)))
+	if _, err := w.Write(nsets[:]); err != nil {
+		return err
+	}
+	for i := range s.Sideways {
+		if err := encodeSidewaysSet(w, &s.Sideways[i]); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+func encodeSidewaysSet(w io.Writer, ms *sideways.MapState) error {
+	buf := make([]byte, 0, 1<<12)
+	buf = appendString(buf, ms.Table)
+	buf = appendString(buf, ms.Key)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(ms.Keys)))
+	if _, err := w.Write(buf); err != nil {
+		return err
+	}
+	if err := writeInt64s(w, ms.Keys); err != nil {
+		return err
+	}
+	chunk := make([]byte, 0, 1<<16)
+	for _, o := range ms.OIDs {
+		chunk = binary.LittleEndian.AppendUint32(chunk, uint32(o))
+		if len(chunk) >= 1<<16-8 {
+			if _, err := w.Write(chunk); err != nil {
+				return err
+			}
+			chunk = chunk[:0]
+		}
+	}
+	chunk = binary.LittleEndian.AppendUint64(chunk, uint64(len(ms.Cuts)))
+	for _, c := range ms.Cuts {
+		chunk = binary.LittleEndian.AppendUint64(chunk, uint64(c.Val))
+		chunk = appendBool(chunk, c.Incl)
+		chunk = binary.LittleEndian.AppendUint64(chunk, uint64(c.Pos))
+	}
+	if ms.Strategy != nil {
+		chunk = appendBool(chunk, true)
+		chunk = appendString(chunk, ms.Strategy.Name)
+		chunk = binary.LittleEndian.AppendUint64(chunk, uint64(ms.Strategy.MinPiece))
+		chunk = binary.LittleEndian.AppendUint64(chunk, ms.Strategy.RNG)
+	} else {
+		chunk = appendBool(chunk, false)
+	}
+	chunk = binary.LittleEndian.AppendUint32(chunk, uint32(len(ms.Pays)))
+	if _, err := w.Write(chunk); err != nil {
+		return err
+	}
+	for _, p := range ms.Pays {
+		if _, err := w.Write(appendString(nil, p.Attr)); err != nil {
+			return err
+		}
+		if err := writeInt64s(w, p.Vals); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeInt64s streams a vector in bounded chunks (the cracked vectors
+// dominate the image; one giant buffer per column would double peak
+// memory).
+func writeInt64s(w io.Writer, vals []int64) error {
+	chunk := make([]byte, 0, 1<<16)
+	for _, v := range vals {
+		chunk = binary.LittleEndian.AppendUint64(chunk, uint64(v))
+		if len(chunk) >= 1<<16-8 {
+			if _, err := w.Write(chunk); err != nil {
+				return err
+			}
+			chunk = chunk[:0]
+		}
+	}
+	_, err := w.Write(chunk)
+	return err
 }
 
 func appendBool(b []byte, v bool) []byte {
@@ -211,8 +304,9 @@ func ReadSnapshot(path string) (*StoreSnapshot, error) {
 	if r.err != nil || magic != snapMagic {
 		return nil, fmt.Errorf("%w: bad snapshot magic", ErrCorrupt)
 	}
-	if v := r.u8(); r.err == nil && v != snapVersion {
-		return nil, fmt.Errorf("durable: unsupported snapshot version %d", v)
+	version := r.u8()
+	if r.err == nil && version != 1 && version != snapVersion {
+		return nil, fmt.Errorf("durable: unsupported snapshot version %d", version)
 	}
 	s := &StoreSnapshot{}
 	s.AppliedSeq = r.u64()
@@ -220,12 +314,28 @@ func ReadSnapshot(path string) (*StoreSnapshot, error) {
 	s.Config.StrategySeed = int64(r.u64())
 	s.Config.MaxPieces = int(int64(r.u64()))
 	s.Config.Ripple = r.bool()
+	if version >= 2 {
+		s.Config.SidewaysBudget = int(int64(r.u64()))
+	} else {
+		// Version 1 predates sideways cracking: the budget takes its
+		// default, and there is no map section to read.
+		s.Config.SidewaysBudget = sideways.DefaultBudget
+	}
 	ncols := r.u32()
 	if !r.count(uint64(ncols), 16, "column") { // conservative minimum per column record
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, r.err)
 	}
 	for i := uint32(0); i < ncols && r.err == nil; i++ {
 		s.Columns = append(s.Columns, r.column())
+	}
+	if version >= 2 && r.err == nil {
+		nsets := r.u32()
+		if !r.count(uint64(nsets), 21, "sideways map") { // minimum per map record
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, r.err)
+		}
+		for i := uint32(0); i < nsets && r.err == nil; i++ {
+			s.Sideways = append(s.Sideways, r.sidewaysSet())
+		}
 	}
 	if r.err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, r.err)
@@ -362,4 +472,57 @@ func (s *snapReader) column() ColumnSnapshot {
 		}
 	}
 	return cs
+}
+
+func (s *snapReader) sidewaysSet() sideways.MapState {
+	var ms sideways.MapState
+	ms.Table = s.str()
+	ms.Key = s.str()
+	n := s.u64()
+	if !s.count(n, 12, "sideways cardinality") { // 8 bytes/key + 4/oid
+		return ms
+	}
+	ms.Keys = make([]int64, n)
+	for i := range ms.Keys {
+		ms.Keys[i] = int64(s.u64())
+	}
+	ms.OIDs = make([]bat.OID, n)
+	for i := range ms.OIDs {
+		ms.OIDs[i] = bat.OID(s.u32())
+	}
+	ncuts := s.u64()
+	if !s.count(ncuts, 17, "sideways cut") { // 8 val + 1 incl + 8 pos
+		return ms
+	}
+	ms.Cuts = make([]core.Cut, ncuts)
+	for i := range ms.Cuts {
+		ms.Cuts[i] = core.Cut{
+			Val:  int64(s.u64()),
+			Incl: s.bool(),
+			Pos:  int(int64(s.u64())),
+		}
+	}
+	if s.bool() {
+		ms.Strategy = &core.StrategyState{
+			Name:     s.str(),
+			MinPiece: int(int64(s.u64())),
+			RNG:      s.u64(),
+		}
+	}
+	npays := s.u32()
+	// Each payload carries n 8-byte values; bound the count by what the
+	// file could hold so a bit-flipped field fails as corruption.
+	if !s.count(uint64(npays), 4+8*max(int64(n), 1), "sideways payload") {
+		return ms
+	}
+	for i := uint32(0); i < npays && s.err == nil; i++ {
+		var p sideways.PayState
+		p.Attr = s.str()
+		p.Vals = make([]int64, n)
+		for j := range p.Vals {
+			p.Vals[j] = int64(s.u64())
+		}
+		ms.Pays = append(ms.Pays, p)
+	}
+	return ms
 }

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"time"
 
 	"crackdb"
 	"crackdb/internal/durable"
@@ -309,6 +310,18 @@ func (s *Store) Checkpoint() error {
 		return err
 	}
 	return s.wal.Rotate(seq)
+}
+
+// SetWALCoalesceWindow widens group commit on the attached log: the
+// fsync flusher waits up to d after noticing a pending batch so more
+// concurrent inserts share one fsync (see durable.WAL.SetCoalesceWindow;
+// the cracksrv -walwindow flag). No-op on a volatile store.
+func (s *Store) SetWALCoalesceWindow(d time.Duration) {
+	s.walMu.RLock()
+	defer s.walMu.RUnlock()
+	if s.wal != nil {
+		s.wal.SetCoalesceWindow(d)
+	}
 }
 
 // WALStatus reports the attached log's shape (the /wal meta).

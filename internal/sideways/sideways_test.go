@@ -1,0 +1,337 @@
+package sideways
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"crackdb/internal/core"
+	"crackdb/internal/expr"
+	"crackdb/internal/relation"
+	"crackdb/internal/strategy"
+)
+
+// buildTable makes a three-column relation (k, a, b) with seeded random
+// contents and returns its cracked wrapper plus the raw rows.
+func buildTable(t *testing.T, n int, seed int64) (*core.CrackedTable, [][]int64) {
+	t.Helper()
+	rel := relation.New("t", "k", "a", "b")
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([][]int64, n)
+	for i := range rows {
+		rows[i] = []int64{rng.Int63n(10_000), rng.Int63n(1000), rng.Int63n(1000)}
+		if err := rel.AppendRow(rows[i]...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return core.NewCrackedTable(rel), rows
+}
+
+func incRange(lo, hi int64) expr.Range {
+	return expr.Range{Col: "k", Low: lo, High: hi, LowIncl: true, HighIncl: true}
+}
+
+// wantProjection computes the oracle: the multiset of (k, a) pairs with
+// k in [lo, hi], canonically sorted.
+func wantProjection(rows [][]int64, lo, hi int64, cols ...int) [][]int64 {
+	var out [][]int64
+	for _, r := range rows {
+		if r[0] >= lo && r[0] <= hi {
+			row := make([]int64, len(cols))
+			for i, c := range cols {
+				row[i] = r[c]
+			}
+			out = append(out, row)
+		}
+	}
+	core.SortRows(out)
+	return out
+}
+
+func sorted(rows [][]int64) [][]int64 {
+	cp := make([][]int64, len(rows))
+	for i, r := range rows {
+		cp[i] = append([]int64(nil), r...)
+	}
+	core.SortRows(cp)
+	return cp
+}
+
+func asRows(wins [][]int64) [][]int64 {
+	if len(wins) == 0 {
+		return nil
+	}
+	out := make([][]int64, len(wins[0]))
+	for i := range out {
+		row := make([]int64, len(wins))
+		for j, w := range wins {
+			row[j] = w[i]
+		}
+		out[i] = row
+	}
+	return out
+}
+
+func TestProjectMatchesOracle(t *testing.T) {
+	ct, rows := buildTable(t, 4000, 1)
+	g := NewRegistry(DefaultBudget)
+	rng := rand.New(rand.NewSource(2))
+	for q := 0; q < 60; q++ {
+		lo := rng.Int63n(9000)
+		hi := lo + rng.Int63n(1200) + 1
+		want := wantProjection(rows, lo, hi, 0, 1, 2)
+		wins, ok := g.Project(ct, "t", incRange(lo, hi), []string{"k", "a", "b"}, len(want))
+		if !ok {
+			t.Fatalf("query %d: projection declined", q)
+		}
+		if got := sorted(asRows(wins)); !reflect.DeepEqual(got, want) {
+			t.Fatalf("query %d [%d,%d]: projection diverges from oracle", q, lo, hi)
+		}
+	}
+	st := g.Snapshot()
+	if st.Sets != 1 || st.Pays != 2 {
+		t.Fatalf("census = %d sets / %d pays, want 1/2", st.Sets, st.Pays)
+	}
+	if st.Builds != 2 {
+		t.Fatalf("builds = %d, want 2 (a and b, once each)", st.Builds)
+	}
+}
+
+// TestProjectStaleLengthDeclines pins the consistency guard: when rows
+// land inside the range between the caller's selection and the
+// projection, the map's window no longer matches and Project must
+// decline rather than return tuples the selection never saw.
+func TestProjectStaleLengthDeclines(t *testing.T) {
+	ct, rows := buildTable(t, 1000, 3)
+	g := NewRegistry(DefaultBudget)
+	want := wantProjection(rows, 100, 5000, 0, 1)
+	if _, ok := g.Project(ct, "t", incRange(100, 5000), []string{"k", "a"}, len(want)); !ok {
+		t.Fatal("warm-up projection declined")
+	}
+	// Append a row inside the range behind the caller's back.
+	if err := ct.AppendRows([][]int64{{200, 7, 7}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := g.Project(ct, "t", incRange(100, 5000), []string{"k", "a"}, len(want)); ok {
+		t.Fatal("projection served a stale tuple count")
+	}
+	// With the correct (grown) count it must serve again.
+	if _, ok := g.Project(ct, "t", incRange(100, 5000), []string{"k", "a"}, len(want)+1); !ok {
+		t.Fatal("projection declined the refreshed count")
+	}
+}
+
+func TestBudgetEviction(t *testing.T) {
+	ct, rows := buildTable(t, 500, 4)
+	g := NewRegistry(1) // room for exactly one payload vector
+	for q := 0; q < 6; q++ {
+		attr, col := "a", 1
+		if q%2 == 1 {
+			attr, col = "b", 2
+		}
+		want := wantProjection(rows, 0, 10_000, 0, col)
+		wins, ok := g.Project(ct, "t", incRange(0, 10_000), []string{"k", attr}, len(want))
+		if !ok {
+			t.Fatalf("projection %d declined", q)
+		}
+		if got := sorted(asRows(wins)); !reflect.DeepEqual(got, want) {
+			t.Fatalf("projection %d (%s) diverges after eviction churn", q, attr)
+		}
+	}
+	st := g.Snapshot()
+	if st.Pays != 1 {
+		t.Fatalf("pays = %d, want 1 (budget)", st.Pays)
+	}
+	if st.Evictions != 5 {
+		t.Fatalf("evictions = %d, want 5 (alternating a/b under budget 1)", st.Evictions)
+	}
+	// A projection needing more vectors than the budget declines.
+	if _, ok := g.Project(ct, "t", incRange(0, 10_000), []string{"a", "b"}, len(rows)); ok {
+		t.Fatal("over-budget projection served")
+	}
+	if _, ok := g.Project(ct, "t", incRange(0, 10_000), []string{"a", "b"}, len(rows)); ok {
+		t.Fatal("over-budget projection served")
+	}
+	// Budget 0 disables outright.
+	g.SetBudget(0)
+	if _, ok := g.Project(ct, "t", incRange(0, 10_000), []string{"k"}, len(rows)); ok {
+		t.Fatal("disabled registry served a projection")
+	}
+}
+
+// TestObserveLockstep pins the lockstep property: ranges observed from
+// primary selections crack the map, so a later projection of an
+// already-seen range partitions nothing.
+func TestObserveLockstep(t *testing.T) {
+	ct, rows := buildTable(t, 2000, 5)
+	g := NewRegistry(DefaultBudget)
+	want := wantProjection(rows, 1000, 2000, 0, 1)
+	if _, ok := g.Project(ct, "t", incRange(1000, 2000), []string{"k", "a"}, len(want)); !ok {
+		t.Fatal("projection declined")
+	}
+	// Observe a stream of fresh ranges (as primary selections would).
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 40; i++ {
+		lo := rng.Int63n(9000)
+		g.Observe(ct, "t", incRange(lo, lo+500))
+	}
+	cracksBefore := g.Snapshot().Cracks
+	// Re-projecting an observed range must be a pure index lookup.
+	lo := int64(4000)
+	g.Observe(ct, "t", incRange(lo, lo+500))
+	afterObserve := g.Snapshot().Cracks
+	want2 := wantProjection(rows, lo, lo+500, 0, 1)
+	wins, ok := g.Project(ct, "t", incRange(lo, lo+500), []string{"k", "a"}, len(want2))
+	if !ok {
+		t.Fatal("projection of observed range declined")
+	}
+	if got := sorted(asRows(wins)); !reflect.DeepEqual(got, want2) {
+		t.Fatal("projection of observed range diverges from oracle")
+	}
+	if g.Snapshot().Cracks != afterObserve {
+		t.Fatalf("projection of an observed range cracked (%d -> %d): lockstep broken",
+			afterObserve, g.Snapshot().Cracks)
+	}
+	_ = cracksBefore
+}
+
+// TestStrategyAppliesToMaps pins that stochastic pivots reach the
+// aligned maps: under mdd1r the map index holds only data-driven cuts,
+// never the workload's query bounds, and projections stay exact.
+func TestStrategyAppliesToMaps(t *testing.T) {
+	for _, strat := range []string{"ddc", "ddr", "mdd1r"} {
+		t.Run(strat, func(t *testing.T) {
+			ct, rows := buildTable(t, 5000, 7)
+			g := NewRegistry(DefaultBudget)
+			g.SetStrategyFactory(func(table, key string) core.CrackStrategy {
+				st, err := strategy.New(strat, 99)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return st
+			})
+			// A sequential walk: the adversarial pattern for query-driven
+			// cut placement.
+			for q := 0; q < 50; q++ {
+				lo := int64(q * 180)
+				want := wantProjection(rows, lo, lo+400, 0, 2)
+				wins, ok := g.Project(ct, "t", incRange(lo, lo+400), []string{"k", "b"}, len(want))
+				if !ok {
+					t.Fatalf("query %d declined", q)
+				}
+				if got := sorted(asRows(wins)); !reflect.DeepEqual(got, want) {
+					t.Fatalf("query %d: %s projection diverges from oracle", q, strat)
+				}
+			}
+			if aux := g.Snapshot().AuxCracks; aux == 0 {
+				t.Fatalf("%s advised no auxiliary map cracks", strat)
+			}
+		})
+	}
+}
+
+func TestExportRestoreRoundTrip(t *testing.T) {
+	ct, rows := buildTable(t, 3000, 8)
+	g := NewRegistry(DefaultBudget)
+	g.SetStrategyFactory(func(table, key string) core.CrackStrategy {
+		st, _ := strategy.New("ddr", 17)
+		return st
+	})
+	rng := rand.New(rand.NewSource(9))
+	for q := 0; q < 30; q++ {
+		lo := rng.Int63n(9000)
+		want := wantProjection(rows, lo, lo+700, 0, 1, 2)
+		if _, ok := g.Project(ct, "t", incRange(lo, lo+700), []string{"k", "a", "b"}, len(want)); !ok {
+			t.Fatalf("query %d declined", q)
+		}
+	}
+	states := g.Export()
+	if len(states) != 1 {
+		t.Fatalf("exported %d map states, want 1", len(states))
+	}
+	if states[0].Strategy == nil || states[0].Strategy.Name != "ddr" {
+		t.Fatal("export lost the map strategy state")
+	}
+
+	g2 := NewRegistry(DefaultBudget)
+	lookup := func(table string) (*core.CrackedTable, bool) { return ct, table == "t" }
+	if err := g2.Restore(states, lookup, strategy.Restore); err != nil {
+		t.Fatal(err)
+	}
+	if st := g2.Snapshot(); st.Sets != 1 || st.Pays != 2 {
+		t.Fatalf("restored census = %d/%d, want 1/2", st.Sets, st.Pays)
+	}
+	// The restored registry serves an already-cracked range without
+	// building or cracking anything, and both registries stay in
+	// lockstep on fresh ranges (the RNG stream resumed mid-position).
+	for q := 0; q < 20; q++ {
+		lo := rng.Int63n(9000)
+		want := wantProjection(rows, lo, lo+700, 0, 1)
+		a, okA := g.Project(ct, "t", incRange(lo, lo+700), []string{"k", "a"}, len(want))
+		b, okB := g2.Project(ct, "t", incRange(lo, lo+700), []string{"k", "a"}, len(want))
+		if !okA || !okB {
+			t.Fatalf("query %d declined (live %v, restored %v)", q, okA, okB)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("query %d: restored registry diverges from live (window order)", q)
+		}
+		if got := sorted(asRows(b)); !reflect.DeepEqual(got, want) {
+			t.Fatalf("query %d: restored projection diverges from oracle", q)
+		}
+	}
+	if b := g2.Snapshot().Builds; b != 0 {
+		t.Fatalf("restored registry rebuilt %d payload vectors, want 0", b)
+	}
+
+	// Corrupt states must be rejected, not installed.
+	bad := states[0]
+	bad.OIDs = bad.OIDs[:len(bad.OIDs)-1] // misaligned with the keys
+	if err := NewRegistry(DefaultBudget).Restore([]MapState{bad}, lookup, strategy.Restore); err == nil {
+		t.Fatal("restore accepted a misaligned oid vector")
+	}
+	bad2 := states[0]
+	bad2.Cuts = append([]core.Cut(nil), bad2.Cuts...)
+	if len(bad2.Cuts) > 0 {
+		bad2.Cuts[0].Pos = len(bad2.Keys) + 5
+		if err := NewRegistry(DefaultBudget).Restore([]MapState{bad2}, lookup, strategy.Restore); err == nil {
+			t.Fatal("restore accepted an out-of-range cut")
+		}
+	}
+}
+
+// TestConcurrentProjectObserve exercises the registry under the race
+// detector: projections, observations and inserts from many goroutines.
+func TestConcurrentProjectObserve(t *testing.T) {
+	ct, _ := buildTable(t, 2000, 11)
+	g := NewRegistry(4)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 30; i++ {
+			_ = ct.AppendRows([][]int64{{int64(i * 13 % 10_000), 1, 2}})
+		}
+	}()
+	workers := make(chan struct{}, 4)
+	for w := 0; w < 4; w++ {
+		workers <- struct{}{}
+		go func(seed int64) {
+			defer func() { <-workers }()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 50; i++ {
+				lo := rng.Int63n(9000)
+				r := incRange(lo, lo+500)
+				if i%2 == 0 {
+					g.Observe(ct, "t", r)
+				} else {
+					// The want count is unknowable mid-insert; any decline
+					// is fine, the point is race- and panic-freedom.
+					g.Project(ct, "t", r, []string{"k", "a"}, -1)
+				}
+			}
+		}(int64(w))
+	}
+	for i := 0; i < cap(workers); i++ {
+		workers <- struct{}{}
+	}
+	<-done
+}

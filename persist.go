@@ -95,11 +95,13 @@ func (s *Store) saveLocked(dir string, warm bool) error {
 	}
 	snap := &durable.StoreSnapshot{
 		Config: durable.StoreConfig{
-			StrategyName: s.strategyName,
-			StrategySeed: s.strategySeed,
-			MaxPieces:    s.maxPieces,
-			Ripple:       s.ripple,
+			StrategyName:   s.strategyName,
+			StrategySeed:   s.strategySeed,
+			MaxPieces:      s.maxPieces,
+			Ripple:         s.ripple,
+			SidewaysBudget: s.sideways.Budget(),
 		},
+		Sideways: s.sideways.Export(),
 	}
 	if s.wal != nil {
 		snap.AppliedSeq = s.wal.Seq()
@@ -195,6 +197,7 @@ func (s *Store) restoreSnapshot(snap *durable.StoreSnapshot) error {
 	defer s.mu.Unlock()
 	s.maxPieces = snap.Config.MaxPieces
 	s.ripple = snap.Config.Ripple
+	s.sideways.SetBudget(snap.Config.SidewaysBudget)
 	for _, cs := range snap.Columns {
 		t, ok := s.tables[cs.Table]
 		if !ok {
@@ -202,7 +205,7 @@ func (s *Store) restoreSnapshot(snap *durable.StoreSnapshot) error {
 		}
 		ct, ok := s.cracked[cs.Table]
 		if !ok {
-			ct = core.NewCrackedTable(t, s.columnOptions()...)
+			ct = s.newCrackedTableLocked(cs.Table, t)
 			s.cracked[cs.Table] = ct
 		}
 		opts := s.baseColumnOptions()
@@ -219,6 +222,23 @@ func (s *Store) restoreSnapshot(snap *durable.StoreSnapshot) error {
 		}
 		if err := ct.RestoreColumn(cs.Attr, col); err != nil {
 			return fmt.Errorf("crackdb: restore %s.%s: %w", cs.Table, cs.Attr, err)
+		}
+	}
+	if len(snap.Sideways) > 0 {
+		lookup := func(table string) (*core.CrackedTable, bool) {
+			t, ok := s.tables[table]
+			if !ok {
+				return nil, false
+			}
+			ct, ok := s.cracked[table]
+			if !ok {
+				ct = s.newCrackedTableLocked(table, t)
+				s.cracked[table] = ct
+			}
+			return ct, true
+		}
+		if err := s.sideways.Restore(snap.Sideways, lookup, strategy.Restore); err != nil {
+			return fmt.Errorf("crackdb: %w", err)
 		}
 	}
 	return nil

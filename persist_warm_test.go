@@ -192,6 +192,74 @@ func TestWarmReopenIsWarm(t *testing.T) {
 	}
 }
 
+// TestWarmReopenSideways pins the sideways half of warmth (ISSUE 5
+// satellite): the aligned cracker maps survive SaveWarm/OpenWarm, and a
+// repeat projection on the reopened store touches zero base-table
+// tuples and rebuilds zero payload vectors — the projection is served
+// entirely from the restored co-cracked windows.
+func TestWarmReopenSideways(t *testing.T) {
+	for _, strat := range []string{"standard", "mdd1r"} {
+		t.Run(strat, func(t *testing.T) {
+			live, rows := buildCrackedStore(t, strat, 23)
+			// Converge a projection workload so maps exist and are cracked.
+			rng := rand.New(rand.NewSource(3))
+			project := func(s *crackdb.Store, lo, hi int64) [][]int64 {
+				t.Helper()
+				res, err := s.Select("t", "k", lo, hi)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rws, err := res.Rows("k", "v")
+				if err != nil {
+					t.Fatal(err)
+				}
+				return rws
+			}
+			for i := 0; i < 40; i++ {
+				lo := rng.Int63n(9000)
+				project(live, lo, lo+rng.Int63n(800)+1)
+			}
+			if st := live.SidewaysStats(); st.Sets == 0 || st.Pays == 0 || st.Projections == 0 {
+				t.Fatalf("projection workload built no maps: %+v", st)
+			}
+
+			dir := filepath.Join(t.TempDir(), "img")
+			if err := live.SaveWarm(dir); err != nil {
+				t.Fatal(err)
+			}
+			warm, _, err := crackdb.OpenWarm(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st := warm.SidewaysStats(); st.Sets == 0 || st.Pays == 0 {
+				t.Fatalf("maps did not survive the reopen: %+v", st)
+			}
+
+			// The repeat projection: identical rows, zero base fetches,
+			// zero payload rebuilds on the warm store.
+			liveRows := project(live, 2000, 2800)
+			warmRows := project(warm, 2000, 2800)
+			if !reflect.DeepEqual(liveRows, warmRows) {
+				t.Fatal("warm projection diverges from live (alignment lost)")
+			}
+			want := naiveCount(rows, 2000, 2800)
+			if len(warmRows) != want {
+				t.Fatalf("warm projection has %d rows, oracle %d", len(warmRows), want)
+			}
+			fetched, err := warm.FetchedTuples("t")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fetched != 0 {
+				t.Fatalf("warm projection fetched %d tuples through the base table, want 0", fetched)
+			}
+			if st := warm.SidewaysStats(); st.Builds != 0 {
+				t.Fatalf("warm projection rebuilt %d payload vectors, want 0", st.Builds)
+			}
+		})
+	}
+}
+
 // TestAtomicSaveSurvivesCrashedSave simulates every crash window of the
 // save swap and checks an existing image always reopens intact.
 func TestAtomicSaveSurvivesCrashedSave(t *testing.T) {
