@@ -27,6 +27,7 @@ type clientConfig struct {
 	inserts  int    // rows each worker INSERTs mid-stream (keys above the domain)
 	expect   int    // -check: expected total COUNT(*) (0 = n + this run's inserts)
 	exec     string // one-shot: run a single statement/meta and print the reply
+	batch    int    // pipeline window per worker (<=1 = synchronous)
 }
 
 func (c *clientConfig) defaults() {
@@ -44,6 +45,9 @@ func (c *clientConfig) defaults() {
 	}
 	if c.workload == "" {
 		c.workload = "all"
+	}
+	if c.batch <= 0 {
+		c.batch = 1
 	}
 }
 
@@ -170,8 +174,13 @@ func runClientPattern(cfg clientConfig, p workload.Pattern, patternIdx int) erro
 	totalQ := perWorker * cfg.clients
 	nsPerOp := float64(elapsed.Nanoseconds()) / float64(totalQ)
 	qps := float64(totalQ) / elapsed.Seconds()
-	fmt.Printf("BenchmarkClientServer/workload=%s/clients=%d \t%8d\t%12.0f ns/op\t%10.1f qps\n",
-		p, cfg.clients, totalQ, nsPerOp, qps)
+	label := fmt.Sprintf("BenchmarkClientServer/workload=%s/clients=%d", p, cfg.clients)
+	if cfg.batch > 1 {
+		// The batch label marks pipelined runs; synchronous runs keep the
+		// historical series name.
+		label += fmt.Sprintf("/batch=%d", cfg.batch)
+	}
+	fmt.Printf("%s \t%8d\t%12.0f ns/op\t%10.1f qps\n", label, totalQ, nsPerOp, qps)
 	return nil
 }
 
@@ -208,6 +217,41 @@ func clientWorker(cfg clientConfig, p workload.Pattern, patternIdx, w, count int
 	}
 	var repeatStmt string
 	var repeatWant int64
+	// Pipelined mode collects a window of statements and streams it in
+	// one DoBatch round trip. INSERTs ride inside the window (want -1:
+	// no count to assert), so the server sees genuine mixed in-flight
+	// traffic; count responses are still asserted per statement.
+	var stmts []string
+	var wants []int64
+	flush := func() error {
+		if len(stmts) == 0 {
+			return nil
+		}
+		resps, err := c.DoBatch(stmts)
+		if err != nil {
+			return fmt.Errorf("worker %d: %w", w, err)
+		}
+		for i, resp := range resps {
+			if resp.Err != "" {
+				return fmt.Errorf("worker %d: %s: %s", w, stmts[i], resp.Err)
+			}
+			if wants[i] < 0 {
+				continue
+			}
+			got, err := resp.Int64(0, 0)
+			if err != nil {
+				return fmt.Errorf("worker %d: %s: %w", w, stmts[i], err)
+			}
+			if cfg.check && got != wants[i] {
+				return fmt.Errorf("worker %d: %s returned %d, want %d", w, stmts[i], got, wants[i])
+			}
+			if repeatStmt == "" {
+				repeatStmt, repeatWant = stmts[i], got
+			}
+		}
+		stmts, wants = stmts[:0], wants[:0]
+		return nil
+	}
 	qi := 0
 	for {
 		q, ok := gen.Next()
@@ -217,7 +261,9 @@ func clientWorker(cfg clientConfig, p workload.Pattern, patternIdx, w, count int
 		if insertEvery > 0 && qi%insertEvery == 0 && inserted < cfg.inserts {
 			key := insertBase + int64(inserted)
 			ins := fmt.Sprintf("INSERT INTO bench VALUES (%d, %d)", key, key)
-			if resp, err := c.Exec(ins); err != nil {
+			if cfg.batch > 1 {
+				stmts, wants = append(stmts, ins), append(wants, -1)
+			} else if resp, err := c.Exec(ins); err != nil {
 				return fmt.Errorf("worker %d: %s: %w", w, ins, err)
 			} else if resp.Err != "" {
 				return fmt.Errorf("worker %d: %s: %s", w, ins, resp.Err)
@@ -228,6 +274,15 @@ func clientWorker(cfg clientConfig, p workload.Pattern, patternIdx, w, count int
 		// Tapestry values live in 1..n; the generator emits [lo, hi) over
 		// [0, n), so shift by one.
 		stmt := fmt.Sprintf("SELECT COUNT(*) FROM bench WHERE c0 >= %d AND c0 < %d", q.Lo+1, q.Hi+1)
+		if cfg.batch > 1 {
+			stmts, wants = append(stmts, stmt), append(wants, q.Hi-q.Lo)
+			if len(stmts) >= cfg.batch {
+				if err := flush(); err != nil {
+					return err
+				}
+			}
+			continue
+		}
 		got, err := c.Count(stmt)
 		if err != nil {
 			return err
@@ -238,6 +293,9 @@ func clientWorker(cfg clientConfig, p workload.Pattern, patternIdx, w, count int
 		if repeatStmt == "" {
 			repeatStmt, repeatWant = stmt, got
 		}
+	}
+	if err := flush(); err != nil {
+		return err
 	}
 	// Flush inserts a short stream did not interleave, so the -check
 	// arithmetic (inserts × clients × patterns) always holds.

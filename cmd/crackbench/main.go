@@ -4,9 +4,9 @@
 //
 // Usage:
 //
-//	crackbench -fig 1a|1b|1c|2|3|8|9|10|11|hiking|sql|parallel|stochastic|shard|recovery|sideways|all [flags]
+//	crackbench -fig 1a|1b|1c|2|3|8|9|10|11|hiking|sql|parallel|stochastic|shard|recovery|sideways|batch|all [flags]
 //	crackbench -addr host:port [-clients c] [-queries q] [-workload w] [-check]
-//	           [-inserts k] [-expectrows m] [-exec stmt]
+//	           [-inserts k] [-expectrows m] [-exec stmt] [-batch b]
 //
 // Flags:
 //
@@ -25,6 +25,7 @@
 //	-addr string  client mode: drive a running cracksrv over the wire
 //	-clients int  client mode: concurrent connections (default 4)
 //	-check        client mode: assert exact counts and server stats
+//	-batch int    client mode: pipeline window per worker (0/1 = synchronous)
 //
 // Setting -strategy or -workload implies -fig stochastic, so the
 // robustness matrix reads naturally:
@@ -51,7 +52,7 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate: 1a,1b,1c,2,3,8,9,10,11,hiking,sql,parallel,stochastic,shard,recovery,sideways,all")
+		fig      = flag.String("fig", "all", "figure to regenerate: 1a,1b,1c,2,3,8,9,10,11,hiking,sql,parallel,stochastic,shard,recovery,sideways,batch,all")
 		n        = flag.Int("n", 0, "cardinality override (0 = figure default)")
 		k        = flag.Int("k", 0, "sequence length override (0 = figure default)")
 		seed     = flag.Int64("seed", 42, "RNG seed")
@@ -69,6 +70,7 @@ func main() {
 		inserts  = flag.Int("inserts", 0, "client mode: rows each worker INSERTs mid-stream (keys above the domain)")
 		expect   = flag.Int("expectrows", 0, "client mode: with -check, expected COUNT(*) (0 = n + this run's inserts)")
 		execCmd  = flag.String("exec", "", "client mode: run one statement or /meta command, print the reply, exit")
+		batchSz  = flag.Int("batch", 0, "client mode: pipeline window per worker (0/1 = synchronous)")
 	)
 	flag.Parse()
 
@@ -93,7 +95,7 @@ func main() {
 		err := runClient(clientConfig{
 			addr: *addr, clients: *clients, queries: *queries, n: *n,
 			seed: *seed, sel: *sel, workload: wl, strategy: strategy, check: *check,
-			inserts: *inserts, expect: *expect, exec: *execCmd,
+			inserts: *inserts, expect: *expect, exec: *execCmd, batch: *batchSz,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "crackbench:", err)
@@ -101,8 +103,8 @@ func main() {
 		}
 		return
 	}
-	if *clients != 0 || *check || *inserts != 0 || *expect != 0 || *execCmd != "" {
-		fmt.Fprintln(os.Stderr, "crackbench: -clients/-check/-inserts/-expectrows/-exec require client mode (-addr)")
+	if *clients != 0 || *check || *inserts != 0 || *expect != 0 || *execCmd != "" || *batchSz != 0 {
+		fmt.Fprintln(os.Stderr, "crackbench: -clients/-check/-inserts/-expectrows/-exec/-batch require client mode (-addr)")
 		os.Exit(1)
 	}
 
@@ -138,10 +140,10 @@ func main() {
 	// -queries/-sel don't imply a figure ("-fig all -sel 0.05" tunes the
 	// stochastic and shard legs of the full sweep).
 	switch target {
-	case "stochastic", "shard", "recovery", "sideways", "all":
+	case "stochastic", "shard", "recovery", "sideways", "batch", "all":
 	default:
 		if *queries != 0 || *sel != 0 {
-			fmt.Fprintf(os.Stderr, "crackbench: -queries/-sel only apply to the stochastic, shard, recovery and sideways figures, not -fig %s\n", target)
+			fmt.Fprintf(os.Stderr, "crackbench: -queries/-sel only apply to the stochastic, shard, recovery, sideways and batch figures, not -fig %s\n", target)
 			os.Exit(1)
 		}
 	}
@@ -252,6 +254,12 @@ func run(fig string, cfg benchConfig) error {
 				swcfg.Strategy = cfg.strategy
 			}
 			return emit(figures.FigSideways(swcfg))
+		case "batch":
+			nq := cfg.queries
+			if nq == 0 {
+				nq = k
+			}
+			return emit(figures.FigBatch(figures.FigBatchConfig{N: n, K: nq, Seed: seed}))
 		case "sql":
 			res, err := figures.SQLLevel(figures.SQLLevelConfig{N: n, Seed: seed})
 			if err != nil {
@@ -260,12 +268,12 @@ func run(fig string, cfg benchConfig) error {
 			fmt.Print(res)
 			return nil
 		default:
-			return fmt.Errorf("unknown figure %q (want 1a,1b,1c,2,3,8,9,10,11,hiking,sql,parallel,stochastic,shard,recovery,sideways,all)", id)
+			return fmt.Errorf("unknown figure %q (want 1a,1b,1c,2,3,8,9,10,11,hiking,sql,parallel,stochastic,shard,recovery,sideways,batch,all)", id)
 		}
 	}
 
 	if fig == "all" {
-		for _, id := range []string{"1a", "1b", "1c", "2", "3", "8", "9", "10", "11", "hiking", "sql", "parallel", "stochastic", "shard", "recovery", "sideways"} {
+		for _, id := range []string{"1a", "1b", "1c", "2", "3", "8", "9", "10", "11", "hiking", "sql", "parallel", "stochastic", "shard", "recovery", "sideways", "batch"} {
 			fmt.Printf("=== figure %s ===\n", id)
 			if err := runOne(id); err != nil {
 				return fmt.Errorf("figure %s: %w", id, err)

@@ -445,16 +445,14 @@ func (s *Store) Select(table, col string, low, high int64) (*Result, error) {
 
 // Count is Select without result materialization: the query still cracks
 // (it is also advice) but only the qualifying-tuple count is returned.
+// It routes through the same single-entry count path CountBatch uses —
+// one registry resolution, no View or Result construction.
 func (s *Store) Count(table, col string, low, high int64) (int, error) {
 	ct, _, err := s.crackedFor(table)
 	if err != nil {
 		return 0, err
 	}
-	view, err := ct.Select(expr.Range{Col: col, Low: low, High: high, LowIncl: true, HighIncl: true})
-	if err != nil {
-		return 0, err
-	}
-	return view.Len(), nil
+	return ct.CountRange(expr.Range{Col: col, Low: low, High: high, LowIncl: true, HighIncl: true})
 }
 
 // Result is the answer of a Select: the qualifying values of the queried

@@ -1,0 +1,73 @@
+package algebra
+
+import (
+	"crackdb/internal/core"
+	"crackdb/internal/expr"
+)
+
+// CrackScanBatch is the vector-fed form of CrackScan: Open answers a
+// whole batch of ranges through Column.SelectBatch — one or two lock
+// acquisitions and one pair of shared backing buffers for every range —
+// and the iterator streams the concatenated answers. Downstream
+// operators see one extra leading column, the batch position q, so the
+// rows of different predicates stay distinguishable after the merge.
+//
+// The snapshot discipline matches CrackScan: SelectBatch copies each
+// answer while the column lock is held, so iteration never reads column
+// memory and concurrent queries are free to keep cracking mid-scan.
+type CrackScanBatch struct {
+	col     *core.Column
+	attr    string
+	ranges  []expr.Range
+	ordered bool
+
+	answers []core.BatchAnswer
+	q, pos  int
+	open    bool
+}
+
+// NewCrackScanBatch builds a batched scan of col over the given ranges.
+// The output schema is ("q", "oid", attr): q is the index of the range
+// the row answers. With ordered the batch executes in submission order
+// instead of sorted-bound order.
+func NewCrackScanBatch(col *core.Column, attr string, ranges []expr.Range, ordered bool) *CrackScanBatch {
+	return &CrackScanBatch{col: col, attr: attr, ranges: ranges, ordered: ordered}
+}
+
+// Open implements Iterator. The whole batch (and any cracking it
+// causes) runs here; re-opening re-runs it, which after the first time
+// is a sequence of pure index lookups under one read-lock hold.
+func (s *CrackScanBatch) Open() error {
+	s.answers, _ = s.col.SelectBatch(s.ranges, s.ordered, false)
+	s.q, s.pos = 0, 0
+	s.open = true
+	return nil
+}
+
+// Next implements Iterator.
+func (s *CrackScanBatch) Next() (Row, bool, error) {
+	if !s.open {
+		return nil, false, ErrNotOpen
+	}
+	for s.q < len(s.answers) && s.pos >= len(s.answers[s.q].Vals) {
+		s.q++
+		s.pos = 0
+	}
+	if s.q >= len(s.answers) {
+		return nil, false, nil
+	}
+	a := s.answers[s.q]
+	row := Row{int64(s.q), int64(a.OIDs[s.pos]), a.Vals[s.pos]}
+	s.pos++
+	return row, true, nil
+}
+
+// Close implements Iterator.
+func (s *CrackScanBatch) Close() error {
+	s.open = false
+	s.answers = nil
+	return nil
+}
+
+// Schema implements Iterator.
+func (s *CrackScanBatch) Schema() []string { return []string{"q", "oid", s.attr} }

@@ -41,6 +41,12 @@ type Column struct {
 	lin    *Lineage
 	sorted bool // whole column sorted: cuts become binary searches
 
+	// snap caches the flat batch-lookup snapshot of idx (see batch.go).
+	// Readers validate it against idx.Version() and rebuild under the
+	// read lock — the index only mutates under the write lock, so any
+	// lock hold sees a frozen tree.
+	snap atomic.Pointer[cutSnapshot]
+
 	// strategy, when non-nil, is consulted whenever Select must open a
 	// new cut (see strategy.go). nil means standard cracking: the native
 	// crack-in-two/-three kernels, unmodified.

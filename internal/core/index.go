@@ -37,7 +37,17 @@ import "fmt"
 type Index struct {
 	root *inode
 	size int
+	// version counts mutations — cut registrations, deletions, resets,
+	// and position overwrites (the pending-update paths reposition
+	// existing cuts through Insert). Column's flat batch snapshot is
+	// keyed on it: a snapshot built at version v stays valid exactly
+	// while the version holds.
+	version uint64
 }
+
+// Version returns the mutation counter. It changes on every Insert,
+// Delete and Reset, including position-overwriting inserts.
+func (ix *Index) Version() uint64 { return ix.version }
 
 type inode struct {
 	val    int64
@@ -68,7 +78,7 @@ func cmpCut(v1 int64, i1 bool, v2 int64, i2 bool) int {
 func (ix *Index) Len() int { return ix.size }
 
 // Reset drops all cuts.
-func (ix *Index) Reset() { ix.root, ix.size = nil, 0 }
+func (ix *Index) Reset() { ix.root, ix.size, ix.version = nil, 0, ix.version+1 }
 
 // Find returns the position of the exact cut (val, incl), if registered.
 func (ix *Index) Find(val int64, incl bool) (pos int, ok bool) {
@@ -125,6 +135,7 @@ func (ix *Index) Ceil(val int64, incl bool) (cutVal int64, cutIncl bool, pos int
 // Insert registers a new cut. Inserting an existing key overwrites its
 // position (which, by the cut invariant, is always the same value).
 func (ix *Index) Insert(val int64, incl bool, pos int) {
+	ix.version++
 	var inserted bool
 	ix.root, inserted = insertNode(ix.root, val, incl, pos)
 	if inserted {
@@ -151,6 +162,7 @@ func insertNode(n *inode, val int64, incl bool, pos int) (*inode, bool) {
 
 // Delete removes a cut (piece fusion). It reports whether the key existed.
 func (ix *Index) Delete(val int64, incl bool) bool {
+	ix.version++
 	var deleted bool
 	ix.root, deleted = deleteNode(ix.root, val, incl)
 	if deleted {

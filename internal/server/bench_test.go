@@ -34,6 +34,7 @@ func BenchmarkServerThroughput(b *testing.B) {
 			addr := ln.Addr().String()
 
 			var seed atomic.Int64
+			b.ReportAllocs() // allocs/op guards the pooled frame path
 			b.ResetTimer()
 			b.RunParallel(func(pb *testing.PB) {
 				c, err := DialTimeout(addr, 2*time.Second)

@@ -11,28 +11,71 @@
 //	ok rows=<n>\n<tab-separated header>\n<tab-separated row>...
 //	ok msg=<free text>\n
 //	err <free text>\n
+//
+// Pipelining: a client may stream many request frames without waiting.
+// A request may carry a sequence tag — the payload prefix "@<seq> " —
+// and the server echoes the same tag as the response payload prefix, so
+// a pipelined client can verify that responses arrive in request order.
+// Untagged requests get untagged responses; old clients and servers
+// interoperate unchanged.
 package server
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // MaxFrame bounds a single request or response frame. Results larger
 // than this must be paginated with LIMIT.
 const MaxFrame = 16 << 20
 
-// writeFrame writes one length-prefixed frame.
+// framePool recycles frame buffers across connections: a handler (or
+// pipeline) takes its request and response buffers at start and returns
+// them at exit, so the per-message fast paths — readFrame into a buffer
+// that is already large enough, encode into a reused buffer — run
+// allocation-free regardless of how many connections churn.
+var framePool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 1<<12)
+		return &b
+	},
+}
+
+// getFrameBuf takes a frame buffer from the pool.
+func getFrameBuf() []byte { return (*framePool.Get().(*[]byte))[:0] }
+
+// putFrameBuf returns a frame buffer to the pool. The buffer may have
+// been reallocated (grown) since getFrameBuf — the grown capacity is
+// what makes the pool worth having.
+func putFrameBuf(b []byte) { framePool.Put(&b) }
+
+// writeFrame writes one length-prefixed frame. For a buffered writer —
+// every production path — the header goes through the writer's own
+// buffer byte by byte, keeping the fast path allocation-free (a stack
+// header array would escape through the io.Writer interface).
 func writeFrame(w io.Writer, payload []byte) error {
-	if len(payload) > MaxFrame {
-		return fmt.Errorf("server: frame of %d bytes exceeds limit %d", len(payload), MaxFrame)
+	n := len(payload)
+	if n > MaxFrame {
+		return fmt.Errorf("server: frame of %d bytes exceeds limit %d", n, MaxFrame)
+	}
+	if bw, ok := w.(*bufio.Writer); ok {
+		bw.WriteByte(byte(n >> 24))
+		bw.WriteByte(byte(n >> 16))
+		bw.WriteByte(byte(n >> 8))
+		bw.WriteByte(byte(n))
+		// bufio errors are sticky: a failure in the header bytes above
+		// resurfaces here.
+		_, err := bw.Write(payload)
+		return err
 	}
 	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[:], uint32(n))
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -41,13 +84,29 @@ func writeFrame(w io.Writer, payload []byte) error {
 }
 
 // readFrame reads one length-prefixed frame, reusing buf when it is
-// large enough.
+// large enough. The buffered-reader fast path pulls the header byte by
+// byte out of the reader's own buffer for the same reason writeFrame
+// does: a stack header array escapes through the io.Reader interface.
 func readFrame(r io.Reader, buf []byte) ([]byte, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, err
+	var n uint32
+	if br, ok := r.(*bufio.Reader); ok {
+		for i := 0; i < 4; i++ {
+			b, err := br.ReadByte()
+			if err != nil {
+				if i > 0 && err == io.EOF {
+					err = io.ErrUnexpectedEOF
+				}
+				return nil, err
+			}
+			n = n<<8 | uint32(b)
+		}
+	} else {
+		var hdr [4]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return nil, err
+		}
+		n = binary.BigEndian.Uint32(hdr[:])
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
 	if n > MaxFrame {
 		return nil, fmt.Errorf("server: peer announced %d-byte frame, limit %d", n, MaxFrame)
 	}
@@ -61,14 +120,45 @@ func readFrame(r io.Reader, buf []byte) ([]byte, error) {
 	return buf, nil
 }
 
+// readBufferedFrame reads one frame only if it is already complete in
+// the reader's buffer — the non-blocking drain the pipelined server
+// uses to widen a connection's service window without ever stalling on
+// a slow or non-pipelining client. ok reports whether a frame was
+// consumed; a partial frame (header or body still in flight) leaves the
+// reader untouched.
+func readBufferedFrame(br *bufio.Reader, buf []byte) (payload []byte, ok bool, err error) {
+	if br.Buffered() < 4 {
+		return buf, false, nil
+	}
+	hdr, err := br.Peek(4)
+	if err != nil {
+		return buf, false, nil
+	}
+	n := binary.BigEndian.Uint32(hdr)
+	if n > MaxFrame {
+		return buf, false, fmt.Errorf("server: peer announced %d-byte frame, limit %d", n, MaxFrame)
+	}
+	if br.Buffered() < 4+int(n) {
+		return buf, false, nil
+	}
+	payload, err = readFrame(br, buf)
+	if err != nil {
+		return buf, false, err
+	}
+	return payload, true, nil
+}
+
 // Response is one decoded server reply. Exactly one of Err, Message or
 // the tabular (Columns, Rows) forms is populated; cells are decimal
-// strings for SQL results and free text for meta commands.
+// strings for SQL results and free text for meta commands. Seq carries
+// the request's pipeline sequence tag when HasSeq is set.
 type Response struct {
 	Err     string
 	Message string
 	Columns []string
 	Rows    [][]string
+	Seq     uint64
+	HasSeq  bool
 }
 
 // IsTabular reports whether the response carries a result table.
@@ -85,6 +175,11 @@ func (r *Response) Int64(row, col int) (int64, error) {
 // encode renders the response payload.
 func (r *Response) encode(buf []byte) []byte {
 	b := buf[:0]
+	if r.HasSeq {
+		b = append(b, '@')
+		b = strconv.AppendUint(b, r.Seq, 10)
+		b = append(b, ' ')
+	}
 	switch {
 	case r.Err != "":
 		b = append(b, "err "...)
@@ -124,8 +219,33 @@ func sanitize(s string) string {
 	return s
 }
 
-// decodeResponse parses a response payload.
+// decodeResponse parses a response payload, splitting off the optional
+// "@<seq> " pipeline tag first.
 func decodeResponse(payload []byte) (*Response, error) {
+	var seq uint64
+	var hasSeq bool
+	if len(payload) > 0 && payload[0] == '@' {
+		sp := bytes.IndexByte(payload, ' ')
+		if sp < 2 {
+			return nil, fmt.Errorf("server: malformed sequence tag in response %q", payload)
+		}
+		v, err := strconv.ParseUint(string(payload[1:sp]), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("server: bad sequence tag in response: %v", err)
+		}
+		seq, hasSeq = v, true
+		payload = payload[sp+1:]
+	}
+	resp, err := decodeResponseBody(payload)
+	if err != nil {
+		return nil, err
+	}
+	resp.Seq, resp.HasSeq = seq, hasSeq
+	return resp, nil
+}
+
+// decodeResponseBody parses the status line and body of a response.
+func decodeResponseBody(payload []byte) (*Response, error) {
 	sc := bufio.NewScanner(strings.NewReader(string(payload)))
 	sc.Buffer(make([]byte, 1<<16), MaxFrame)
 	if !sc.Scan() {

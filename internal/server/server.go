@@ -1,6 +1,8 @@
 package server
 
 import (
+	"bufio"
+	"bytes"
 	"fmt"
 	"net"
 	"strconv"
@@ -20,6 +22,7 @@ import (
 type Server struct {
 	store *shard.Store
 	eng   *sql.Engine
+	batch sql.BatchCounter
 	logf  func(format string, args ...any)
 
 	mu      sync.Mutex
@@ -38,6 +41,7 @@ func New(store *shard.Store, logf func(format string, args ...any)) *Server {
 	return &Server{
 		store: store,
 		eng:   sql.NewEngineOn(store),
+		batch: store,
 		logf:  logf,
 		conns: make(map[net.Conn]struct{}),
 	}
@@ -116,6 +120,38 @@ func (s *Server) Shutdown(timeout time.Duration) {
 	s.logf("shutdown complete")
 }
 
+// maxWindow bounds how many in-flight requests one connection's service
+// window may hold before responses start flowing back.
+const maxWindow = 128
+
+// wireReq is one parsed request frame in a connection's service window.
+type wireReq struct {
+	cmd    string
+	seq    uint64
+	tagged bool
+}
+
+// parseWireReq splits the optional "@<seq> " pipeline tag off a request
+// payload. A malformed tag is left in the statement, so it surfaces to
+// the client as an ordinary parse error rather than a dropped frame.
+func parseWireReq(payload []byte) wireReq {
+	if len(payload) > 0 && payload[0] == '@' {
+		if sp := bytes.IndexByte(payload, ' '); sp >= 2 {
+			if v, err := strconv.ParseUint(string(payload[1:sp]), 10, 64); err == nil {
+				return wireReq{cmd: strings.TrimSpace(string(payload[sp+1:])), seq: v, tagged: true}
+			}
+		}
+	}
+	return wireReq{cmd: strings.TrimSpace(string(payload))}
+}
+
+// handle serves one connection. The loop blocks for the first request,
+// then drains whatever further frames the client has already pipelined
+// into the read buffer (up to maxWindow) and serves the whole window
+// before flushing: co-shard range counts inside the window collapse
+// into one batched store entry, and N responses leave in one write.
+// Synchronous clients see exactly the old one-in-one-out behaviour —
+// their window is always a single request.
 func (s *Server) handle(conn net.Conn) {
 	defer func() {
 		conn.Close()
@@ -124,23 +160,112 @@ func (s *Server) handle(conn net.Conn) {
 		s.mu.Unlock()
 		s.wg.Done()
 	}()
-	var reqBuf, respBuf []byte
+	br := bufio.NewReaderSize(conn, 1<<16)
+	bw := bufio.NewWriterSize(conn, 1<<16)
+	reqBuf, respBuf := getFrameBuf(), getFrameBuf()
+	defer func() {
+		putFrameBuf(reqBuf)
+		putFrameBuf(respBuf)
+	}()
+	var win []wireReq
 	for {
-		payload, err := readFrame(conn, reqBuf)
+		payload, err := readFrame(br, reqBuf)
 		if err != nil {
 			return // EOF or broken peer: drop the connection
 		}
 		reqBuf = payload
-		cmd := strings.TrimSpace(string(payload))
-		resp, quit := s.dispatch(cmd)
-		respBuf = resp.encode(respBuf)
-		if err := writeFrame(conn, respBuf); err != nil {
+		win = append(win[:0], parseWireReq(payload))
+		for len(win) < maxWindow {
+			payload, ok, err := readBufferedFrame(br, reqBuf)
+			if err != nil {
+				return
+			}
+			if !ok {
+				break
+			}
+			reqBuf = payload
+			win = append(win, parseWireReq(payload))
+		}
+		quit, err := s.serveWindow(bw, win, &respBuf)
+		if err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
 			return
 		}
 		if quit {
 			return
 		}
 	}
+}
+
+// serveWindow executes one connection's in-flight window in request
+// order. Maximal consecutive runs of range-count statements on the same
+// (table, column) — the co-shard work a pipelining client naturally
+// emits — execute as one batched store entry; everything else
+// dispatches individually. Responses are written (buffered, unflushed)
+// in request order, each echoing its request's sequence tag. A /quit
+// answers and stops the connection; any requests a client pipelined
+// behind its /quit are dropped with it.
+func (s *Server) serveWindow(bw *bufio.Writer, win []wireReq, respBuf *[]byte) (quit bool, err error) {
+	reply := func(req wireReq, resp *Response) error {
+		resp.Seq, resp.HasSeq = req.seq, req.tagged
+		*respBuf = resp.encode(*respBuf)
+		return writeFrame(bw, *respBuf)
+	}
+	// Classify the window once; rc[i] holds request i's folded range when
+	// it is a pure single-column range COUNT(*).
+	rcs := make([]sql.RangeCount, len(win))
+	isRC := make([]bool, len(win))
+	if len(win) > 1 {
+		for i, req := range win {
+			if !strings.HasPrefix(req.cmd, "/") {
+				rcs[i], isRC[i] = sql.ClassifyRangeCount(req.cmd)
+			}
+		}
+	}
+	for i := 0; i < len(win); {
+		// Extend a run of batchable counts on the same table and column.
+		j := i
+		for j < len(win) && isRC[j] && rcs[j].Table == rcs[i].Table && rcs[j].Col == rcs[i].Col {
+			j++
+		}
+		if j-i >= 2 {
+			ranges := make([]crackdb.Range, j-i)
+			for k := i; k < j; k++ {
+				ranges[k-i] = rcs[k].Range()
+			}
+			counts, err := s.batch.CountBatch(rcs[i].Table, rcs[i].Col, ranges)
+			if err != nil {
+				// Per-request fallback keeps error text identical to the
+				// scalar path (e.g. unknown table, unknown column).
+				for k := i; k < j; k++ {
+					resp, _ := s.dispatch(win[k].cmd)
+					if werr := reply(win[k], resp); werr != nil {
+						return false, werr
+					}
+				}
+			} else {
+				for k := i; k < j; k++ {
+					resp := &Response{Columns: []string{"count(*)"}, Rows: [][]string{{strconv.Itoa(counts[k-i])}}}
+					if werr := reply(win[k], resp); werr != nil {
+						return false, werr
+					}
+				}
+			}
+			i = j
+			continue
+		}
+		resp, q := s.dispatch(win[i].cmd)
+		if werr := reply(win[i], resp); werr != nil {
+			return false, werr
+		}
+		if q {
+			return true, nil
+		}
+		i++
+	}
+	return false, nil
 }
 
 // dispatch executes one request. quit asks the handler to close the

@@ -1,0 +1,119 @@
+// Batched selection across shards: a batch of ranges fans out as one
+// frame of work per shard. Each target shard receives its sub-batch —
+// the predicates whose key interval overlaps the shard — and executes
+// it under a single shard-store entry (crackdb.Store.CountBatch /
+// SelectBatch), so the per-query fan-out goroutine and lock round trips
+// of the scalar path are paid once per shard per batch instead of once
+// per query. Per-predicate answers are merged canonically: counts sum,
+// selections concatenate into the same canonical Result the scalar path
+// returns.
+package shard
+
+import (
+	"crackdb"
+	"crackdb/internal/sql"
+)
+
+// subBatch is the slice of a batch routed to one shard: the ranges plus
+// their submission indices, so per-shard answers scatter back to the
+// right predicate.
+type subBatch struct {
+	ranges []crackdb.Range
+	idx    []int
+}
+
+// routeBatch groups a batch of inclusive ranges on col into per-shard
+// sub-batches. Ranges on the partition key prune to the shard span that
+// can hold qualifying keys; ranges on any other column visit every
+// shard. Empty ranges (Low > High) are routed nowhere — their answer is
+// zero tuples on every shard.
+func (s *Store) routeBatch(m *tableMeta, part partitioner, col string, ranges []crackdb.Range) []subBatch {
+	sub := make([]subBatch, len(s.shards))
+	for i, r := range ranges {
+		if r.Low > r.High {
+			continue
+		}
+		first, last := 0, len(s.shards)-1
+		if col == m.key {
+			first, last = part.span(r.Low, r.High)
+		}
+		for t := first; t <= last; t++ {
+			sub[t].ranges = append(sub[t].ranges, r)
+			sub[t].idx = append(sub[t].idx, i)
+		}
+	}
+	return sub
+}
+
+// CountBatch answers many inclusive ranges on one column, fanning out
+// one sub-batch per target shard and summing the per-shard counts per
+// predicate. Counts come back in submission order.
+func (s *Store) CountBatch(table, col string, ranges []crackdb.Range, opts ...crackdb.BatchOption) ([]int, error) {
+	m, part, err := s.meta(table)
+	if err != nil {
+		return nil, err
+	}
+	sub := s.routeBatch(m, part, col, ranges)
+	per := make([][]int, len(s.shards))
+	if err := s.fanOut(func(i int) error {
+		if len(sub[i].ranges) == 0 {
+			return nil
+		}
+		var err error
+		per[i], err = s.shards[i].CountBatch(table, col, sub[i].ranges, opts...)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	counts := make([]int, len(ranges))
+	for t, counted := range per {
+		for j, n := range counted {
+			counts[sub[t].idx[j]] += n
+		}
+	}
+	return counts, nil
+}
+
+// SelectBatch answers many inclusive ranges on one column, one
+// sub-batch per target shard, merging the per-shard answers into one
+// canonical Result per predicate (the same shape SelectWhere returns).
+// Results come back in submission order.
+func (s *Store) SelectBatch(table, col string, ranges []crackdb.Range, opts ...crackdb.BatchOption) ([]sql.Rows, error) {
+	m, part, err := s.meta(table)
+	if err != nil {
+		return nil, err
+	}
+	sub := s.routeBatch(m, part, col, ranges)
+	// parts[i][t] is predicate i's answer on shard t; each shard goroutine
+	// writes only its own column, so the scatter is race-free.
+	parts := make([][]*crackdb.Result, len(ranges))
+	for i := range parts {
+		parts[i] = make([]*crackdb.Result, len(s.shards))
+	}
+	if err := s.fanOut(func(t int) error {
+		if len(sub[t].ranges) == 0 {
+			return nil
+		}
+		res, err := s.shards[t].SelectBatch(table, col, sub[t].ranges, opts...)
+		if err != nil {
+			return err
+		}
+		for j, r := range res {
+			parts[sub[t].idx[j]][t] = r
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	out := make([]sql.Rows, len(ranges))
+	for i := range parts {
+		merged := &Result{}
+		for _, p := range parts[i] {
+			if p != nil {
+				merged.parts = append(merged.parts, p)
+			}
+		}
+		out[i] = merged
+	}
+	return out, nil
+}

@@ -1,0 +1,93 @@
+package sql
+
+import (
+	"math"
+
+	"crackdb"
+)
+
+// BatchCounter is the optional batch surface of a Backend: a backend
+// that can answer many inclusive ranges on one column in a single entry
+// (crackdb.Store and the shard router both can). The server's pipelined
+// path groups consecutive range-count statements from one connection's
+// in-flight window through it.
+type BatchCounter interface {
+	CountBatch(table, col string, ranges []crackdb.Range, opts ...crackdb.BatchOption) ([]int, error)
+}
+
+// RangeCount is a statement the batched count path can absorb:
+// SELECT COUNT(*) FROM Table WHERE <conjunction on exactly one column>,
+// folded to the inclusive range [Low, High] (Low > High when the
+// conjunction is unsatisfiable).
+type RangeCount struct {
+	Table string
+	Col   string
+	Low   int64
+	High  int64
+}
+
+// Range returns the folded predicate as a crackdb batch range.
+func (rc RangeCount) Range() crackdb.Range { return crackdb.Range{Low: rc.Low, High: rc.High} }
+
+// ClassifyRangeCount reports whether the statement is a pure
+// single-column range COUNT(*) — the exact shape the engine's COUNT(*)
+// fast path answers via Backend.CountWhere, restricted to conjunctions
+// on one column so the fold to one inclusive range is lossless. Any
+// parse error, other statement shape, or operator outside <, <=, =, >=,
+// > declines (ok = false) and the caller dispatches normally.
+func ClassifyRangeCount(input string) (RangeCount, bool) {
+	stmt, err := Parse(input)
+	if err != nil {
+		return RangeCount{}, false
+	}
+	s, ok := stmt.(Select)
+	if !ok {
+		return RangeCount{}, false
+	}
+	// Mirror the engine fast-path guard exactly, plus: at least one
+	// condition (COUNT over everything has no column to batch on).
+	if len(s.Items) != 1 || s.Items[0].Agg != AggCountStar || s.GroupBy != "" || s.Into != "" || len(s.Where) == 0 {
+		return RangeCount{}, false
+	}
+	col := s.Where[0].Col
+	lo, hi := int64(math.MinInt64), int64(math.MaxInt64)
+	for _, c := range s.Where {
+		if c.Col != col {
+			return RangeCount{}, false
+		}
+		switch c.Op {
+		case "=", "==":
+			if c.Val > lo {
+				lo = c.Val
+			}
+			if c.Val < hi {
+				hi = c.Val
+			}
+		case "<":
+			if c.Val == math.MinInt64 {
+				return RangeCount{Table: s.Table, Col: col, Low: 1, High: 0}, true
+			}
+			if c.Val-1 < hi {
+				hi = c.Val - 1
+			}
+		case "<=":
+			if c.Val < hi {
+				hi = c.Val
+			}
+		case ">":
+			if c.Val == math.MaxInt64 {
+				return RangeCount{Table: s.Table, Col: col, Low: 1, High: 0}, true
+			}
+			if c.Val+1 > lo {
+				lo = c.Val + 1
+			}
+		case ">=":
+			if c.Val > lo {
+				lo = c.Val
+			}
+		default: // <> and anything unknown: not a contiguous range
+			return RangeCount{}, false
+		}
+	}
+	return RangeCount{Table: s.Table, Col: col, Low: lo, High: hi}, true
+}
