@@ -8,12 +8,13 @@
 //	cracksrv [-addr :7744] [-shards 4] [-partition hash|range]
 //	         [-domain 1048576] [-strategy mdd1r] [-seed 42]
 //	         [-tapestry name,n,alpha] [-data dir]
+//	         [-http addr] [-slowms n] [-tracesample n]
 //
 // The wire protocol is length-prefixed text frames (see
 // internal/server): each request is one SQL statement or one /meta
-// command (/ping, /tables, /shards, /stats <t> <c>, /strategy,
-// /tapestry, /save, /wal, /quit). Drive it with cmd/crackbench's client
-// mode:
+// command (/ping, /tables, /shards, /stats [<t> <c>], /metrics,
+// /strategy, /tapestry, /save, /wal, /quit). Drive it with
+// cmd/crackbench's client mode:
 //
 //	cracksrv -addr 127.0.0.1:7744 -shards 4 &
 //	crackbench -addr 127.0.0.1:7744 -clients 4 -queries 2000 -check
@@ -25,6 +26,14 @@
 // loses nothing that was acked. When a snapshot exists its recorded
 // sharding configuration wins over the command-line flags.
 //
+// Observability is always on (it costs a sampled timing on the
+// converged read path; see internal/obs): /metrics answers the
+// Prometheus text exposition over the frame protocol, -slowms logs
+// statements slower than n milliseconds together with the crack events
+// they caused, and -tracesample times one converged lookup in n.
+// -http additionally serves /metrics and net/http/pprof on a plain
+// HTTP address for curl and go tool pprof.
+//
 // SIGINT/SIGTERM shut the server down cleanly (drain, then exit 0), so
 // process supervisors and the CI smoke harness can assert a clean stop.
 package main
@@ -32,6 +41,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -39,6 +50,7 @@ import (
 	"syscall"
 	"time"
 
+	"crackdb/internal/obs"
 	"crackdb/internal/server"
 	"crackdb/internal/shard"
 )
@@ -54,6 +66,9 @@ func main() {
 		tapestry = flag.String("tapestry", "", "preload a DBtapestry table: name,n,alpha (e.g. bench,100000,2)")
 		dataDir  = flag.String("data", "", "durable data directory (insert WAL + /save snapshots); empty = volatile")
 		walWin   = flag.Duration("walwindow", 0, "WAL group-commit fsync coalescing window (0 = fsync-latency batching only)")
+		httpAddr = flag.String("http", "", "serve /metrics and /debug/pprof over HTTP on this address (e.g. 127.0.0.1:7790)")
+		slowMS   = flag.Int("slowms", 0, "log statements slower than this many milliseconds with their crack-event trace (0 = off)")
+		sample   = flag.Int("tracesample", 256, "time one converged lookup in this many (rounded to a power of two; 1 = every lookup)")
 	)
 	flag.Parse()
 
@@ -129,6 +144,33 @@ func main() {
 	}
 
 	srv := server.New(store, logf)
+	srv.EnableObservability(time.Duration(*slowMS)*time.Millisecond, *sample)
+	if *slowMS > 0 {
+		logf("slow-query log at >= %dms", *slowMS)
+	}
+	if *httpAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			fams, ok := store.Gather()
+			if !ok {
+				http.Error(w, "observability is off", http.StatusServiceUnavailable)
+				return
+			}
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			obs.WriteText(w, fams)
+		})
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			logf("http introspection on %s (/metrics, /debug/pprof)", *httpAddr)
+			if err := http.ListenAndServe(*httpAddr, mux); err != nil {
+				logf("http introspection: %v", err)
+			}
+		}()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

@@ -79,6 +79,11 @@ type Store struct {
 	// sequentially instead of fetching tuples through the base table one
 	// OID at a time. See internal/sideways and DESIGN.md.
 	sideways *sideways.Registry
+
+	// instr, when set by EnableObservability, is attached to every
+	// cracker column — existing, future, and warm-restored — so query
+	// latency and crack events flow into the obs registry. Guarded by mu.
+	instr *core.Instr
 }
 
 // New returns an empty store.
@@ -139,10 +144,13 @@ type SidewaysStats struct {
 	Evictions   int64 // payload vectors dropped by the LRU budget
 	Projections int64 // projections served from the maps
 	Fallbacks   int64 // projections that fell back to the base fetch
+	Declines    int64 // Fallbacks subset: a live map existed but refused
 	Cracks      int64 // partition passes over map vectors
 }
 
 // SidewaysStats returns a snapshot of the sideways subsystem's counters.
+// The counters are process-local and restart at zero on a warm reopen;
+// see Stats for the reset semantics.
 func (s *Store) SidewaysStats() SidewaysStats {
 	st := s.sideways.Snapshot()
 	return SidewaysStats{
@@ -152,6 +160,7 @@ func (s *Store) SidewaysStats() SidewaysStats {
 		Evictions:   st.Evictions,
 		Projections: st.Projections,
 		Fallbacks:   st.Fallbacks,
+		Declines:    st.Declines,
 		Cracks:      st.Cracks,
 	}
 }
@@ -406,6 +415,9 @@ func (s *Store) baseColumnOptions() []core.Option {
 	}
 	if s.ripple {
 		opts = append(opts, core.WithUpdateStrategy(core.MergeRipple))
+	}
+	if s.instr != nil {
+		opts = append(opts, core.WithInstr(s.instr))
 	}
 	return opts
 }

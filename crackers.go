@@ -168,8 +168,34 @@ type ColumnStats struct {
 	Consolidations int   // pending-update merges
 }
 
+// Add accumulates another column's counters into this one — the fold
+// the sharded store and the /stats summary use to total per-shard rows.
+// Pieces sums too: the total is "pieces across shards", each shard
+// contributing at least one.
+func (cs *ColumnStats) Add(o ColumnStats) {
+	cs.Queries += o.Queries
+	cs.Cracks += o.Cracks
+	cs.AuxCracks += o.AuxCracks
+	cs.IndexLookups += o.IndexLookups
+	cs.TuplesMoved += o.TuplesMoved
+	cs.TuplesTouched += o.TuplesTouched
+	cs.Pieces += o.Pieces
+	cs.Fusions += o.Fusions
+	cs.Consolidations += o.Consolidations
+}
+
 // Stats returns the work counters of one cracked column. Columns that
 // were never filtered on report zero values.
+//
+// Asking for a column materializes its cracker state as a side effect
+// (the same lazy creation a first query performs); use
+// CrackedColumnStats to inspect only what the workload has touched.
+//
+// Reset semantics: counters live in process memory and are not part of
+// the durable snapshot, so after a warm reopen every counter restarts
+// at zero even though the physical crack state (Pieces) is restored.
+// The obs layer's restarts_total / store_uptime_seconds mark the
+// discontinuity for rate computations.
 func (s *Store) Stats(table, col string) (ColumnStats, error) {
 	ct, _, err := s.crackedFor(table)
 	if err != nil {
@@ -191,6 +217,45 @@ func (s *Store) Stats(table, col string) (ColumnStats, error) {
 		Fusions:        cs.Fusions,
 		Consolidations: cs.Consolidations,
 	}, nil
+}
+
+// CrackedColumnStats returns the counters of every column of a table
+// that actually has cracker state, keyed by attribute name. Unlike
+// Stats it never materializes a column: a table that was never filtered
+// on comes back as an empty map. This is the inspection path the
+// /stats summary and the metrics collectors use — observation must not
+// mutate the store it observes. Reset semantics are as in Stats.
+func (s *Store) CrackedColumnStats(table string) (map[string]ColumnStats, error) {
+	s.mu.RLock()
+	_, exists := s.tables[table]
+	ct := s.cracked[table]
+	s.mu.RUnlock()
+	if !exists {
+		return nil, fmt.Errorf("crackdb: table %q does not exist", table)
+	}
+	out := make(map[string]ColumnStats)
+	if ct == nil {
+		return out, nil
+	}
+	for _, attr := range ct.CrackedColumns() {
+		c, ok := ct.Column(attr)
+		if !ok {
+			continue
+		}
+		cs := c.Stats()
+		out[attr] = ColumnStats{
+			Queries:        cs.Queries,
+			Cracks:         cs.Cracks,
+			AuxCracks:      cs.AuxCracks,
+			IndexLookups:   cs.IndexLookups,
+			TuplesMoved:    cs.TuplesMoved,
+			TuplesTouched:  cs.TuplesTouched,
+			Pieces:         c.Pieces(),
+			Fusions:        cs.Fusions,
+			Consolidations: cs.Consolidations,
+		}
+	}
+	return out, nil
 }
 
 // registerTableLocked records a derived table in the catalog. Callers

@@ -4,6 +4,7 @@ import (
 	"math"
 	"slices"
 	"sync"
+	"time"
 
 	"crackdb/internal/bat"
 	"crackdb/internal/expr"
@@ -258,6 +259,13 @@ func (c *Column) SelectBatch(ranges []expr.Range, ordered, countOnly bool) ([]Ba
 // a selection's window is invalidated by the next query on the column,
 // so deferring the copies to the end of the batch would be incorrect.
 func (c *Column) SelectBatchRun(ranges []expr.Range, ordered, countOnly bool, run *BatchRun) {
+	in := c.instr.Load()
+	if in != nil && in.Batch != nil {
+		// A batch is tens of queries per call, so whole-call timing is
+		// already amortized — no sampling needed.
+		t0 := time.Now()
+		defer func() { in.Batch.Observe(time.Since(t0).Nanoseconds()) }()
+	}
 	n := len(ranges)
 	run.Answers = scratch(run.Answers, n)
 	answers := run.Answers
@@ -404,7 +412,14 @@ func (c *Column) SelectBatchRun(ranges []expr.Range, ordered, countOnly bool, ru
 		for _, key := range todo {
 			i := int(key.idx)
 			r := &ranges[i]
+			var hs holdState
+			if in != nil {
+				hs = c.beginWriteHoldLocked()
+			}
 			record(i, c.selectLocked(r.Low, r.High, r.LowIncl, r.HighIncl))
+			if in != nil {
+				c.finishWriteHold(in, hs, r.Low, r.High)
+			}
 			perm[pdone] = i
 			pdone++
 		}

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"crackdb/internal/bat"
 	"crackdb/internal/expr"
@@ -61,6 +62,12 @@ type Column struct {
 	deleted map[bat.OID]struct{}
 
 	stats counters
+
+	// instr, when non-nil, carries the observability hooks (latency
+	// histograms, crack-event trace; see instr.go). Atomic so it can be
+	// attached to a live column without touching the column lock; the
+	// nil fast path costs one load and a branch.
+	instr atomic.Pointer[Instr]
 }
 
 type pendingInsert struct {
@@ -186,6 +193,13 @@ func (c *Column) Pieces() int {
 }
 
 // Stats returns a snapshot of the accumulated work counters.
+//
+// Reset semantics: the counters live in process memory only. They are
+// not part of the durable crack-state snapshot, so a column restored on
+// warm reopen starts every counter at zero — a rate computed across a
+// restart reads as a workload drop unless the discontinuity is
+// accounted for. The obs layer exposes restarts_total and
+// store_uptime_seconds for exactly that correction.
 func (c *Column) Stats() Stats { return c.stats.snapshot() }
 
 // touchTuples charges n inspected tuples to the work counters — the
@@ -285,6 +299,13 @@ func (v View) Materialize() (vals []int64, oids []bat.OID) {
 // its boundaries are not index cuts, so a later partition may shuffle
 // across them. Consume it immediately or use SelectCopy.
 func (c *Column) Select(low, high int64, lowIncl, highIncl bool) View {
+	// Instrumentation off: one atomic load and a branch. On: one more
+	// load (the sampling gate); the timed path is split out so the
+	// unsampled 255-in-256 of converged lookups run exactly this body.
+	in := c.instr.Load()
+	if in != nil && (in.SampleMask == 0 || uint64(c.stats.queries.Load())&in.SampleMask == 0) {
+		return c.selectInstr(in, low, high, lowIncl, highIncl)
+	}
 	c.mu.RLock()
 	v, ok := c.lookupFast(low, high, lowIncl, highIncl)
 	c.mu.RUnlock()
@@ -293,7 +314,15 @@ func (c *Column) Select(low, high int64, lowIncl, highIncl bool) View {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.selectLocked(low, high, lowIncl, highIncl)
+	if in == nil {
+		return c.selectLocked(low, high, lowIncl, highIncl)
+	}
+	// Cracking is always observed, sampled or not: write holds are
+	// microseconds, the timing is noise there.
+	hs := c.beginWriteHoldLocked()
+	v = c.selectLocked(low, high, lowIncl, highIncl)
+	c.finishWriteHold(in, hs, low, high)
+	return v
 }
 
 // SelectCopy answers like Select but returns copies of the qualifying
@@ -301,17 +330,38 @@ func (c *Column) Select(low, high int64, lowIncl, highIncl bool) View {
 // the safe form under concurrent cracking: a View's windows alias the
 // column and may be shuffled by cracks that run after Select returns.
 func (c *Column) SelectCopy(low, high int64, lowIncl, highIncl bool) ([]int64, []bat.OID) {
+	// SelectCopy allocates its answer anyway, so the instrumentation
+	// branch is inline rather than a split path like Select's.
+	in := c.instr.Load()
+	var t0 time.Time
+	sampled := false
+	if in != nil {
+		sampled = in.SampleMask == 0 || uint64(c.stats.queries.Load())&in.SampleMask == 0
+		if sampled {
+			t0 = time.Now()
+		}
+	}
 	c.mu.RLock()
 	if v, ok := c.lookupFast(low, high, lowIncl, highIncl); ok {
 		vals := append([]int64(nil), c.vals[v.Lo:v.Hi]...)
 		oids := append([]bat.OID(nil), c.oids[v.Lo:v.Hi]...)
 		c.mu.RUnlock()
+		if in != nil && sampled && in.ReadHold != nil {
+			in.ReadHold.Observe(time.Since(t0).Nanoseconds())
+		}
 		return vals, oids
 	}
 	c.mu.RUnlock()
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	var hs holdState
+	if in != nil {
+		hs = c.beginWriteHoldLocked()
+	}
 	v := c.selectLocked(low, high, lowIncl, highIncl)
+	if in != nil {
+		c.finishWriteHold(in, hs, low, high)
+	}
 	return append([]int64(nil), c.vals[v.Lo:v.Hi]...),
 		append([]bat.OID(nil), c.oids[v.Lo:v.Hi]...)
 }

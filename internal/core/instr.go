@@ -1,0 +1,129 @@
+package core
+
+import (
+	"time"
+
+	"crackdb/internal/obs"
+)
+
+// Instr is the per-column instrumentation hook: latency histograms for
+// the three query paths and the crack-event trace ring. A column holds
+// it behind an atomic pointer — when nil (the default) the only cost on
+// the hot path is one atomic load and a branch.
+//
+// The converged read path runs in ~100ns, so timing every lookup would
+// itself be the dominant cost. ReadHold observations are therefore
+// sampled: a query is timed iff queries&SampleMask == 0 (mask 255 =
+// 1/256). The write-hold path cracks — microseconds of partitioning —
+// so it is always timed, and its lock-hold duration plus the crack
+// deltas it produced become a CrackEvent in Trace.
+type Instr struct {
+	ReadHold  *obs.Histogram // converged lookups under the read lock (sampled)
+	WriteHold *obs.Histogram // cracking queries under the write lock (always)
+	Batch     *obs.Histogram // whole SelectBatchRun calls (always)
+
+	Trace *obs.TraceBuf // crack events; nil disables tracing
+	Shard int           // stamped into trace events
+
+	// SampleMask gates read-hold timing: sample iff queries&mask == 0.
+	// 0 times every read (figures/tests); 255 is the production default.
+	SampleMask uint64
+}
+
+// WithInstr attaches instrumentation at construction time.
+func WithInstr(in *Instr) Option {
+	return func(c *Column) {
+		if in != nil {
+			c.instr.Store(in)
+		}
+	}
+}
+
+// SetInstr attaches (or replaces) instrumentation on a live column.
+// Safe under concurrent queries: the pointer swap is atomic and
+// in-flight queries finish against whichever Instr they loaded.
+func (c *Column) SetInstr(in *Instr) { c.instr.Store(in) }
+
+// SetInstr attaches instrumentation to every current column and to
+// every column the table will materialize later.
+func (t *CrackedTable) SetInstr(in *Instr) {
+	t.mu.Lock()
+	t.opts = append(t.opts, WithInstr(in))
+	cols := make([]*Column, 0, len(t.cols))
+	for _, c := range t.cols {
+		cols = append(cols, c)
+	}
+	t.mu.Unlock()
+	for _, c := range cols {
+		c.SetInstr(in)
+	}
+}
+
+// holdState captures the column's work counters at write-lock entry so
+// finishWriteHold can attribute the hold's deltas to one CrackEvent.
+// The caller must hold the write lock across begin/finish.
+type holdState struct {
+	start   time.Time
+	cuts    int
+	cracks  int64
+	touched int64
+	moved   int64
+}
+
+func (c *Column) beginWriteHoldLocked() holdState {
+	return holdState{
+		start:   time.Now(),
+		cuts:    c.idx.Len(),
+		cracks:  c.stats.cracks.Load(),
+		touched: c.stats.tuplesTouched.Load(),
+		moved:   c.stats.tuplesMoved.Load(),
+	}
+}
+
+// finishWriteHold observes the hold duration and, when the hold
+// physically reorganized the column, records a CrackEvent carrying the
+// advising predicate's bounds and the work deltas.
+func (c *Column) finishWriteHold(in *Instr, hs holdState, low, high int64) {
+	holdNS := time.Since(hs.start).Nanoseconds()
+	if in.WriteHold != nil {
+		in.WriteHold.Observe(holdNS)
+	}
+	cracks := c.stats.cracks.Load() - hs.cracks
+	cutsAdded := c.idx.Len() - hs.cuts
+	if cracks == 0 && cutsAdded == 0 {
+		return // consolidation-only or lost race: nothing cracked
+	}
+	in.Trace.Record(obs.CrackEvent{
+		Shard:         in.Shard,
+		Column:        c.name,
+		Low:           low,
+		High:          high,
+		Cracks:        cracks,
+		CutsAdded:     int64(cutsAdded),
+		TuplesTouched: c.stats.tuplesTouched.Load() - hs.touched,
+		TuplesMoved:   c.stats.tuplesMoved.Load() - hs.moved,
+		HoldNS:        holdNS,
+	})
+}
+
+// selectInstr is the timed body of Column.Select: the caller has
+// already won the sampling gate, so the converged read is clocked
+// unconditionally here.
+func (c *Column) selectInstr(in *Instr, low, high int64, lowIncl, highIncl bool) View {
+	t0 := time.Now()
+	c.mu.RLock()
+	v, ok := c.lookupFast(low, high, lowIncl, highIncl)
+	c.mu.RUnlock()
+	if ok {
+		if in.ReadHold != nil {
+			in.ReadHold.Observe(time.Since(t0).Nanoseconds())
+		}
+		return v
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	hs := c.beginWriteHoldLocked()
+	v = c.selectLocked(low, high, lowIncl, highIncl)
+	c.finishWriteHold(in, hs, low, high)
+	return v
+}

@@ -337,7 +337,10 @@ func (ct *CrackedTable) AppendRows(rows [][]int64) error {
 	return nil
 }
 
-// Stats aggregates the work counters over all cracker columns.
+// Stats aggregates the work counters over all cracker columns. Like
+// Column.Stats, the counters are process-local: a warm reopen restores
+// the physical crack state but restarts every counter at zero (see
+// Column.Stats for how the obs layer marks the discontinuity).
 func (ct *CrackedTable) Stats() Stats {
 	ct.mu.RLock()
 	defer ct.mu.RUnlock()

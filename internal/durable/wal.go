@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -54,7 +55,26 @@ type WAL struct {
 	// appends join the same write+fsync. 0 (the default) preserves the
 	// original behavior — batching emerges only from fsync latency.
 	coalesce time.Duration
+
+	// obs carries the optional observer callbacks (SetObserver). Held
+	// behind an atomic pointer so observation can be attached to a live
+	// log and the unobserved path pays one load per event.
+	obs atomic.Pointer[Observer]
 }
+
+// Observer receives WAL timing signals. It is a struct of plain func
+// fields — not an interface into the obs package — so this package
+// stays free of non-stdlib-shaped dependencies; the shard layer wires
+// the fields to histograms. Any field may be nil.
+type Observer struct {
+	AppendNS     func(int64) // whole Append call: queue + group commit + fsync
+	FsyncNS      func(int64) // one flusher write+fsync pass
+	BatchRecords func(int64) // records committed by that pass
+}
+
+// SetObserver attaches (or, with nil, detaches) the timing observer.
+// Safe to call concurrently with appends.
+func (w *WAL) SetObserver(o *Observer) { w.obs.Store(o) }
 
 // walBatch is one group-commit unit: every record appended while the
 // previous batch was being fsynced.
@@ -222,6 +242,11 @@ func scanWAL(f *os.File, apply func(uint64, Record) error) (base uint64, goodEnd
 // Append logs one record and returns its sequence number after the
 // record — batched with any concurrent appends — is written and fsynced.
 func (w *WAL) Append(r Record) (uint64, error) {
+	var t0 time.Time
+	o := w.obs.Load()
+	if o != nil && o.AppendNS != nil {
+		t0 = time.Now()
+	}
 	w.mu.Lock()
 	if w.err != nil {
 		defer w.mu.Unlock()
@@ -243,6 +268,9 @@ func (w *WAL) Append(r Record) (uint64, error) {
 	w.mu.Unlock()
 
 	<-b.done
+	if o != nil && o.AppendNS != nil {
+		o.AppendNS(time.Since(t0).Nanoseconds())
+	}
 	return seq, b.err
 }
 
@@ -296,7 +324,19 @@ func (w *WAL) flusher() {
 		f := w.f
 		w.mu.Unlock()
 
-		err := writeAndSync(f, b.buf)
+		var err error
+		if o := w.obs.Load(); o != nil && (o.FsyncNS != nil || o.BatchRecords != nil) {
+			t0 := time.Now()
+			err = writeAndSync(f, b.buf)
+			if o.FsyncNS != nil {
+				o.FsyncNS(time.Since(t0).Nanoseconds())
+			}
+			if o.BatchRecords != nil {
+				o.BatchRecords(int64(b.n))
+			}
+		} else {
+			err = writeAndSync(f, b.buf)
+		}
 
 		w.mu.Lock()
 		if err != nil {

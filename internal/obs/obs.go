@@ -1,0 +1,496 @@
+// Package obs is the store's observability layer: a small lock-free
+// metrics registry (atomic counters, gauges, log-bucketed latency
+// histograms) plus a crack-event trace ring (see trace.go).
+//
+// The design constraint is the converged-lookup hot path, which runs in
+// ~100ns: nothing on the record path may allocate, take a lock, or
+// touch shared memory beyond a handful of atomics. Registration (rare)
+// takes a mutex; recording is pure atomic adds on instrument pointers
+// handed out at registration time; gathering walks the instruments and
+// runs scrape-time collectors that read existing Stats() accessors, so
+// per-column counters cost nothing at record time.
+//
+// Exposition is Prometheus text format (WriteText). A sharded store
+// gathers one registry per shard plus a router registry and merges them
+// with shard labels (WithLabel, MergeFamilies).
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one metric dimension, e.g. {table="ev"} or {shard="2"}.
+type Label struct {
+	Key, Value string
+}
+
+// L builds a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the gauge by d.
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// histBuckets is the fixed histogram resolution: bucket i counts
+// observations v with bits.Len64(v) == i, i.e. upper bound 2^i - 1
+// (bucket 0 holds exactly v == 0). 40 buckets cover one nanosecond up
+// to ~18 minutes in nanoseconds; the last bucket is the +Inf overflow.
+const histBuckets = 41
+
+// Histogram is a log-bucketed (power-of-two bounds) latency histogram.
+// Observe is wait-free: one atomic add into a fixed-size bucket array
+// and one into the sum — no allocation, no lock.
+type Histogram struct {
+	buckets [histBuckets]atomic.Uint64
+	sum     atomic.Int64
+}
+
+// Observe records one value (typically nanoseconds). Negative values
+// clamp to zero so a clock step cannot corrupt the bucket index.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	i := bits.Len64(uint64(v))
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	h.buckets[i].Add(1)
+	h.sum.Add(v)
+}
+
+// HistSnapshot is a gather-time copy of a histogram. Counts[i] is the
+// number of observations in bucket i (upper bound 2^i - 1; the last
+// bucket is +Inf); Count is the total and Sum the value sum.
+type HistSnapshot struct {
+	Counts [histBuckets]uint64
+	Count  uint64
+	Sum    int64
+}
+
+// Snapshot copies the histogram state. The copy is not atomic across
+// buckets — concurrent Observes may straddle it — but every completed
+// observation before the call is included.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	s.Sum = h.sum.Load()
+	return s
+}
+
+// BucketBound returns the inclusive upper bound of histogram bucket i
+// (2^i - 1), or +Inf for the final overflow bucket.
+func BucketBound(i int) float64 {
+	if i >= histBuckets-1 {
+		return math.Inf(1)
+	}
+	return float64(uint64(1)<<uint(i)) - 1
+}
+
+// Kind tags a metric family for the TYPE line.
+type Kind string
+
+const (
+	KindCounter   Kind = "counter"
+	KindGauge     Kind = "gauge"
+	KindHistogram Kind = "histogram"
+)
+
+// Sample is one gathered time series: a labelset plus either a scalar
+// value or (for histogram families) a bucket snapshot.
+type Sample struct {
+	Labels []Label
+	Value  float64
+	Hist   *HistSnapshot
+}
+
+// Family is one gathered metric family: every sample shares the name,
+// help string and kind.
+type Family struct {
+	Name    string
+	Help    string
+	Kind    Kind
+	Samples []Sample
+}
+
+// instrument is one registered (name, labelset) series.
+type instrument struct {
+	labels []Label
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// family is the registry-internal mutable form of Family.
+type family struct {
+	help  string
+	kind  Kind
+	insts map[string]*instrument // keyed by canonical labelset
+}
+
+// Registry owns registered instruments and scrape-time collectors.
+// Registration and Gather take the registry mutex; the instruments
+// handed back record with atomics only, so the hot path never touches
+// the registry after setup.
+type Registry struct {
+	mu         sync.Mutex
+	families   map[string]*family
+	order      []string
+	collectors []func(*Exporter)
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+func labelKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, l := range labels {
+		b.WriteString(l.Key)
+		b.WriteByte('\x00')
+		b.WriteString(l.Value)
+		b.WriteByte('\x00')
+	}
+	return b.String()
+}
+
+func (r *Registry) series(name, help string, kind Kind, labels []Label) *instrument {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{help: help, kind: kind, insts: make(map[string]*instrument)}
+		r.families[name] = f
+		r.order = append(r.order, name)
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %s registered as %s and %s", name, f.kind, kind))
+	}
+	key := labelKey(labels)
+	inst := f.insts[key]
+	if inst == nil {
+		inst = &instrument{labels: append([]Label(nil), labels...)}
+		switch kind {
+		case KindCounter:
+			inst.c = new(Counter)
+		case KindGauge:
+			inst.g = new(Gauge)
+		case KindHistogram:
+			inst.h = new(Histogram)
+		}
+		f.insts[key] = inst
+	}
+	return inst
+}
+
+// Counter registers (or retrieves) the counter series (name, labels).
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	return r.series(name, help, KindCounter, labels).c
+}
+
+// Gauge registers (or retrieves) the gauge series (name, labels).
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	return r.series(name, help, KindGauge, labels).g
+}
+
+// Histogram registers (or retrieves) the histogram series (name, labels).
+func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
+	return r.series(name, help, KindHistogram, labels).h
+}
+
+// RegisterCollector adds a scrape-time callback: at every Gather the
+// collector reports point-in-time samples through the Exporter. Use
+// this for values that already live in cheap accessors (column Stats,
+// WAL status, sideways stats) so the record path pays nothing.
+func (r *Registry) RegisterCollector(fn func(*Exporter)) {
+	r.mu.Lock()
+	r.collectors = append(r.collectors, fn)
+	r.mu.Unlock()
+}
+
+// Exporter receives collector samples during Gather.
+type Exporter struct {
+	fams  map[string]*Family
+	order []string
+}
+
+func (e *Exporter) add(name, help string, kind Kind, value float64, labels []Label) {
+	f := e.fams[name]
+	if f == nil {
+		f = &Family{Name: name, Help: help, Kind: kind}
+		e.fams[name] = f
+		e.order = append(e.order, name)
+	}
+	f.Samples = append(f.Samples, Sample{Labels: append([]Label(nil), labels...), Value: value})
+}
+
+// Counter reports one counter sample.
+func (e *Exporter) Counter(name, help string, value int64, labels ...Label) {
+	e.add(name, help, KindCounter, float64(value), labels)
+}
+
+// Gauge reports one gauge sample.
+func (e *Exporter) Gauge(name, help string, value float64, labels ...Label) {
+	e.add(name, help, KindGauge, value, labels)
+}
+
+// Gather snapshots every registered instrument and runs the collectors,
+// returning families sorted by name with samples sorted by labelset.
+// Collectors run outside the registry mutex so they may themselves call
+// back into the registry.
+func (r *Registry) Gather() []Family {
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	fams := make([]Family, 0, len(names))
+	for _, name := range names {
+		f := r.families[name]
+		out := Family{Name: name, Help: f.help, Kind: f.kind}
+		for _, inst := range f.insts {
+			s := Sample{Labels: inst.labels}
+			switch f.kind {
+			case KindCounter:
+				s.Value = float64(inst.c.Value())
+			case KindGauge:
+				s.Value = float64(inst.g.Value())
+			case KindHistogram:
+				snap := inst.h.Snapshot()
+				s.Hist = &snap
+			}
+			out.Samples = append(out.Samples, s)
+		}
+		fams = append(fams, out)
+	}
+	collectors := append([]func(*Exporter){}, r.collectors...)
+	r.mu.Unlock()
+
+	if len(collectors) > 0 {
+		e := &Exporter{fams: make(map[string]*Family)}
+		for _, fn := range collectors {
+			fn(e)
+		}
+		extra := make([]Family, 0, len(e.order))
+		for _, name := range e.order {
+			extra = append(extra, *e.fams[name])
+		}
+		fams = MergeFamilies(fams, extra)
+	}
+	sortFamilies(fams)
+	return fams
+}
+
+// WithLabel returns the families with label appended to every sample's
+// labelset — how a sharded store tags per-shard registries before
+// merging them.
+func WithLabel(fams []Family, label Label) []Family {
+	out := make([]Family, len(fams))
+	for i, f := range fams {
+		nf := f
+		nf.Samples = make([]Sample, len(f.Samples))
+		for j, s := range f.Samples {
+			ns := s
+			ns.Labels = append(append([]Label(nil), s.Labels...), label)
+			nf.Samples[j] = ns
+		}
+		out[i] = nf
+	}
+	return out
+}
+
+// MergeFamilies concatenates same-named families across groups (the
+// first group's help/kind win) and returns the result sorted.
+func MergeFamilies(groups ...[]Family) []Family {
+	byName := make(map[string]*Family)
+	var order []string
+	for _, g := range groups {
+		for _, f := range g {
+			dst := byName[f.Name]
+			if dst == nil {
+				cp := f
+				cp.Samples = append([]Sample(nil), f.Samples...)
+				byName[f.Name] = &cp
+				order = append(order, f.Name)
+				continue
+			}
+			dst.Samples = append(dst.Samples, f.Samples...)
+		}
+	}
+	out := make([]Family, 0, len(order))
+	for _, name := range order {
+		out = append(out, *byName[name])
+	}
+	sortFamilies(out)
+	return out
+}
+
+func sortFamilies(fams []Family) {
+	sort.Slice(fams, func(i, j int) bool { return fams[i].Name < fams[j].Name })
+	for i := range fams {
+		s := fams[i].Samples
+		sort.Slice(s, func(a, b int) bool {
+			return labelKey(s[a].Labels) < labelKey(s[b].Labels)
+		})
+	}
+}
+
+// TrackProcess registers the process-lifetime collector:
+// store_uptime_seconds (seconds since start) and restarts_total (times
+// the store has been reopened from its data directory, 0 for volatile
+// stores). These exist because every cumulative crackdb_* counter
+// restarts at zero on reopen — rate() over a restart would otherwise
+// read as a workload drop; restarts_total marks the discontinuity.
+func (r *Registry) TrackProcess(start time.Time, restarts int64) {
+	r.RegisterCollector(func(e *Exporter) {
+		e.Gauge("store_uptime_seconds", "Seconds since this store process opened.", time.Since(start).Seconds())
+		e.Counter("restarts_total", "Times the store has been reopened from a durable data directory.", restarts)
+	})
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+func writeLabels(b *strings.Builder, labels []Label, extra ...Label) {
+	all := labels
+	if len(extra) > 0 {
+		all = append(append([]Label(nil), labels...), extra...)
+	}
+	if len(all) == 0 {
+		return
+	}
+	b.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+}
+
+func formatValue(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// WriteText writes the families in Prometheus text exposition format:
+// one # HELP and # TYPE line per family, histogram series expanded into
+// cumulative _bucket{le=...}, _sum and _count.
+func WriteText(w io.Writer, fams []Family) error {
+	var b strings.Builder
+	for _, f := range fams {
+		if f.Help != "" {
+			b.WriteString("# HELP ")
+			b.WriteString(f.Name)
+			b.WriteByte(' ')
+			b.WriteString(f.Help)
+			b.WriteByte('\n')
+		}
+		b.WriteString("# TYPE ")
+		b.WriteString(f.Name)
+		b.WriteByte(' ')
+		b.WriteString(string(f.Kind))
+		b.WriteByte('\n')
+		for _, s := range f.Samples {
+			if f.Kind == KindHistogram && s.Hist != nil {
+				writeHist(&b, f.Name, s)
+				continue
+			}
+			b.WriteString(f.Name)
+			writeLabels(&b, s.Labels)
+			b.WriteByte(' ')
+			b.WriteString(formatValue(s.Value))
+			b.WriteByte('\n')
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeHist(b *strings.Builder, name string, s Sample) {
+	h := s.Hist
+	// Emit buckets up to the last populated one, then +Inf: a full
+	// 41-bucket expansion per series would be mostly zeros.
+	last := 0
+	for i, c := range h.Counts {
+		if c > 0 {
+			last = i
+		}
+	}
+	if last >= histBuckets-1 {
+		last = histBuckets - 2
+	}
+	var cum uint64
+	for i := 0; i <= last; i++ {
+		cum += h.Counts[i]
+		b.WriteString(name)
+		b.WriteString("_bucket")
+		writeLabels(b, s.Labels, L("le", formatValue(BucketBound(i))))
+		b.WriteByte(' ')
+		fmt.Fprintf(b, "%d", cum)
+		b.WriteByte('\n')
+	}
+	b.WriteString(name)
+	b.WriteString("_bucket")
+	writeLabels(b, s.Labels, L("le", "+Inf"))
+	b.WriteByte(' ')
+	fmt.Fprintf(b, "%d", h.Count)
+	b.WriteByte('\n')
+	b.WriteString(name)
+	b.WriteString("_sum")
+	writeLabels(b, s.Labels)
+	b.WriteByte(' ')
+	fmt.Fprintf(b, "%d", h.Sum)
+	b.WriteByte('\n')
+	b.WriteString(name)
+	b.WriteString("_count")
+	writeLabels(b, s.Labels)
+	b.WriteByte(' ')
+	fmt.Fprintf(b, "%d", h.Count)
+	b.WriteByte('\n')
+}

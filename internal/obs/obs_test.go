@@ -1,0 +1,225 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRegistryIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("x_total", "help", L("a", "1"))
+	c2 := r.Counter("x_total", "help", L("a", "1"))
+	if c1 != c2 {
+		t.Fatal("same (name, labels) must return the same counter")
+	}
+	c3 := r.Counter("x_total", "help", L("a", "2"))
+	if c3 == c1 {
+		t.Fatal("distinct labelsets must get distinct counters")
+	}
+	c1.Add(5)
+	c3.Inc()
+	fams := r.Gather()
+	if len(fams) != 1 || len(fams[0].Samples) != 2 {
+		t.Fatalf("want 1 family with 2 samples, got %+v", fams)
+	}
+	if fams[0].Samples[0].Value != 5 || fams[0].Samples[1].Value != 1 {
+		t.Fatalf("sample values wrong: %+v", fams[0].Samples)
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "h")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge must panic")
+		}
+	}()
+	r.Gauge("m", "h")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	// v=0 → bucket 0 (le 0); v=1 → bucket 1 (le 1); v=2,3 → bucket 2
+	// (le 3); v=1000 → bucket 10 (le 1023).
+	for _, v := range []int64{0, 1, 2, 3, 1000, -7} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	want := map[int]uint64{0: 2, 1: 1, 2: 2, 10: 1} // -7 clamps to 0
+	for i, c := range s.Counts {
+		if c != want[i] {
+			t.Fatalf("bucket %d: got %d want %d", i, c, want[i])
+		}
+	}
+	if s.Count != 6 {
+		t.Fatalf("count: got %d want 6", s.Count)
+	}
+	if s.Sum != 1006 {
+		t.Fatalf("sum: got %d want 1006", s.Sum)
+	}
+	// Overflow clamps into the +Inf bucket.
+	h.Observe(math.MaxInt64)
+	if got := h.Snapshot().Counts[histBuckets-1]; got != 1 {
+		t.Fatalf("+Inf bucket: got %d want 1", got)
+	}
+}
+
+func TestBucketBound(t *testing.T) {
+	if BucketBound(0) != 0 || BucketBound(1) != 1 || BucketBound(10) != 1023 {
+		t.Fatal("bucket bounds must be 2^i - 1")
+	}
+	if !math.IsInf(BucketBound(histBuckets-1), 1) {
+		t.Fatal("last bucket must be +Inf")
+	}
+}
+
+func TestWriteTextGrammar(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("q_total", "Queries.", L("table", "ev")).Add(3)
+	r.Gauge("depth", "Window depth.").Set(7)
+	h := r.Histogram("lat_ns", "Latency.", L("path", "converged"))
+	h.Observe(2)
+	h.Observe(900)
+	var b strings.Builder
+	if err := WriteText(&b, r.Gather()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE q_total counter",
+		`q_total{table="ev"} 3`,
+		"# TYPE depth gauge",
+		"depth 7",
+		"# TYPE lat_ns histogram",
+		`lat_ns_bucket{path="converged",le="3"} 1`,
+		`lat_ns_bucket{path="converged",le="1023"} 2`,
+		`lat_ns_bucket{path="converged",le="+Inf"} 2`,
+		`lat_ns_sum{path="converged"} 902`,
+		`lat_ns_count{path="converged"} 2`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Buckets must be cumulative and monotone.
+	if strings.Index(out, `le="3"`) > strings.Index(out, `le="+Inf"`) {
+		t.Fatal("buckets must be emitted in ascending bound order")
+	}
+}
+
+func TestWithLabelAndMerge(t *testing.T) {
+	r0, r1 := NewRegistry(), NewRegistry()
+	r0.Counter("n_total", "h").Add(1)
+	r1.Counter("n_total", "h").Add(2)
+	merged := MergeFamilies(
+		WithLabel(r0.Gather(), L("shard", "0")),
+		WithLabel(r1.Gather(), L("shard", "1")),
+	)
+	if len(merged) != 1 {
+		t.Fatalf("want one merged family, got %d", len(merged))
+	}
+	f := merged[0]
+	if len(f.Samples) != 2 {
+		t.Fatalf("want 2 samples, got %+v", f.Samples)
+	}
+	if f.Samples[0].Labels[0] != L("shard", "0") || f.Samples[0].Value != 1 {
+		t.Fatalf("shard 0 sample wrong: %+v", f.Samples[0])
+	}
+	if f.Samples[1].Labels[0] != L("shard", "1") || f.Samples[1].Value != 2 {
+		t.Fatalf("shard 1 sample wrong: %+v", f.Samples[1])
+	}
+}
+
+func TestCollector(t *testing.T) {
+	r := NewRegistry()
+	r.RegisterCollector(func(e *Exporter) {
+		e.Counter("col_total", "h", 9, L("k", "v"))
+		e.Gauge("col_g", "h", 1.5)
+	})
+	fams := r.Gather()
+	if len(fams) != 2 {
+		t.Fatalf("want 2 collector families, got %+v", fams)
+	}
+	if fams[0].Name != "col_g" || fams[0].Samples[0].Value != 1.5 {
+		t.Fatalf("gauge family wrong: %+v", fams[0])
+	}
+	if fams[1].Name != "col_total" || fams[1].Samples[0].Value != 9 {
+		t.Fatalf("counter family wrong: %+v", fams[1])
+	}
+}
+
+func TestTrackProcess(t *testing.T) {
+	r := NewRegistry()
+	r.TrackProcess(time.Now().Add(-2*time.Second), 3)
+	var b strings.Builder
+	if err := WriteText(&b, r.Gather()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "# TYPE store_uptime_seconds gauge") {
+		t.Fatalf("missing uptime gauge:\n%s", out)
+	}
+	if !strings.Contains(out, "restarts_total 3\n") {
+		t.Fatalf("missing restarts counter:\n%s", out)
+	}
+}
+
+func TestTraceBufWraparound(t *testing.T) {
+	tb := NewTraceBuf(16)
+	mark := tb.Mark()
+	for i := 0; i < 40; i++ {
+		tb.Record(CrackEvent{Column: "k", Low: int64(i)})
+	}
+	evs := tb.Since(mark)
+	if len(evs) != 16 {
+		t.Fatalf("ring of 16 must retain 16 events, got %d", len(evs))
+	}
+	for i, ev := range evs {
+		if want := uint64(25 + i); ev.Seq != want {
+			t.Fatalf("event %d: seq %d want %d", i, ev.Seq, want)
+		}
+		if ev.Low != int64(ev.Seq-1) {
+			t.Fatalf("event %d: payload mismatch %+v", i, ev)
+		}
+	}
+	// A fresh mark sees only what follows it.
+	m2 := tb.Mark()
+	if got := tb.Since(m2); len(got) != 0 {
+		t.Fatalf("empty window must be empty, got %d", len(got))
+	}
+	tb.Record(CrackEvent{Column: "j"})
+	if got := tb.Since(m2); len(got) != 1 || got[0].Column != "j" {
+		t.Fatalf("window after one event: %+v", got)
+	}
+}
+
+func TestTraceBufNil(t *testing.T) {
+	var tb *TraceBuf
+	tb.Record(CrackEvent{})
+	if tb.Mark() != 0 || tb.Since(0) != nil {
+		t.Fatal("nil TraceBuf must be inert")
+	}
+}
+
+func TestTraceBufConcurrent(t *testing.T) {
+	tb := NewTraceBuf(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tb.Record(CrackEvent{Column: "c"})
+				tb.Since(tb.Mark())
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(tb.Since(0)); got != 64 {
+		t.Fatalf("full ring must hold 64 events, got %d", got)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"crackdb"
@@ -30,6 +31,10 @@ type Server struct {
 	conns   map[net.Conn]struct{}
 	closing bool
 	wg      sync.WaitGroup
+
+	// obsv is nil until EnableObservability (see obs.go in this package);
+	// the request path pays one atomic load when it is off.
+	obsv atomic.Pointer[serverObs]
 }
 
 // New wraps a sharded store. logf receives one line per lifecycle event
@@ -186,6 +191,7 @@ func (s *Server) handle(conn net.Conn) {
 			reqBuf = payload
 			win = append(win, parseWireReq(payload))
 		}
+		s.noteWindow(len(win))
 		quit, err := s.serveWindow(bw, win, &respBuf)
 		if err != nil {
 			return
@@ -240,7 +246,7 @@ func (s *Server) serveWindow(bw *bufio.Writer, win []wireReq, respBuf *[]byte) (
 				// Per-request fallback keeps error text identical to the
 				// scalar path (e.g. unknown table, unknown column).
 				for k := i; k < j; k++ {
-					resp, _ := s.dispatch(win[k].cmd)
+					resp, _ := s.dispatchTimed(win[k].cmd)
 					if werr := reply(win[k], resp); werr != nil {
 						return false, werr
 					}
@@ -256,7 +262,7 @@ func (s *Server) serveWindow(bw *bufio.Writer, win []wireReq, respBuf *[]byte) (
 			i = j
 			continue
 		}
-		resp, q := s.dispatch(win[i].cmd)
+		resp, q := s.dispatchTimed(win[i].cmd)
 		if werr := reply(win[i], resp); werr != nil {
 			return false, werr
 		}
@@ -306,7 +312,7 @@ func (s *Server) meta(cmd string) (*Response, bool) {
 	case "/quit":
 		return &Response{Message: "bye"}, true
 	case "/help":
-		return &Response{Message: "/ping /tables /shards /stats <table> <col> /strategy <name> [seed] [shard] /tapestry <name> <n> <alpha> [seed] /save /wal /quit — anything else is SQL"}, false
+		return &Response{Message: "/ping /tables /shards /stats [<table> <col>] /metrics /strategy <name> [seed] [shard] /tapestry <name> <n> <alpha> [seed] /save /wal /quit — anything else is SQL"}, false
 	case "/save":
 		// Checkpoint: warm snapshot + WAL rotation. Requires a store booted
 		// with -data; mutations block for the duration, queries keep running.
@@ -353,9 +359,14 @@ func (s *Server) meta(cmd string) (*Response, bool) {
 			resp.Rows = append(resp.Rows, []string{p.Table, p.Key, p.Scheme, strconv.Itoa(p.Shards)})
 		}
 		return resp, false
+	case "/metrics":
+		return s.metricsMeta()
 	case "/stats":
+		if len(fields) == 1 {
+			return s.statsSummary()
+		}
 		if len(fields) != 3 {
-			return &Response{Err: "usage: /stats <table> <column>"}, false
+			return &Response{Err: "usage: /stats [<table> <column>]"}, false
 		}
 		per, err := s.store.ShardStats(fields[1], fields[2])
 		if err != nil {

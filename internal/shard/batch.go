@@ -54,6 +54,7 @@ func (s *Store) CountBatch(table, col string, ranges []crackdb.Range, opts ...cr
 		return nil, err
 	}
 	sub := s.routeBatch(m, part, col, ranges)
+	s.noteRoutedBatch(sub)
 	per := make([][]int, len(s.shards))
 	if err := s.fanOut(func(i int) error {
 		if len(sub[i].ranges) == 0 {
@@ -84,6 +85,7 @@ func (s *Store) SelectBatch(table, col string, ranges []crackdb.Range, opts ...c
 		return nil, err
 	}
 	sub := s.routeBatch(m, part, col, ranges)
+	s.noteRoutedBatch(sub)
 	// parts[i][t] is predicate i's answer on shard t; each shard goroutine
 	// writes only its own column, so the scatter is race-free.
 	parts := make([][]*crackdb.Result, len(ranges))

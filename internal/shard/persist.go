@@ -27,8 +27,9 @@ const routerManifestName = "shard.json"
 
 // Inside a durable data dir:
 const (
-	dataStoreDir = "store"   // current snapshot (a Save/SaveWarm image)
-	dataWALName  = "wal.log" // the mutation log
+	dataStoreDir  = "store"   // current snapshot (a Save/SaveWarm image)
+	dataWALName   = "wal.log" // the mutation log
+	dataBootsName = "boots"   // boot counter (restarts_total = boots-1)
 )
 
 // routerManifest is the on-disk description of a sharded store.
@@ -251,8 +252,25 @@ func OpenDurable(dir string, opts Options) (*Store, BootInfo, error) {
 	s.walMu.Lock()
 	s.wal = wal
 	s.dataDir = dir
+	s.boots = bumpBoots(filepath.Join(dir, dataBootsName))
 	s.walMu.Unlock()
 	return s, info, nil
+}
+
+// bumpBoots increments the data directory's boot counter and returns
+// the new value (1 on the first boot). The counter feeds the obs
+// layer's restarts_total, marking the discontinuity after which every
+// in-memory work counter restarted at zero. Best-effort: an unreadable
+// or unwritable counter degrades to reporting this as the first boot,
+// never to a failed open.
+func bumpBoots(path string) int64 {
+	var n int64
+	if data, err := os.ReadFile(path); err == nil {
+		fmt.Sscanf(string(data), "%d", &n)
+	}
+	n++
+	os.WriteFile(path, []byte(fmt.Sprintf("%d\n", n)), 0o644)
+	return n
 }
 
 // Apply replays one WAL record against the router — the boot-time
@@ -304,6 +322,10 @@ func (s *Store) Checkpoint() error {
 	defer s.walMu.Unlock()
 	if s.wal == nil || s.dataDir == "" {
 		return fmt.Errorf("shard: store is not durable (no data directory)")
+	}
+	if o := s.obsv.Load(); o != nil {
+		t0 := time.Now()
+		defer func() { o.checkpointNS.Observe(time.Since(t0).Nanoseconds()) }()
 	}
 	seq := s.wal.Seq()
 	if err := s.saveLocked(filepath.Join(s.dataDir, dataStoreDir), true); err != nil {

@@ -21,6 +21,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"crackdb"
 	"crackdb/internal/core"
@@ -78,6 +79,13 @@ type Store struct {
 	walMu   sync.RWMutex
 	wal     *durable.WAL
 	dataDir string
+
+	// Observability (see obs.go in this package): nil until
+	// EnableObservability wires the registries; the routing paths pay one
+	// atomic load when it is off. boots counts OpenDurable boots of this
+	// data directory (1 on a cold boot, so restarts = boots-1).
+	obsv  atomic.Pointer[storeObs]
+	boots int64
 }
 
 type tableMeta struct {
@@ -330,6 +338,7 @@ func (s *Store) routeAndApply(name string, part partitioner, keyIdx int, rows []
 		if len(groups[i]) == 0 {
 			return nil
 		}
+		s.noteRoutedInserts(i, len(groups[i]))
 		return s.shards[i].InsertRows(name, groups[i])
 	})
 }
@@ -454,6 +463,7 @@ func (s *Store) SelectWhere(table string, conds ...crackdb.Cond) (sql.Rows, erro
 	if empty {
 		return &Result{}, nil
 	}
+	s.noteRoutedQueries(first, last)
 	parts := make([]*crackdb.Result, last-first+1)
 	errs := make([]error, last-first+1)
 	var wg sync.WaitGroup
@@ -483,6 +493,7 @@ func (s *Store) CountWhere(table string, conds ...crackdb.Cond) (int, error) {
 	if empty {
 		return 0, nil
 	}
+	s.noteRoutedQueries(first, last)
 	counts := make([]int, last-first+1)
 	errs := make([]error, last-first+1)
 	var wg sync.WaitGroup
@@ -510,6 +521,7 @@ func (s *Store) GroupBy(table, col string) ([]crackdb.GroupInfo, error) {
 	if _, _, err := s.meta(table); err != nil {
 		return nil, err
 	}
+	s.noteRoutedQueries(0, len(s.shards)-1)
 	parts := make([][]crackdb.GroupInfo, len(s.shards))
 	err := s.fanOut(func(i int) error {
 		var err error
@@ -615,17 +627,33 @@ func (s *Store) Stats(table, col string) (crackdb.ColumnStats, error) {
 	}
 	var total crackdb.ColumnStats
 	for _, cs := range per {
-		total.Queries += cs.Queries
-		total.Cracks += cs.Cracks
-		total.AuxCracks += cs.AuxCracks
-		total.IndexLookups += cs.IndexLookups
-		total.TuplesMoved += cs.TuplesMoved
-		total.TuplesTouched += cs.TuplesTouched
-		total.Pieces += cs.Pieces
-		total.Fusions += cs.Fusions
-		total.Consolidations += cs.Consolidations
+		total.Add(cs)
 	}
 	return total, nil
+}
+
+// CrackedColumnStats folds every shard's per-column counters into one
+// map keyed by attribute, covering only columns that actually hold
+// cracker state somewhere. Unlike Stats it never materializes a column
+// (see crackdb.Store.CrackedColumnStats) — this is the inspection path
+// for the /stats summary and metrics exposition.
+func (s *Store) CrackedColumnStats(table string) (map[string]crackdb.ColumnStats, error) {
+	if _, _, err := s.meta(table); err != nil {
+		return nil, err
+	}
+	out := make(map[string]crackdb.ColumnStats)
+	for _, st := range s.shards {
+		cols, err := st.CrackedColumnStats(table)
+		if err != nil {
+			return nil, err
+		}
+		for attr, cs := range cols {
+			t := out[attr]
+			t.Add(cs)
+			out[attr] = t
+		}
+	}
+	return out, nil
 }
 
 // LoadTapestry creates a table with the paper's DBtapestry generator

@@ -76,6 +76,9 @@ type Stats struct {
 	Evictions   int64 // payload vectors dropped by the LRU budget
 	Projections int64 // multi-attribute projections served from maps
 	Fallbacks   int64 // projections declined (budget, staleness, unknown attr)
+	Declines    int64 // Fallbacks subset: a live map existed but refused
+	// (stale wrapper, sync failure, count mismatch, payload build error) —
+	// the signal that maps are churning rather than merely absent.
 
 	Cracks        int64 // partition passes over map vectors
 	AuxCracks     int64 // strategy-advised auxiliary map cracks
@@ -241,16 +244,19 @@ func (g *Registry) Project(ct *core.CrackedTable, table string, r expr.Range, at
 		// Project with the live wrapper (Result.Rows checks identity),
 		// so this is a defensive guard, not a rebuild trigger.
 		g.stats.Fallbacks++
+		g.stats.Declines++
 		return nil, false
 	}
 	if err := g.sync(ct, m); err != nil {
 		g.dropSet(m)
 		g.stats.Fallbacks++
+		g.stats.Declines++
 		return nil, false
 	}
 	lo, hi := g.crackRange(m, r)
 	if hi-lo != want {
 		g.stats.Fallbacks++
+		g.stats.Declines++
 		return nil, false
 	}
 	out := make([][]int64, len(attrs))
@@ -260,6 +266,7 @@ func (g *Registry) Project(ct *core.CrackedTable, table string, r expr.Range, at
 			pv, err := g.ensurePay(ct, m, a)
 			if err != nil {
 				g.stats.Fallbacks++
+				g.stats.Declines++
 				return nil, false
 			}
 			src = pv.vals
