@@ -1,0 +1,94 @@
+package crackdb
+
+// Rows is the result surface every Backend implementation returns from a
+// selection: a qualifying-tuple count plus attribute fetch. *Result
+// satisfies it for a single store; internal/shard's merged result and the
+// wire client's decoded result set satisfy it for partitioned and remote
+// stores.
+type Rows interface {
+	Count() int
+	Rows(cols ...string) ([][]int64, error)
+}
+
+// Backend is the unified query surface of a cracking store. One embedded
+// *Store (via Store.Backend), a sharded router (internal/shard), and a
+// remote server reached through the wire client (internal/server.Session)
+// all present this interface, so the SQL engine, the figures, benchmarks
+// and the replication code program against a single shape instead of
+// three near-copies.
+//
+// Every query method doubles as cracking advice on whichever physical
+// store answers it; implementations must be safe for concurrent use.
+type Backend interface {
+	// Schema and mutation. Delete removes the tuples matching the
+	// conjunction (all tuples when empty) and reports how many went.
+	CreateTable(name string, cols ...string) error
+	DropTable(name string) error
+	InsertRows(table string, rows [][]int64) error
+	Delete(table string, conds ...Cond) (int, error)
+
+	// Single-range selection (the paper's crack-on-select primitive) and
+	// its count-only form.
+	Select(table, col string, low, high int64) (Rows, error)
+	Count(table, col string, low, high int64) (int, error)
+
+	// Conjunctive selection over any columns, and its count-only form.
+	SelectWhere(table string, conds ...Cond) (Rows, error)
+	CountWhere(table string, conds ...Cond) (int, error)
+
+	// Vectorized entry points: many ranges over one column in one call.
+	SelectBatch(table, col string, ranges []Range, opts ...BatchOption) ([]Rows, error)
+	CountBatch(table, col string, ranges []Range, opts ...BatchOption) ([]int, error)
+
+	// Ω cracking: cluster the column into its distinct values.
+	GroupBy(table, col string) ([]GroupInfo, error)
+
+	// Introspection.
+	Tables() []string
+	Columns(table string) ([]string, error)
+}
+
+// Backend adapts the store to the Backend interface. The only mismatches
+// are variance: Select/SelectWhere/SelectBatch return the concrete
+// *Result on *Store so local callers keep Values/OIDs/WriteTo, while the
+// interface deals in Rows.
+func (s *Store) Backend() Backend { return storeBackend{s} }
+
+type storeBackend struct {
+	*Store
+}
+
+// Unwrap exposes the underlying store — how sql.Engine.Store recovers
+// the store-only surfaces (stats, lineage, persistence) from an engine
+// built over a single local store.
+func (b storeBackend) Unwrap() *Store { return b.Store }
+
+func (b storeBackend) Select(table, col string, low, high int64) (Rows, error) {
+	r, err := b.Store.Select(table, col, low, high)
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func (b storeBackend) SelectWhere(table string, conds ...Cond) (Rows, error) {
+	r, err := b.Store.SelectWhere(table, conds...)
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func (b storeBackend) SelectBatch(table, col string, ranges []Range, opts ...BatchOption) ([]Rows, error) {
+	rs, err := b.Store.SelectBatch(table, col, ranges, opts...)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Rows, len(rs))
+	for i, r := range rs {
+		out[i] = r
+	}
+	return out, nil
+}
+
+var _ Backend = storeBackend{}

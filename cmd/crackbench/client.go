@@ -16,6 +16,8 @@ import (
 // workload-patterned range counts at a running cracksrv.
 type clientConfig struct {
 	addr     string
+	addrs    []string // replicated mode: members of a primary+followers topology
+	readpref string   // replicated mode: primary|follower|any (default any)
 	clients  int
 	queries  int // total per workload pattern, split across clients
 	n        int // tapestry cardinality to preload
@@ -28,6 +30,10 @@ type clientConfig struct {
 	expect   int    // -check: expected total COUNT(*) (0 = n + this run's inserts)
 	exec     string // one-shot: run a single statement/meta and print the reply
 	batch    int    // pipeline window per worker (<=1 = synchronous)
+
+	// Resolved by runClient in replicated mode:
+	readerAddrs []string // reads rotate over these
+	writeAddr   string   // mutations go here (the primary)
 }
 
 func (c *clientConfig) defaults() {
@@ -62,6 +68,31 @@ func (c *clientConfig) defaults() {
 // is a permutation of 1..n, so a range's count is precisely its width.
 func runClient(cfg clientConfig) error {
 	cfg.defaults()
+	// Replicated mode (-addrs): discover the topology through a Session,
+	// send every mutation to the primary, and rotate the read streams
+	// over the members the read preference selects. A fence after setup
+	// guarantees every reader has the freshly loaded table before the
+	// query streams hit it; mid-stream INSERTs stay exact because they
+	// key above the tapestry domain the range counts cover.
+	var sess *server.Session
+	if len(cfg.addrs) > 0 {
+		pref, err := server.ParseReadPreference(cfg.readpref)
+		if err != nil {
+			return err
+		}
+		sess, err = server.NewSession(cfg.addrs, pref)
+		if err != nil {
+			return err
+		}
+		defer sess.Close()
+		cfg.writeAddr = sess.PrimaryAddr()
+		if cfg.writeAddr == "" {
+			return fmt.Errorf("no primary in topology %v", cfg.addrs)
+		}
+		cfg.readerAddrs = sess.ReaderAddrs()
+		cfg.addr = cfg.writeAddr
+		fmt.Fprintf(os.Stderr, "replicated topology: primary=%s readers=%v\n", cfg.writeAddr, cfg.readerAddrs)
+	}
 	setup, err := server.DialTimeout(cfg.addr, 5*time.Second)
 	if err != nil {
 		return err
@@ -100,6 +131,11 @@ func runClient(cfg clientConfig) error {
 	} else if resp.Err != "" && !strings.Contains(resp.Err, "already exists") {
 		return fmt.Errorf("tapestry load: %s", resp.Err)
 	}
+	if sess != nil {
+		if err := sess.Fence(60 * time.Second); err != nil {
+			return fmt.Errorf("fence after setup: %w", err)
+		}
+	}
 
 	patterns := workload.Patterns()
 	if cfg.workload != "all" {
@@ -131,7 +167,19 @@ func runClient(cfg clientConfig) error {
 		if total != want {
 			return fmt.Errorf("check: COUNT(*) = %d, want %d", total, want)
 		}
-		stats, err := setup.Exec("/stats bench c0")
+		// The crackers that absorbed the streams live on whichever members
+		// served the reads — in replicated mode that may exclude the
+		// primary entirely, so ask a reader.
+		statsConn := setup
+		if len(cfg.readerAddrs) > 0 && cfg.readerAddrs[0] != cfg.addr {
+			rc, err := server.DialTimeout(cfg.readerAddrs[0], 5*time.Second)
+			if err != nil {
+				return err
+			}
+			defer rc.Close()
+			statsConn = rc
+		}
+		stats, err := statsConn.Exec("/stats bench c0")
 		if err != nil {
 			return err
 		}
@@ -158,11 +206,17 @@ func runClientPattern(cfg clientConfig, p workload.Pattern, patternIdx int) erro
 	var wg sync.WaitGroup
 	start := time.Now()
 	for w := 0; w < cfg.clients; w++ {
+		readAddr := cfg.addr
+		if len(cfg.readerAddrs) > 0 {
+			// Workers rotate over the readers, so 2 followers with 4
+			// clients serve 2 read streams each.
+			readAddr = cfg.readerAddrs[w%len(cfg.readerAddrs)]
+		}
 		wg.Add(1)
-		go func(w int) {
+		go func(w int, readAddr string) {
 			defer wg.Done()
-			errs[w] = clientWorker(cfg, p, patternIdx, w, perWorker)
-		}(w)
+			errs[w] = clientWorker(cfg, p, patternIdx, w, perWorker, readAddr)
+		}(w, readAddr)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
@@ -180,6 +234,9 @@ func runClientPattern(cfg clientConfig, p workload.Pattern, patternIdx int) erro
 		// historical series name.
 		label += fmt.Sprintf("/batch=%d", cfg.batch)
 	}
+	if len(cfg.readerAddrs) > 0 {
+		label += fmt.Sprintf("/readers=%d", len(cfg.readerAddrs))
+	}
 	fmt.Printf("%s \t%8d\t%12.0f ns/op\t%10.1f qps\n", label, totalQ, nsPerOp, qps)
 	return nil
 }
@@ -191,12 +248,24 @@ func runClientPattern(cfg clientConfig, p workload.Pattern, patternIdx int) erro
 // into its stream, keyed above the tapestry domain (every worker across
 // every pattern gets a disjoint key block), so the range-count
 // assertions stay exact while the server absorbs genuine mixed traffic.
-func clientWorker(cfg clientConfig, p workload.Pattern, patternIdx, w, count int) error {
-	c, err := server.DialTimeout(cfg.addr, 5*time.Second)
+func clientWorker(cfg clientConfig, p workload.Pattern, patternIdx, w, count int, readAddr string) error {
+	c, err := server.DialTimeout(readAddr, 5*time.Second)
 	if err != nil {
 		return err
 	}
 	defer c.Close()
+	// In replicated mode a worker reading from a follower sends its
+	// INSERTs on a second connection to the primary — the follower would
+	// refuse them. Same-address workers keep the single connection.
+	wc := c
+	if cfg.writeAddr != "" && cfg.writeAddr != readAddr && cfg.inserts > 0 {
+		pc, err := server.DialTimeout(cfg.writeAddr, 5*time.Second)
+		if err != nil {
+			return err
+		}
+		defer pc.Close()
+		wc = pc
+	}
 	gen, err := workload.New(p, workload.Config{
 		Domain:      int64(cfg.n),
 		Count:       count,
@@ -261,9 +330,9 @@ func clientWorker(cfg clientConfig, p workload.Pattern, patternIdx, w, count int
 		if insertEvery > 0 && qi%insertEvery == 0 && inserted < cfg.inserts {
 			key := insertBase + int64(inserted)
 			ins := fmt.Sprintf("INSERT INTO bench VALUES (%d, %d)", key, key)
-			if cfg.batch > 1 {
+			if cfg.batch > 1 && wc == c {
 				stmts, wants = append(stmts, ins), append(wants, -1)
-			} else if resp, err := c.Exec(ins); err != nil {
+			} else if resp, err := wc.Exec(ins); err != nil {
 				return fmt.Errorf("worker %d: %s: %w", w, ins, err)
 			} else if resp.Err != "" {
 				return fmt.Errorf("worker %d: %s: %s", w, ins, resp.Err)
@@ -302,7 +371,7 @@ func clientWorker(cfg clientConfig, p workload.Pattern, patternIdx, w, count int
 	for ; inserted < cfg.inserts; inserted++ {
 		key := insertBase + int64(inserted)
 		ins := fmt.Sprintf("INSERT INTO bench VALUES (%d, %d)", key, key)
-		if resp, err := c.Exec(ins); err != nil {
+		if resp, err := wc.Exec(ins); err != nil {
 			return fmt.Errorf("worker %d: %s: %w", w, ins, err)
 		} else if resp.Err != "" {
 			return fmt.Errorf("worker %d: %s: %s", w, ins, resp.Err)

@@ -45,6 +45,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"crackdb/internal/figures"
@@ -65,6 +66,8 @@ func main() {
 		queries  = flag.Int("queries", 0, "queries per stochastic cell (0 = default)")
 		sel      = flag.Float64("sel", 0, "stochastic per-query selectivity (0 = default)")
 		addr     = flag.String("addr", "", "client mode: drive load at a running cracksrv instead of running a figure")
+		addrs    = flag.String("addrs", "", "client mode: comma-separated replicated members (any one suffices; topology is discovered via /repl)")
+		readpref = flag.String("readpref", "any", "client mode with -addrs: read routing — primary, follower, or any")
 		clients  = flag.Int("clients", 0, "client mode: concurrent connections (default 4)")
 		check    = flag.Bool("check", false, "client mode: assert exact counts and server stats")
 		inserts  = flag.Int("inserts", 0, "client mode: rows each worker INSERTs mid-stream (keys above the domain)")
@@ -79,9 +82,9 @@ func main() {
 	// (-strategy is applied server-side via /strategy), but figure-only
 	// flags would be silently meaningless — reject them like figure mode
 	// rejects misapplied flags.
-	if *addr != "" {
+	if *addr != "" || *addrs != "" {
 		if *fig != "all" || *parallel || *k != 0 || *ops != 0 || *summary {
-			fmt.Fprintln(os.Stderr, "crackbench: -fig/-parallel/-k/-ops/-summary do not apply to client mode (-addr)")
+			fmt.Fprintln(os.Stderr, "crackbench: -fig/-parallel/-k/-ops/-summary do not apply to client mode (-addr/-addrs)")
 			os.Exit(1)
 		}
 		wl := *wload
@@ -92,8 +95,17 @@ func main() {
 		if strategy == "all" {
 			strategy = "" // server keeps its configured strategy
 		}
+		var members []string
+		if *addrs != "" {
+			for _, a := range strings.Split(*addrs, ",") {
+				if a = strings.TrimSpace(a); a != "" {
+					members = append(members, a)
+				}
+			}
+		}
 		err := runClient(clientConfig{
-			addr: *addr, clients: *clients, queries: *queries, n: *n,
+			addr: *addr, addrs: members, readpref: *readpref,
+			clients: *clients, queries: *queries, n: *n,
 			seed: *seed, sel: *sel, workload: wl, strategy: strategy, check: *check,
 			inserts: *inserts, expect: *expect, exec: *execCmd, batch: *batchSz,
 		})

@@ -8,6 +8,7 @@
 //	cracksrv [-addr :7744] [-shards 4] [-partition hash|range]
 //	         [-domain 1048576] [-strategy mdd1r] [-seed 42]
 //	         [-tapestry name,n,alpha] [-data dir]
+//	         [-follow primaryaddr] [-advertise addr]
 //	         [-http addr] [-slowms n] [-tracesample n]
 //
 // The wire protocol is length-prefixed text frames (see
@@ -25,6 +26,16 @@
 // the log, and boot recovers snapshot + WAL suffix, so even a SIGKILL
 // loses nothing that was acked. When a snapshot exists its recorded
 // sharding configuration wins over the command-line flags.
+//
+// With -follow the server is a read replica: it bootstraps from the
+// primary's checkpoint image plus WAL suffix, then pulls and applies
+// the primary's log continuously. SELECTs serve from the replica's own
+// independently-cracked state; writes (and /strategy, /tapestry) are
+// refused with the primary's address so clients redirect. A follower
+// restarted after a crash resumes from its own local log frontier —
+// bootstrap only re-runs if the primary has checkpointed past what it
+// still keeps archived. Followers replicate the primary's sharding
+// configuration; -shards/-partition/-domain/-strategy are ignored.
 //
 // Observability is always on (it costs a sampled timing on the
 // converged read path; see internal/obs): /metrics answers the
@@ -65,6 +76,8 @@ func main() {
 		seed     = flag.Int64("seed", 42, "strategy RNG seed (per-shard sub-seeds are derived)")
 		tapestry = flag.String("tapestry", "", "preload a DBtapestry table: name,n,alpha (e.g. bench,100000,2)")
 		dataDir  = flag.String("data", "", "durable data directory (insert WAL + /save snapshots); empty = volatile")
+		follow   = flag.String("follow", "", "run as a read replica of the primary at this address")
+		adv      = flag.String("advertise", "", "address peers dial to reach this server (default: the -addr value)")
 		walWin   = flag.Duration("walwindow", 0, "WAL group-commit fsync coalescing window (0 = fsync-latency batching only)")
 		httpAddr = flag.String("http", "", "serve /metrics and /debug/pprof over HTTP on this address (e.g. 127.0.0.1:7790)")
 		slowMS   = flag.Int("slowms", 0, "log statements slower than this many milliseconds with their crack-event trace (0 = off)")
@@ -80,10 +93,33 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	advertised := *adv
+	if advertised == "" {
+		advertised = *addr
+	}
 	opts := shard.Options{Shards: *shards, Kind: kind, Domain: [2]int64{0, *domain}}
 	var store *shard.Store
+	var follower *server.Follower
 	recovered := false
-	if *dataDir != "" {
+	if *follow != "" {
+		if *tapestry != "" {
+			fatal(fmt.Errorf("-tapestry cannot be combined with -follow (data replicates from the primary)"))
+		}
+		if *strat != "" && *strat != "standard" {
+			fatal(fmt.Errorf("-strategy cannot be combined with -follow (set it on the primary; the change replicates)"))
+		}
+		f, err := server.OpenFollower(server.FollowerOptions{
+			Primary:   *follow,
+			DataDir:   *dataDir,
+			Advertise: advertised,
+			Logf:      logf,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		follower = f
+		store = f.Store()
+	} else if *dataDir != "" {
 		st, info, err := shard.OpenDurable(*dataDir, opts)
 		if err != nil {
 			fatal(err)
@@ -104,7 +140,7 @@ func main() {
 		store = shard.New(opts)
 	}
 	if *walWin > 0 {
-		if *dataDir == "" {
+		if *dataDir == "" && *follow == "" {
 			fatal(fmt.Errorf("-walwindow requires a durable store (-data)"))
 		}
 		store.SetWALCoalesceWindow(*walWin)
@@ -144,7 +180,15 @@ func main() {
 	}
 
 	srv := server.New(store, logf)
+	srv.SetAdvertise(advertised)
+	if follower != nil {
+		srv.SetPrimary(follower.Primary())
+	}
 	srv.EnableObservability(time.Duration(*slowMS)*time.Millisecond, *sample)
+	if follower != nil {
+		follower.EnableLagGauges()
+		go follower.Run()
+	}
 	if *slowMS > 0 {
 		logf("slow-query log at >= %dms", *slowMS)
 	}
@@ -181,6 +225,9 @@ func main() {
 		fatal(err) // listener died before any signal
 	case s := <-sig:
 		logf("received %s, shutting down", s)
+		if follower != nil {
+			follower.Stop() // stop applying before the log closes
+		}
 		srv.Shutdown(5 * time.Second)
 		if err := <-done; err != nil {
 			fatal(err)

@@ -336,13 +336,16 @@ func (s *Store) Tables() []string {
 	return out
 }
 
-// NumRows returns a table's cardinality.
+// NumRows returns a table's live cardinality (deleted tuples excluded).
 func (s *Store) NumRows(name string) (int, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	t, ok := s.tables[name]
 	if !ok {
 		return 0, fmt.Errorf("crackdb: table %q does not exist", name)
+	}
+	if ct, ok := s.cracked[name]; ok {
+		return ct.LiveLen(), nil
 	}
 	return t.Len(), nil
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -27,6 +28,15 @@ type CrackedTable struct {
 	// AppendRows extends it exclusively. Lock order: mu before baseMu.
 	baseMu sync.RWMutex
 
+	// tomb (guarded by baseMu) is the table-level tombstone set. Deleted
+	// tuples stay in the base relation — removing them would renumber the
+	// surrogate OIDs every cracker column and sideways map is aligned on —
+	// and are instead excluded at the two places a query can reach them:
+	// cracker columns drop them at consolidation (Column.Delete is
+	// forwarded per delete, or applied at creation for columns cracked
+	// later), and the no-advice base scan skips them in filterOIDs.
+	tomb map[bat.OID]struct{}
+
 	// selectObs, when set, is invoked after every single-range selection
 	// with the range that was answered — the registration hook sideways
 	// cracking uses to keep its aligned maps cracked in lockstep with the
@@ -44,7 +54,12 @@ type CrackedTable struct {
 // NewCrackedTable wraps a relation for adaptive querying. Options are
 // applied to every cracker column the table creates.
 func NewCrackedTable(t *relation.Table, opts ...Option) *CrackedTable {
-	return &CrackedTable{base: t, cols: make(map[string]*Column), opts: opts}
+	return &CrackedTable{
+		base: t,
+		cols: make(map[string]*Column),
+		opts: opts,
+		tomb: make(map[bat.OID]struct{}),
+	}
 }
 
 // Base returns the underlying relation. Callers must not mutate it while
@@ -80,6 +95,9 @@ func (ct *CrackedTable) ColumnFor(attr string) (*Column, error) {
 	}
 	ct.baseMu.RLock()
 	c = NewColumn(ct.base.Name+"."+attr, b.Ints(), ct.opts...)
+	for oid := range ct.tomb { // the column is born covering deleted rows
+		c.Delete(oid)
+	}
 	ct.baseMu.RUnlock()
 	ct.cols[attr] = c
 	return c, nil
@@ -113,13 +131,16 @@ func (ct *CrackedTable) RestoreColumn(attr string, c *Column) error {
 	}
 	ct.baseMu.RLock()
 	hasCol := ct.base.HasColumn(attr)
-	baseLen := ct.base.Len()
+	liveLen := ct.base.Len() - len(ct.tomb)
 	ct.baseMu.RUnlock()
 	if !hasCol {
 		return fmt.Errorf("core: table %q has no column %q to restore", ct.base.Name, attr)
 	}
-	if got := c.Len(); got != baseLen {
-		return fmt.Errorf("core: restored column %q has %d tuples, base has %d", attr, got, baseLen)
+	// Column.Len counts live tuples (deletes excluded), so the alignment
+	// check is against the base cardinality net of tombstones. Restore
+	// tombstones (RestoreTombstones) before restoring columns.
+	if got := c.Len(); got != liveLen {
+		return fmt.Errorf("core: restored column %q has %d live tuples, base has %d", attr, got, liveLen)
 	}
 	ct.cols[attr] = c
 	return nil
@@ -211,6 +232,9 @@ func (ct *CrackedTable) filterOIDs(cands []bat.OID, term expr.Term) ([]bat.OID, 
 	defer ct.baseMu.RUnlock()
 	var out []bat.OID
 	for _, oid := range cands {
+		if _, dead := ct.tomb[oid]; dead {
+			continue
+		}
 		row := ct.base.RowMap(int(oid))
 		if term.Match(row) {
 			out = append(out, oid)
@@ -335,6 +359,79 @@ func (ct *CrackedTable) AppendRows(rows [][]int64) error {
 		}
 	}
 	return nil
+}
+
+// DeleteOIDs tombstones the given tuples: each OID is recorded in the
+// table-level tombstone set and forwarded to every existing cracker
+// column (columns created later inherit the set at birth). The base
+// relation keeps the rows — OID stability is what keeps the columns and
+// sideways maps aligned — but no query path returns them again. Returns
+// how many OIDs were newly deleted (already-dead or out-of-range OIDs
+// are skipped).
+func (ct *CrackedTable) DeleteOIDs(oids []bat.OID) int {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	ct.baseMu.Lock()
+	defer ct.baseMu.Unlock()
+	n := 0
+	baseLen := ct.base.Len()
+	for _, oid := range oids {
+		if int(oid) >= baseLen {
+			continue
+		}
+		if _, dead := ct.tomb[oid]; dead {
+			continue
+		}
+		ct.tomb[oid] = struct{}{}
+		n++
+		for _, col := range ct.cols {
+			col.Delete(oid)
+		}
+	}
+	return n
+}
+
+// RestoreTombstones reinstates a snapshot's tombstone set. Call it after
+// the base relation is loaded and before any column is restored or
+// created: restored columns carry their own deleted state and are
+// length-checked against the live cardinality this call establishes.
+func (ct *CrackedTable) RestoreTombstones(oids []bat.OID) error {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	ct.baseMu.Lock()
+	defer ct.baseMu.Unlock()
+	if len(ct.cols) != 0 {
+		return fmt.Errorf("core: table %q already has cracker columns, refusing tombstone restore", ct.base.Name)
+	}
+	baseLen := ct.base.Len()
+	for _, oid := range oids {
+		if int(oid) >= baseLen {
+			return fmt.Errorf("core: tombstone oid %d outside base of %d rows", oid, baseLen)
+		}
+		ct.tomb[oid] = struct{}{}
+	}
+	return nil
+}
+
+// Tombstones returns the deleted OIDs in ascending order — the set a
+// snapshot records so a restore (or a replica bootstrap) rebuilds the
+// same live view.
+func (ct *CrackedTable) Tombstones() []bat.OID {
+	ct.baseMu.RLock()
+	out := make([]bat.OID, 0, len(ct.tomb))
+	for oid := range ct.tomb {
+		out = append(out, oid)
+	}
+	ct.baseMu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// LiveLen returns the number of live (non-tombstoned) tuples.
+func (ct *CrackedTable) LiveLen() int {
+	ct.baseMu.RLock()
+	defer ct.baseMu.RUnlock()
+	return ct.base.Len() - len(ct.tomb)
 }
 
 // Stats aggregates the work counters over all cracker columns. Like

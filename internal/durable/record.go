@@ -51,6 +51,12 @@ const (
 	// KindStrategy is a SetCrackStrategy (Shard = -1) or
 	// SetShardCrackStrategy (Shard >= 0).
 	KindStrategy
+	// KindDelete is one Delete(table, conds...): logged by its predicate,
+	// not the OIDs it resolved to — given an identical record prefix the
+	// predicate selects identical tuples, so replicas replaying the log
+	// (whose physical crack order legitimately differs) converge on the
+	// same live set.
+	KindDelete
 )
 
 func (k RecordKind) String() string {
@@ -65,9 +71,20 @@ func (k RecordKind) String() string {
 		return "tapestry"
 	case KindStrategy:
 		return "strategy"
+	case KindDelete:
+		return "delete"
 	default:
 		return fmt.Sprintf("RecordKind(%d)", uint8(k))
 	}
+}
+
+// Cond is one comparison of a logged delete predicate. It mirrors the
+// public crackdb.Cond shape without importing it (the root package
+// imports this one).
+type Cond struct {
+	Col string
+	Op  string
+	Val int64
 }
 
 // Record is one logged mutation. Field use per kind:
@@ -77,6 +94,7 @@ func (k RecordKind) String() string {
 //	KindDrop:     Table
 //	KindTapestry: Table, N, Alpha, Seed
 //	KindStrategy: Name, Seed, Shard (-1 = every shard)
+//	KindDelete:   Table, Conds (empty = delete every tuple)
 type Record struct {
 	Kind  RecordKind
 	Table string
@@ -89,6 +107,7 @@ type Record struct {
 	Seed  int64
 	Name  string
 	Shard int
+	Conds []Cond
 }
 
 // ErrCorrupt is returned when a WAL or snapshot image fails validation
@@ -148,6 +167,13 @@ func encodeRecord(b []byte, r Record) []byte {
 		b = appendString(b, r.Name)
 		b = binary.LittleEndian.AppendUint64(b, uint64(r.Seed))
 		b = binary.LittleEndian.AppendUint64(b, uint64(r.Shard))
+	case KindDelete:
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(r.Conds)))
+		for _, c := range r.Conds {
+			b = appendString(b, c.Col)
+			b = appendString(b, c.Op)
+			b = binary.LittleEndian.AppendUint64(b, uint64(c.Val))
+		}
 	}
 	return b
 }
@@ -226,6 +252,32 @@ func decodeRecord(b []byte) (Record, error) {
 			return Record{}, fmt.Errorf("%w: implausible shard index %d", ErrCorrupt, shard)
 		}
 		r.Shard = int(shard)
+	case KindDelete:
+		if len(b) < 4 {
+			return Record{}, fmt.Errorf("%w: short delete header", ErrCorrupt)
+		}
+		n := binary.LittleEndian.Uint32(b)
+		b = b[4:]
+		if n > 1<<20 {
+			return Record{}, fmt.Errorf("%w: implausible condition count %d", ErrCorrupt, n)
+		}
+		r.Conds = make([]Cond, n)
+		for i := range r.Conds {
+			if r.Conds[i].Col, b, err = readString(b); err != nil {
+				return Record{}, err
+			}
+			if r.Conds[i].Op, b, err = readString(b); err != nil {
+				return Record{}, err
+			}
+			if len(b) < 8 {
+				return Record{}, fmt.Errorf("%w: short delete condition", ErrCorrupt)
+			}
+			r.Conds[i].Val = int64(binary.LittleEndian.Uint64(b))
+			b = b[8:]
+		}
+		if len(b) != 0 {
+			return Record{}, fmt.Errorf("%w: %d trailing bytes after delete record", ErrCorrupt, len(b))
+		}
 	default:
 		return Record{}, fmt.Errorf("%w: unknown record kind %d", ErrCorrupt, r.Kind)
 	}
@@ -248,4 +300,44 @@ func frameRecord(b []byte, r Record) []byte {
 	payload := b[payloadStart:]
 	binary.LittleEndian.PutUint32(b[start:], uint32(len(payload)))
 	return binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(payload))
+}
+
+// EncodeRecords serializes a record batch in the WAL's checksummed frame
+// format — the replication stream's payload encoding, so a follower
+// validates shipped records with exactly the machinery boot-time replay
+// uses.
+func EncodeRecords(recs []Record) []byte {
+	var b []byte
+	for _, r := range recs {
+		b = frameRecord(b, r)
+	}
+	return b
+}
+
+// DecodeRecords parses a batch produced by EncodeRecords. Unlike the
+// WAL scan there is no torn tail to tolerate: anything short, trailing,
+// or checksum-mismatched is corruption.
+func DecodeRecords(b []byte) ([]Record, error) {
+	var out []Record
+	for len(b) > 0 {
+		if len(b) < 4 {
+			return nil, fmt.Errorf("%w: short record frame header", ErrCorrupt)
+		}
+		n := binary.LittleEndian.Uint32(b)
+		if uint64(n)+8 > uint64(len(b)) {
+			return nil, fmt.Errorf("%w: record frame of %d bytes exceeds batch", ErrCorrupt, n)
+		}
+		payload := b[4 : 4+n]
+		sum := binary.LittleEndian.Uint32(b[4+n:])
+		if sum != crc32.ChecksumIEEE(payload) {
+			return nil, fmt.Errorf("%w: record frame checksum mismatch", ErrCorrupt)
+		}
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+		b = b[8+n:]
+	}
+	return out, nil
 }

@@ -1,12 +1,15 @@
 package durable
 
 import (
+	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -46,9 +49,15 @@ type WAL struct {
 	closed bool
 	done   chan struct{} // flusher exit
 
-	base  uint64 // seq of the first record in the current file
-	seq   uint64 // seq of the next record to append
-	bytes int64  // current file size
+	base   uint64 // seq of the first record in the current file
+	seq    uint64 // seq of the next record to append
+	durSeq uint64 // seq one past the last record on stable storage
+	bytes  int64  // current file size
+
+	// commitCh is closed and replaced whenever durSeq advances (or the
+	// log rotates or closes) — the broadcast replication subscribers wait
+	// on instead of polling.
+	commitCh chan struct{}
 
 	// coalesce widens group commit: after noticing a pending batch the
 	// flusher waits this long before taking it, letting more concurrent
@@ -123,12 +132,14 @@ func Create(path string, baseSeq uint64) (*WAL, error) {
 
 func newWAL(path string, f *os.File, baseSeq uint64, size int64) *WAL {
 	w := &WAL{
-		path:  path,
-		f:     f,
-		base:  baseSeq,
-		seq:   baseSeq,
-		bytes: size,
-		done:  make(chan struct{}),
+		path:     path,
+		f:        f,
+		base:     baseSeq,
+		seq:      baseSeq,
+		durSeq:   baseSeq,
+		bytes:    size,
+		done:     make(chan struct{}),
+		commitCh: make(chan struct{}),
 	}
 	w.cond = sync.NewCond(&w.mu)
 	go w.flusher()
@@ -168,6 +179,7 @@ func Open(path string, baseSeq uint64, apply func(seq uint64, r Record) error) (
 	}
 	w := newWAL(path, f, base, goodEnd)
 	w.seq = base + recs
+	w.durSeq = base + recs
 	return w, nil
 }
 
@@ -343,6 +355,9 @@ func (w *WAL) flusher() {
 			w.err = err
 		} else {
 			w.bytes += int64(len(b.buf))
+			w.durSeq += uint64(b.n)
+			close(w.commitCh) // wake replication subscribers
+			w.commitCh = make(chan struct{})
 		}
 		w.mu.Unlock()
 		b.err = err
@@ -379,12 +394,28 @@ func (w *WAL) Status() Status {
 	}
 }
 
+// archiveRetain bounds how many rotated segments are kept next to the
+// live log as replication history (see Rotate).
+const archiveRetain = 4
+
+// archivePath names the rotated segment that began at base.
+func archivePath(path string, base uint64) string {
+	return fmt.Sprintf("%s.%d", path, base)
+}
+
 // Rotate replaces the log with a fresh empty file whose baseSeq is the
-// given checkpoint stamp, atomically (write new file, rename over). The
-// caller must have quiesced appenders (no Append may be in flight): the
-// checkpoint that justifies discarding the old records and the rotation
-// must happen under the same exclusion, or a record could slip between
-// snapshot and rotation and be lost.
+// given checkpoint stamp, atomically. The caller must have quiesced
+// appenders (no Append may be in flight): the checkpoint that justifies
+// retiring the old records and the rotation must happen under the same
+// exclusion, or a record could slip between snapshot and rotation and be
+// lost.
+//
+// The retired segment is not destroyed: it is renamed to
+// <path>.<oldBase> and kept (the newest archiveRetain of them) purely as
+// replication history, so a subscriber a few records behind the rotation
+// point can still stream the suffix instead of re-bootstrapping from the
+// snapshot. Crash recovery never reads archives — every record in them
+// is covered by the checkpoint image that justified the rotation.
 func (w *WAL) Rotate(baseSeq uint64) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -416,6 +447,15 @@ func (w *WAL) Rotate(baseSeq uint64) error {
 		os.Remove(tmp)
 		return err
 	}
+	// Archive the retired segment before the new file takes its name. A
+	// crash in between leaves no live log at all — recovery then creates
+	// a fresh one based at the checkpoint stamp, which is exactly what
+	// this rotation was about to install.
+	if err := os.Rename(w.path, archivePath(w.path, w.base)); err != nil && !os.IsNotExist(err) {
+		nf.Close()
+		os.Remove(tmp)
+		return err
+	}
 	if err := os.Rename(tmp, w.path); err != nil {
 		nf.Close()
 		os.Remove(tmp)
@@ -429,8 +469,40 @@ func (w *WAL) Rotate(baseSeq uint64) error {
 	w.f = nf
 	w.base = baseSeq
 	w.seq = baseSeq
+	w.durSeq = baseSeq
 	w.bytes = walHeaderSize
+	pruneArchives(w.path, archiveRetain)
+	close(w.commitCh) // subscribers must re-read the rotated log's state
+	w.commitCh = make(chan struct{})
 	return nil
+}
+
+// listArchives returns the bases of the retired segments next to path,
+// ascending.
+func listArchives(path string) []uint64 {
+	matches, err := filepath.Glob(path + ".*")
+	if err != nil {
+		return nil
+	}
+	var bases []uint64
+	for _, m := range matches {
+		var base uint64
+		if _, err := fmt.Sscanf(m[len(path):], ".%d", &base); err == nil &&
+			m == archivePath(path, base) { // reject .tmp and partial parses
+			bases = append(bases, base)
+		}
+	}
+	sort.Slice(bases, func(i, j int) bool { return bases[i] < bases[j] })
+	return bases
+}
+
+// pruneArchives deletes all but the newest keep archived segments.
+func pruneArchives(path string, keep int) {
+	bases := listArchives(path)
+	for len(bases) > keep {
+		os.Remove(archivePath(path, bases[0]))
+		bases = bases[1:]
+	}
 }
 
 // Close drains the flusher and closes the file. Appends after Close fail.
@@ -442,7 +514,162 @@ func (w *WAL) Close() error {
 	}
 	w.closed = true
 	w.cond.Signal()
+	close(w.commitCh) // unblock subscribers so they observe the close
+	w.commitCh = make(chan struct{})
 	w.mu.Unlock()
 	<-w.done
 	return w.f.Close()
+}
+
+// SnapshotRequiredError reports that a requested replication position
+// has been rotated out of the log: the subscriber must bootstrap from a
+// snapshot covering at least BaseSeq before resuming.
+type SnapshotRequiredError struct {
+	BaseSeq uint64
+}
+
+func (e *SnapshotRequiredError) Error() string {
+	return fmt.Sprintf("durable: seq below WAL base %d, snapshot required", e.BaseSeq)
+}
+
+// CommitSignal returns the durable frontier — one past the last record
+// on stable storage — together with a channel that is closed the next
+// time the frontier moves (a commit, a rotation, or Close). The
+// subscription loop of a replication stream is:
+//
+//	durable, ch := w.CommitSignal()
+//	if from < durable { read and ship }
+//	else { wait on ch (or the subscriber's own cancellation) }
+func (w *WAL) CommitSignal() (uint64, <-chan struct{}) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.durSeq, w.commitCh
+}
+
+// ReadCommitted reads committed records with sequence numbers in
+// [from, durable-frontier), stopping early once the batch exceeds
+// maxBytes of encoded payload (at least one record is always returned
+// when any is available). It returns the records together with the next
+// sequence to request. The read uses its own descriptor, so it never
+// disturbs (or blocks behind) the append path; a concurrent rotation is
+// detected by the file header's baseSeq and retried against the new log.
+//
+// A from below the current baseSeq is served from the archived segments
+// Rotate keeps; once it predates those too, *SnapshotRequiredError is
+// returned — the remaining records live only inside the checkpoint image
+// that justified the rotations.
+func (w *WAL) ReadCommitted(from uint64, maxBytes int) ([]Record, uint64, error) {
+	for {
+		w.mu.Lock()
+		base, durable, path, closed := w.base, w.durSeq, w.path, w.closed
+		w.mu.Unlock()
+		if closed {
+			return nil, from, fmt.Errorf("durable: read from closed WAL")
+		}
+		if from < base {
+			recs, next, err := readArchived(path, from, base, maxBytes)
+			if err != nil {
+				// Whatever went wrong — pruned mid-read, raced a
+				// rotation, corrupt — the checkpoint image is the one
+				// source guaranteed to cover this position.
+				return nil, from, &SnapshotRequiredError{BaseSeq: base}
+			}
+			return recs, next, nil
+		}
+		if from >= durable {
+			return nil, from, nil
+		}
+		recs, next, err := readRange(path, base, from, durable, maxBytes)
+		if err == errWALRotated {
+			continue // the file was swapped under us; re-resolve and retry
+		}
+		return recs, next, err
+	}
+}
+
+// readArchived serves a read position behind the live log's base from
+// the archived segments. Each archive spans [its base, the next newer
+// segment's base): rotations happen at the tip with appends quiesced, so
+// an archived segment is always complete.
+func readArchived(path string, from, liveBase uint64, maxBytes int) ([]Record, uint64, error) {
+	bases := listArchives(path)
+	for i, base := range bases {
+		end := liveBase
+		if i+1 < len(bases) {
+			end = bases[i+1]
+		}
+		if from < base || from >= end {
+			continue
+		}
+		return readRange(archivePath(path, base), base, from, end, maxBytes)
+	}
+	return nil, from, fmt.Errorf("durable: no archived segment covers seq %d", from)
+}
+
+// errWALRotated is readRange's internal retry signal: the opened file's
+// header no longer matches the base the caller resolved.
+var errWALRotated = errors.New("durable: wal rotated during read")
+
+// readRange scans one log file and decodes the records with seq in
+// [from, limit), honoring maxBytes. Records below the durable frontier
+// are fully written before the frontier advances, so the scan never
+// observes a torn frame within its range.
+func readRange(path string, wantBase, from, limit uint64, maxBytes int) ([]Record, uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, from, err
+	}
+	defer f.Close()
+	var hdr [walHeaderSize]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return nil, from, errWALRotated // a fresh rotation target: retry
+	}
+	if [4]byte(hdr[:4]) != walMagic || hdr[4] != walVersion {
+		return nil, from, fmt.Errorf("%w: bad WAL header on replication read", ErrCorrupt)
+	}
+	if binary.LittleEndian.Uint64(hdr[5:]) != wantBase {
+		return nil, from, errWALRotated
+	}
+	br := bufio.NewReaderSize(f, 1<<16)
+	var out []Record
+	var frame [8]byte
+	var payload []byte
+	next := from
+	total := 0
+	for seq := wantBase; seq < limit; seq++ {
+		if _, err := io.ReadFull(br, frame[:4]); err != nil {
+			return nil, from, fmt.Errorf("%w: committed record %d missing from log", ErrCorrupt, seq)
+		}
+		n := binary.LittleEndian.Uint32(frame[:4])
+		if n > 1<<30 {
+			return nil, from, fmt.Errorf("%w: implausible frame length %d", ErrCorrupt, n)
+		}
+		if uint64(cap(payload)) < uint64(n) {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return nil, from, fmt.Errorf("%w: committed record %d truncated", ErrCorrupt, seq)
+		}
+		if _, err := io.ReadFull(br, frame[4:8]); err != nil {
+			return nil, from, fmt.Errorf("%w: committed record %d truncated", ErrCorrupt, seq)
+		}
+		if seq < from {
+			continue // inside the subscriber's already-applied prefix
+		}
+		if binary.LittleEndian.Uint32(frame[4:8]) != crc32.ChecksumIEEE(payload) {
+			return nil, from, fmt.Errorf("%w: committed record %d checksum mismatch", ErrCorrupt, seq)
+		}
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			return nil, from, err
+		}
+		out = append(out, rec)
+		next = seq + 1
+		total += len(payload)
+		if total >= maxBytes {
+			break
+		}
+	}
+	return out, next, nil
 }

@@ -49,6 +49,7 @@ func (s *Server) EnableObservability(slow time.Duration, sampleEvery int) {
 		window: reg.Histogram("crackdb_server_window_depth",
 			"Pipelined requests per service window."),
 	})
+	reg.RegisterCollector(s.replCollect)
 }
 
 // noteWindow records one service window's shape.

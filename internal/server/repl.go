@@ -1,0 +1,314 @@
+package server
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"crackdb/internal/durable"
+	"crackdb/internal/obs"
+	"crackdb/internal/sql"
+)
+
+// Replication metas. The WAL is the replication stream (see
+// internal/shard/repl.go); this file puts the primary's side of it on
+// the wire and marks a server as a read-only follower. Everything rides
+// the existing framed request/response protocol — a follower is just
+// another client, pulling:
+//
+//	/repl                              topology + log positions, key/value rows
+//	/replmanifest                      checkpoint image manifest, base64 JSON
+//	/replfetch <seq> <path> <off> <n>  one image chunk, base64 (seq-fenced)
+//	/replpull <from> <max> [addr seq]  committed records from seq, long-polled
+//	/replwait <seq> [timeoutms]        block until the local log reaches seq
+//
+// Binary payloads travel base64-encoded in "ok msg=" responses: the
+// status line is newline-sanitized, and base64 never contains one.
+
+// replPollWindow bounds how long one /replpull parks on the commit
+// signal before answering empty. Short enough that a follower's
+// connection never looks dead; long enough that an idle primary serves
+// ~one frame a second per follower.
+const replPollWindow = 900 * time.Millisecond
+
+// replState is the server's replication role and peer book.
+type replState struct {
+	mu        sync.Mutex
+	advertise string // address peers should dial to reach this server
+	primary   string // non-empty: this server is a follower of that address
+	followers map[string]followerInfo
+}
+
+// followerInfo is the primary's view of one follower, refreshed by its
+// /replpull heartbeats.
+type followerInfo struct {
+	applied uint64 // next seq the follower will apply (its local log frontier)
+	seen    time.Time
+}
+
+// SetAdvertise records the address this server publishes in /repl so
+// peers (and Session clients) can re-dial it.
+func (s *Server) SetAdvertise(addr string) {
+	s.repl.mu.Lock()
+	s.repl.advertise = addr
+	s.repl.mu.Unlock()
+}
+
+// SetPrimary marks this server as a read-only follower of addr: SQL
+// writes are refused with the primary's address so clients can
+// redirect, while SELECTs serve from the follower's own independently
+// cracked state.
+func (s *Server) SetPrimary(addr string) {
+	s.repl.mu.Lock()
+	s.repl.primary = addr
+	s.repl.mu.Unlock()
+}
+
+// primaryAddr returns the primary this server follows, or "" on a
+// primary.
+func (s *Server) primaryAddr() string {
+	s.repl.mu.Lock()
+	defer s.repl.mu.Unlock()
+	return s.repl.primary
+}
+
+// noteFollower records one follower heartbeat.
+func (s *Server) noteFollower(addr string, applied uint64) {
+	if addr == "" {
+		return
+	}
+	s.repl.mu.Lock()
+	if s.repl.followers == nil {
+		s.repl.followers = make(map[string]followerInfo)
+	}
+	s.repl.followers[addr] = followerInfo{applied: applied, seen: time.Now()}
+	s.repl.mu.Unlock()
+}
+
+// readOnlyStmt reports whether a SQL statement is safe on a follower.
+// Only plain SELECTs qualify; SELECT INTO materializes a table and
+// would diverge the replica. Parse errors pass through so the engine
+// reports them verbatim.
+func readOnlyStmt(cmd string) bool {
+	st, err := sql.Parse(cmd)
+	if err != nil {
+		return true
+	}
+	sel, ok := st.(sql.Select)
+	return ok && sel.Into == ""
+}
+
+// replCollect exports replication gauges at scrape time: the log
+// positions on any durable server, and per-follower lag on a primary.
+// Lag is measured in records against the primary's next seq — the
+// figure a follower's /replpull heartbeat reports is its own log
+// frontier, which trails by exactly the unshipped suffix.
+func (s *Server) replCollect(e *obs.Exporter) {
+	base, next, frontier, ok := s.store.ReplStatus()
+	if !ok {
+		return
+	}
+	e.Gauge("crackdb_repl_wal_base_seq", "Base seq of the live WAL segment (newest checkpoint).", float64(base))
+	e.Gauge("crackdb_repl_wal_next_seq", "Next WAL seq to be assigned.", float64(next))
+	e.Gauge("crackdb_repl_wal_durable_seq", "Durable WAL frontier (one past the last fsynced record).", float64(frontier))
+	now := time.Now()
+	s.repl.mu.Lock()
+	for addr, fi := range s.repl.followers {
+		lag := int64(next) - int64(fi.applied)
+		if lag < 0 {
+			lag = 0
+		}
+		e.Gauge("crackdb_repl_follower_lag_records", "Records the follower has not yet pulled.", float64(lag), obs.L("follower", addr))
+		e.Gauge("crackdb_repl_follower_idle_seconds", "Seconds since the follower's last pull.", now.Sub(fi.seen).Seconds(), obs.L("follower", addr))
+	}
+	s.repl.mu.Unlock()
+}
+
+// replStatusMeta answers /repl: role, topology and log positions as
+// key/value rows. Followers appear one row each (key "follower"), so a
+// client discovers the whole topology from any member.
+func (s *Server) replStatusMeta() (*Response, bool) {
+	s.repl.mu.Lock()
+	advertise, primary := s.repl.advertise, s.repl.primary
+	type fRow struct {
+		addr string
+		info followerInfo
+	}
+	var frows []fRow
+	for addr, fi := range s.repl.followers {
+		frows = append(frows, fRow{addr, fi})
+	}
+	s.repl.mu.Unlock()
+	sort.Slice(frows, func(i, j int) bool { return frows[i].addr < frows[j].addr })
+
+	role := "primary"
+	if primary != "" {
+		role = "follower"
+	}
+	opts := s.store.Options()
+	resp := &Response{Columns: []string{"key", "value"}}
+	kv := func(k, v string) { resp.Rows = append(resp.Rows, []string{k, v}) }
+	kv("role", role)
+	kv("addr", advertise)
+	kv("primary", primary)
+	kv("shards", strconv.Itoa(opts.Shards))
+	kv("kind", string(opts.Kind))
+	kv("domain", fmt.Sprintf("%d %d", opts.Domain[0], opts.Domain[1]))
+	kv("static_bounds", strconv.FormatBool(opts.StaticRangeBounds))
+	if base, next, frontier, ok := s.store.ReplStatus(); ok {
+		kv("durable", "true")
+		kv("base", strconv.FormatUint(base, 10))
+		kv("next", strconv.FormatUint(next, 10))
+		kv("committed", strconv.FormatUint(frontier, 10))
+	} else {
+		kv("durable", "false")
+	}
+	for _, f := range frows {
+		kv("follower", fmt.Sprintf("%s %d %d", f.addr, f.info.applied, time.Since(f.info.seen).Milliseconds()))
+	}
+	return resp, false
+}
+
+// replManifestMeta answers /replmanifest: the checkpoint image manifest
+// as base64 JSON, stamped with the seq the image covers.
+func (s *Server) replManifestMeta() (*Response, bool) {
+	m, err := s.store.ReplManifest()
+	if err != nil {
+		return &Response{Err: err.Error()}, false
+	}
+	b, err := json.Marshal(m)
+	if err != nil {
+		return &Response{Err: err.Error()}, false
+	}
+	return &Response{Message: "manifest " + base64.StdEncoding.EncodeToString(b)}, false
+}
+
+// replFetchMeta answers /replfetch <seq> <path> <off> <n>: one chunk of
+// a checkpoint-image file, base64-encoded, refused if a checkpoint has
+// superseded the image since the manifest was fetched.
+func (s *Server) replFetchMeta(fields []string) (*Response, bool) {
+	if len(fields) != 5 {
+		return &Response{Err: "usage: /replfetch <seq> <path> <off> <len>"}, false
+	}
+	seq, err1 := strconv.ParseUint(fields[1], 10, 64)
+	off, err2 := strconv.ParseInt(fields[3], 10, 64)
+	n, err3 := strconv.Atoi(fields[4])
+	if err1 != nil || err2 != nil || err3 != nil {
+		return &Response{Err: "usage: /replfetch <seq> <path> <off> <len>"}, false
+	}
+	chunk, err := s.store.ReplReadFile(seq, fields[2], off, n)
+	if err != nil {
+		return &Response{Err: err.Error()}, false
+	}
+	return &Response{Message: "chunk " + base64.StdEncoding.EncodeToString(chunk)}, false
+}
+
+// replPullMeta answers /replpull <from> <maxBytes> [<addr> <applied>]:
+// committed records from seq on, base64-encoded. When the log has
+// nothing past from, the request parks on the commit signal up to
+// replPollWindow before answering empty — the follower long-polls
+// instead of spinning, and a commit wakes every parked puller at once.
+// The optional addr/applied pair is the follower's heartbeat for the
+// lag gauges. A from that has fallen behind the archived log answers
+// "snapshot required base=<n>"; the follower must re-bootstrap.
+func (s *Server) replPullMeta(fields []string) (*Response, bool) {
+	if len(fields) != 3 && len(fields) != 5 {
+		return &Response{Err: "usage: /replpull <from> <maxbytes> [<addr> <applied>]"}, false
+	}
+	from, err1 := strconv.ParseUint(fields[1], 10, 64)
+	maxBytes, err2 := strconv.Atoi(fields[2])
+	if err1 != nil || err2 != nil || maxBytes <= 0 {
+		return &Response{Err: "usage: /replpull <from> <maxbytes> [<addr> <applied>]"}, false
+	}
+	if len(fields) == 5 {
+		applied, err := strconv.ParseUint(fields[4], 10, 64)
+		if err != nil {
+			return &Response{Err: "bad applied seq: " + err.Error()}, false
+		}
+		s.noteFollower(fields[3], applied)
+	}
+	deadline := time.Now().Add(replPollWindow)
+	for {
+		// Subscribe before reading: a commit landing between the read and
+		// the park still closes this channel, so no wakeup is lost.
+		_, ch, ok := s.store.ReplSignal()
+		if !ok {
+			return &Response{Err: "store is not durable (start cracksrv with -data)"}, false
+		}
+		recs, next, err := s.store.ReplRead(from, maxBytes)
+		if err != nil {
+			if sre, isSnap := err.(*durable.SnapshotRequiredError); isSnap {
+				return &Response{Err: fmt.Sprintf("snapshot required base=%d", sre.BaseSeq)}, false
+			}
+			return &Response{Err: err.Error()}, false
+		}
+		wait := time.Until(deadline)
+		if len(recs) > 0 || wait <= 0 {
+			_, _, frontier, _ := s.store.ReplStatus()
+			return &Response{Message: fmt.Sprintf("next=%d durable=%d recs=%s",
+				next, frontier, base64.StdEncoding.EncodeToString(durable.EncodeRecords(recs)))}, false
+		}
+		t := time.NewTimer(wait)
+		select {
+		case <-ch:
+		case <-t.C:
+		}
+		t.Stop()
+	}
+}
+
+// replWaitMeta answers /replwait <seq> [timeoutms]: block until the
+// local log's next seq reaches seq. On a follower this is the
+// read-your-writes fence — Apply re-logs every shipped record, so the
+// local frontier is exactly the applied position. Default timeout 10s.
+func (s *Server) replWaitMeta(fields []string) (*Response, bool) {
+	if len(fields) != 2 && len(fields) != 3 {
+		return &Response{Err: "usage: /replwait <seq> [timeoutms]"}, false
+	}
+	seq, err := strconv.ParseUint(fields[1], 10, 64)
+	if err != nil {
+		return &Response{Err: "bad seq: " + err.Error()}, false
+	}
+	timeout := 10 * time.Second
+	if len(fields) == 3 {
+		ms, err := strconv.Atoi(fields[2])
+		if err != nil || ms < 0 {
+			return &Response{Err: "bad timeout"}, false
+		}
+		timeout = time.Duration(ms) * time.Millisecond
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		_, ch, ok := s.store.ReplSignal()
+		if !ok {
+			return &Response{Err: "store is not durable (start cracksrv with -data)"}, false
+		}
+		_, next, _, _ := s.store.ReplStatus()
+		if next >= seq {
+			// A seq is assigned at log time, before the record's in-memory
+			// application finishes; drain in-flight mutators so the fence
+			// never releases a reader into a half-applied batch.
+			s.store.ApplyBarrier()
+			return &Response{Message: fmt.Sprintf("reached seq=%d", next)}, false
+		}
+		wait := time.Until(deadline)
+		if wait <= 0 {
+			return &Response{Err: fmt.Sprintf("timeout waiting for seq %d (at %d)", seq, next)}, false
+		}
+		// The commit signal fires on fsync, which can trail an applied
+		// record by one flusher tick; the short poll floor covers the gap.
+		if wait > 25*time.Millisecond {
+			wait = 25 * time.Millisecond
+		}
+		t := time.NewTimer(wait)
+		select {
+		case <-ch:
+		case <-t.C:
+		}
+		t.Stop()
+	}
+}

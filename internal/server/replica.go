@@ -1,0 +1,516 @@
+package server
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"crackdb/internal/durable"
+	"crackdb/internal/obs"
+	"crackdb/internal/shard"
+)
+
+// A follower is a full durable store that trails a primary by pulling
+// its WAL: OpenFollower bootstraps local state (from the primary's
+// checkpoint image when the local log has fallen behind the archived
+// stream, otherwise from whatever is already on disk), and Run pulls
+// committed records forever, applying each through the normal mutation
+// path — which re-logs it locally, seq for seq, so the follower's own
+// log frontier is always exactly its applied position and a SIGKILLed
+// follower resumes from where its fsync got to.
+//
+// Crack state is deliberately NOT replicated. Each replica cracks its
+// own columns under its own query load — the paper's core property,
+// that the physical organization adapts to the workload actually seen,
+// holds per replica. Only the logical mutation stream is shared.
+
+// pullMaxBytes bounds one /replpull reply's record payload.
+const pullMaxBytes = 4 << 20
+
+// fetchChunk is the /replfetch request size during bootstrap.
+const fetchChunk = 1 << 20
+
+// FollowerOptions configures OpenFollower.
+type FollowerOptions struct {
+	// Primary is the address of the server to follow. Required.
+	Primary string
+	// DataDir is the follower's own durable directory. Empty means a
+	// fresh temp dir (a throwaway read replica).
+	DataDir string
+	// Advertise is the address this follower reports in its pull
+	// heartbeats and publishes via its own /repl meta. Optional.
+	Advertise string
+	// Logf receives lifecycle lines (nil silences).
+	Logf func(format string, args ...any)
+}
+
+// Follower is a store kept in sync with a primary. Serve reads from
+// Store() (e.g. by handing it to New); call Run on a goroutine to start
+// replication and Stop to halt it.
+type Follower struct {
+	store     *shard.Store
+	primary   string
+	advertise string
+	dataDir   string
+	logf      func(format string, args ...any)
+
+	stop chan struct{}
+	done chan struct{}
+
+	// primaryDurable is the primary's committed frontier as of the last
+	// pull reply — what the local lag gauge measures against.
+	primaryDurable atomic.Uint64
+	applied        atomic.Uint64 // records applied since Run started
+	lagWired       atomic.Bool   // lag collector registered at most once
+}
+
+// Store returns the follower's local store, safe for concurrent reads
+// while Run applies.
+func (f *Follower) Store() *shard.Store { return f.store }
+
+// Primary returns the address this follower pulls from.
+func (f *Follower) Primary() string { return f.primary }
+
+// OpenFollower connects to the primary, mirrors its sharding options,
+// boots a local durable store, and — when the local log position has
+// fallen behind what the primary can still serve (live WAL plus
+// archives) — wipes local state and bootstraps from the primary's
+// checkpoint image plus the WAL suffix. The returned follower is ready
+// to serve reads; Run starts continuous catch-up.
+func OpenFollower(opts FollowerOptions) (*Follower, error) {
+	if opts.Primary == "" {
+		return nil, fmt.Errorf("server: follower needs a primary address")
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	dataDir := opts.DataDir
+	if dataDir == "" {
+		dir, err := os.MkdirTemp("", "crackdb-follower-*")
+		if err != nil {
+			return nil, err
+		}
+		dataDir = dir
+	}
+
+	c, err := DialTimeout(opts.Primary, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("server: dial primary %s: %w", opts.Primary, err)
+	}
+	defer c.Close()
+
+	kv, _, err := replKV(c)
+	if err != nil {
+		return nil, err
+	}
+	if kv["durable"] != "true" {
+		return nil, fmt.Errorf("server: primary %s is not durable (start it with -data)", opts.Primary)
+	}
+	if kv["role"] != "primary" {
+		return nil, fmt.Errorf("server: %s is a %s (chained replication is not supported)", opts.Primary, kv["role"])
+	}
+	sOpts, err := optionsFromKV(kv)
+	if err != nil {
+		return nil, err
+	}
+
+	store, info, err := shard.OpenDurable(dataDir, sOpts)
+	if err != nil {
+		return nil, err
+	}
+	if info.Recovered {
+		logf("follower: local state at seq %d (%d records replayed)", localNext(store), info.Replayed)
+	}
+
+	// Probe: can the primary serve our position from its live log or
+	// archives? If not, the local image is too old — bootstrap from the
+	// primary's checkpoint.
+	resp, err := c.Do(fmt.Sprintf("/replpull %d 1", localNext(store)))
+	if err != nil {
+		store.CloseWAL()
+		return nil, fmt.Errorf("server: probe primary: %w", err)
+	}
+	if resp.Err != "" {
+		if !strings.HasPrefix(resp.Err, "snapshot required") {
+			store.CloseWAL()
+			return nil, fmt.Errorf("server: primary refused pull: %s", resp.Err)
+		}
+		logf("follower: %s; bootstrapping from primary checkpoint", resp.Err)
+		if err := store.CloseWAL(); err != nil {
+			return nil, err
+		}
+		store, err = bootstrapFromSnapshot(c, dataDir, sOpts, logf)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	f := &Follower{
+		store:     store,
+		primary:   opts.Primary,
+		advertise: opts.Advertise,
+		dataDir:   dataDir,
+		logf:      logf,
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	if reg := store.Registry(); reg != nil {
+		f.registerLagGauges(reg)
+	}
+	logf("follower: following %s from seq %d (data in %s)", opts.Primary, localNext(store), dataDir)
+	return f, nil
+}
+
+// registerLagGauges exports the follower's own view of its lag.
+// Idempotent: the collector registers at most once, whether the
+// registry existed at OpenFollower or appeared later.
+func (f *Follower) registerLagGauges(reg *obs.Registry) {
+	if !f.lagWired.CompareAndSwap(false, true) {
+		return
+	}
+	reg.RegisterCollector(func(e *obs.Exporter) {
+		next := localNext(f.store)
+		pd := f.primaryDurable.Load()
+		lag := int64(pd) - int64(next)
+		if lag < 0 {
+			lag = 0
+		}
+		e.Gauge("crackdb_repl_primary_durable_seq", "Primary's committed frontier at the last pull.", float64(pd))
+		e.Gauge("crackdb_repl_apply_lag_records", "Committed primary records not yet applied locally.", float64(lag))
+		e.Counter("crackdb_repl_applied_records_total", "Records applied since this follower started.", int64(f.applied.Load()))
+	})
+}
+
+// EnableLagGauges wires the lag collector onto a registry that appeared
+// after OpenFollower (cracksrv enables observability on the server,
+// which instruments the store).
+func (f *Follower) EnableLagGauges() {
+	if reg := f.store.Registry(); reg != nil {
+		f.registerLagGauges(reg)
+	}
+}
+
+// localNext is the follower's next seq to apply == its local log's next
+// seq (Apply re-logs 1:1).
+func localNext(s *shard.Store) uint64 {
+	_, next, _, ok := s.ReplStatus()
+	if !ok {
+		return 0
+	}
+	return next
+}
+
+// Run pulls and applies until Stop, reconnecting with backoff on any
+// connection failure. Safe to call once.
+func (f *Follower) Run() {
+	defer close(f.done)
+	for {
+		select {
+		case <-f.stop:
+			return
+		default:
+		}
+		c, err := DialTimeout(f.primary, 2*time.Second)
+		if err != nil {
+			f.logf("follower: dial %s: %v (retrying)", f.primary, err)
+			if !f.sleep(500 * time.Millisecond) {
+				return
+			}
+			continue
+		}
+		if err := f.pullLoop(c); err != nil {
+			f.logf("follower: replication interrupted: %v (reconnecting)", err)
+		}
+		c.Close()
+		select {
+		case <-f.stop:
+			return
+		default:
+		}
+		if !f.sleep(200 * time.Millisecond) {
+			return
+		}
+	}
+}
+
+// Stop halts Run and waits for it to exit.
+func (f *Follower) Stop() {
+	select {
+	case <-f.stop:
+	default:
+		close(f.stop)
+	}
+	<-f.done
+}
+
+func (f *Follower) sleep(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-f.stop:
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// pullLoop drives one connection: long-poll /replpull from the local
+// frontier, apply every record in order, repeat. Returns on connection
+// error (the caller reconnects) or a primary-side refusal.
+func (f *Follower) pullLoop(c *Client) error {
+	for {
+		select {
+		case <-f.stop:
+			return nil
+		default:
+		}
+		next := localNext(f.store)
+		cmd := fmt.Sprintf("/replpull %d %d", next, pullMaxBytes)
+		if f.advertise != "" {
+			cmd = fmt.Sprintf("%s %s %d", cmd, f.advertise, next)
+		}
+		resp, err := c.Do(cmd)
+		if err != nil {
+			return err
+		}
+		if resp.Err != "" {
+			if strings.HasPrefix(resp.Err, "snapshot required") {
+				// The primary checkpointed past our position more times than
+				// it keeps archived segments — a follower that stayed
+				// connected never gets here; a restart re-bootstraps.
+				return fmt.Errorf("fell behind the archived log (%s); restart the follower to re-bootstrap", resp.Err)
+			}
+			return fmt.Errorf("primary: %s", resp.Err)
+		}
+		primaryNext, primaryDurable, recs, err := parsePull(resp)
+		if err != nil {
+			return err
+		}
+		f.primaryDurable.Store(primaryDurable)
+		for _, rec := range recs {
+			if err := f.store.Apply(rec); err != nil {
+				// A record the primary accepted must apply here — the stores
+				// hold identical logical state. Divergence is fatal.
+				return fmt.Errorf("apply seq %d (%v on %q): %v", next, rec.Kind, rec.Table, err)
+			}
+			next++
+			f.applied.Add(1)
+		}
+		_ = primaryNext
+	}
+}
+
+// parsePull decodes a /replpull reply: "next=<n> durable=<d> recs=<b64>".
+func parsePull(resp *Response) (next, durableSeq uint64, recs []durable.Record, err error) {
+	fields := strings.Fields(resp.Message)
+	if len(fields) != 3 {
+		return 0, 0, nil, fmt.Errorf("server: malformed pull reply %q", resp.Message)
+	}
+	for _, fld := range fields {
+		switch {
+		case strings.HasPrefix(fld, "next="):
+			next, err = strconv.ParseUint(fld[len("next="):], 10, 64)
+		case strings.HasPrefix(fld, "durable="):
+			durableSeq, err = strconv.ParseUint(fld[len("durable="):], 10, 64)
+		case strings.HasPrefix(fld, "recs="):
+			var raw []byte
+			raw, err = base64.StdEncoding.DecodeString(fld[len("recs="):])
+			if err == nil {
+				recs, err = durable.DecodeRecords(raw)
+			}
+		default:
+			err = fmt.Errorf("server: unknown pull field %q", fld)
+		}
+		if err != nil {
+			return 0, 0, nil, err
+		}
+	}
+	return next, durableSeq, recs, nil
+}
+
+// replKV fetches /repl and folds it into a map plus the follower rows.
+func replKV(c *Client) (map[string]string, []string, error) {
+	resp, err := c.Do("/repl")
+	if err != nil {
+		return nil, nil, err
+	}
+	if resp.Err != "" {
+		return nil, nil, fmt.Errorf("server: /repl: %s", resp.Err)
+	}
+	kv := make(map[string]string, len(resp.Rows))
+	var followers []string
+	for _, row := range resp.Rows {
+		if len(row) != 2 {
+			continue
+		}
+		if row[0] == "follower" {
+			followers = append(followers, row[1])
+			continue
+		}
+		kv[row[0]] = row[1]
+	}
+	return kv, followers, nil
+}
+
+// optionsFromKV mirrors the primary's sharding options so the logical
+// WAL records route identically on the follower.
+func optionsFromKV(kv map[string]string) (shard.Options, error) {
+	var o shard.Options
+	n, err := strconv.Atoi(kv["shards"])
+	if err != nil {
+		return o, fmt.Errorf("server: primary reported bad shard count %q", kv["shards"])
+	}
+	o.Shards = n
+	o.Kind = shard.Kind(kv["kind"])
+	if _, err := fmt.Sscanf(kv["domain"], "%d %d", &o.Domain[0], &o.Domain[1]); err != nil {
+		return o, fmt.Errorf("server: primary reported bad domain %q", kv["domain"])
+	}
+	o.StaticRangeBounds = kv["static_bounds"] == "true"
+	return o, nil
+}
+
+// bootstrapFromSnapshot replaces the follower's local state with the
+// primary's checkpoint image: download the manifest and every file into
+// a staging dir, swap it in as the snapshot, drop the stale local log,
+// and reopen — OpenDurable then boots warm from the image and creates a
+// fresh log based at the image's seq, which is exactly the position the
+// pull loop resumes from. Every chunk read is fenced by the image's
+// seq; a checkpoint landing mid-download answers "snapshot superseded"
+// and the whole download restarts against the newer image.
+func bootstrapFromSnapshot(c *Client, dataDir string, sOpts shard.Options, logf func(string, ...any)) (*shard.Store, error) {
+	const attempts = 5
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		m, err := fetchManifest(c)
+		if err != nil {
+			return nil, err
+		}
+		staging := filepath.Join(dataDir, "store.repl")
+		if err := os.RemoveAll(staging); err != nil {
+			return nil, err
+		}
+		if err := downloadImage(c, m, staging); err != nil {
+			if strings.Contains(err.Error(), "superseded") {
+				logf("follower: snapshot superseded mid-download, retrying")
+				lastErr = err
+				continue
+			}
+			return nil, err
+		}
+		// Point of no return: drop the stale local state, install the image.
+		storeDir := filepath.Join(dataDir, "store")
+		if err := os.RemoveAll(storeDir); err != nil {
+			return nil, err
+		}
+		walPath := filepath.Join(dataDir, "wal.log")
+		if err := os.RemoveAll(walPath); err != nil {
+			return nil, err
+		}
+		if archived, _ := filepath.Glob(walPath + ".*"); archived != nil {
+			for _, a := range archived {
+				os.Remove(a)
+			}
+		}
+		if len(m.Files) > 0 {
+			if err := os.Rename(staging, storeDir); err != nil {
+				return nil, err
+			}
+		} else {
+			// A primary that has never checkpointed has no image: the
+			// whole history lives in its log (base 0), so an empty local
+			// store replayed from seq 0 is the bootstrap.
+			os.RemoveAll(staging)
+		}
+		store, info, err := shard.OpenDurable(dataDir, sOpts)
+		if err != nil {
+			return nil, err
+		}
+		logf("follower: bootstrapped from primary snapshot at seq %d (%d files)", info.AppliedSeq, len(m.Files))
+		return store, nil
+	}
+	return nil, fmt.Errorf("server: snapshot bootstrap kept racing checkpoints: %v", lastErr)
+}
+
+// fetchManifest pulls and decodes /replmanifest.
+func fetchManifest(c *Client) (shard.SnapshotManifest, error) {
+	var m shard.SnapshotManifest
+	resp, err := c.Do("/replmanifest")
+	if err != nil {
+		return m, err
+	}
+	if resp.Err != "" {
+		return m, fmt.Errorf("server: /replmanifest: %s", resp.Err)
+	}
+	b64, ok := strings.CutPrefix(resp.Message, "manifest ")
+	if !ok {
+		return m, fmt.Errorf("server: malformed manifest reply %q", resp.Message)
+	}
+	raw, err := base64.StdEncoding.DecodeString(b64)
+	if err != nil {
+		return m, err
+	}
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return m, err
+	}
+	return m, nil
+}
+
+// downloadImage fetches every manifest file into dir, chunk by chunk.
+func downloadImage(c *Client, m shard.SnapshotManifest, dir string) error {
+	for _, sf := range m.Files {
+		dst := filepath.Join(dir, filepath.FromSlash(sf.Path))
+		if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+			return err
+		}
+		out, err := os.Create(dst)
+		if err != nil {
+			return err
+		}
+		var off int64
+		for off < sf.Size {
+			n := fetchChunk
+			if rem := sf.Size - off; rem < int64(n) {
+				n = int(rem)
+			}
+			resp, err := c.Do(fmt.Sprintf("/replfetch %d %s %d %d", m.Seq, sf.Path, off, n))
+			if err != nil {
+				out.Close()
+				return err
+			}
+			if resp.Err != "" {
+				out.Close()
+				return fmt.Errorf("server: /replfetch %s: %s", sf.Path, resp.Err)
+			}
+			b64, ok := strings.CutPrefix(resp.Message, "chunk ")
+			if !ok {
+				out.Close()
+				return fmt.Errorf("server: malformed chunk reply %q", resp.Message)
+			}
+			chunk, err := base64.StdEncoding.DecodeString(b64)
+			if err != nil {
+				out.Close()
+				return err
+			}
+			if len(chunk) == 0 {
+				out.Close()
+				return fmt.Errorf("server: short image file %s (%d of %d bytes)", sf.Path, off, sf.Size)
+			}
+			if _, err := out.Write(chunk); err != nil {
+				out.Close()
+				return err
+			}
+			off += int64(len(chunk))
+		}
+		if err := out.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -35,6 +35,11 @@ type Server struct {
 	// obsv is nil until EnableObservability (see obs.go in this package);
 	// the request path pays one atomic load when it is off.
 	obsv atomic.Pointer[serverObs]
+
+	// repl is the replication role and peer book (see repl.go): the
+	// advertised address, the primary this server follows (making it a
+	// read-only replica), and per-follower pull positions.
+	repl replState
 }
 
 // New wraps a sharded store. logf receives one line per lifecycle event
@@ -280,6 +285,9 @@ func (s *Server) dispatch(cmd string) (resp *Response, quit bool) {
 	if strings.HasPrefix(cmd, "/") {
 		return s.meta(cmd)
 	}
+	if p := s.primaryAddr(); p != "" && !readOnlyStmt(cmd) {
+		return &Response{Err: "read-only follower; primary=" + p}, false
+	}
 	rs, err := s.eng.Exec(cmd)
 	if err != nil {
 		return &Response{Err: err.Error()}, false
@@ -312,7 +320,17 @@ func (s *Server) meta(cmd string) (*Response, bool) {
 	case "/quit":
 		return &Response{Message: "bye"}, true
 	case "/help":
-		return &Response{Message: "/ping /tables /shards /stats [<table> <col>] /metrics /strategy <name> [seed] [shard] /tapestry <name> <n> <alpha> [seed] /save /wal /quit — anything else is SQL"}, false
+		return &Response{Message: "/ping /tables /shards /stats [<table> <col>] /metrics /strategy <name> [seed] [shard] /tapestry <name> <n> <alpha> [seed] /save /wal /repl /replwait <seq> /quit — anything else is SQL"}, false
+	case "/repl":
+		return s.replStatusMeta()
+	case "/replmanifest":
+		return s.replManifestMeta()
+	case "/replfetch":
+		return s.replFetchMeta(fields)
+	case "/replpull":
+		return s.replPullMeta(fields)
+	case "/replwait":
+		return s.replWaitMeta(fields)
 	case "/save":
 		// Checkpoint: warm snapshot + WAL rotation. Requires a store booted
 		// with -data; mutations block for the duration, queries keep running.
@@ -386,6 +404,12 @@ func (s *Server) meta(cmd string) (*Response, bool) {
 		resp.Rows = append(resp.Rows, statsRow("total", total))
 		return resp, false
 	case "/strategy":
+		if p := s.primaryAddr(); p != "" {
+			// A strategy change is WAL-logged; a locally-initiated one would
+			// desynchronize the follower's log position from the primary's.
+			// Set it on the primary — the record replicates like any other.
+			return &Response{Err: "read-only follower; primary=" + p}, false
+		}
 		if len(fields) < 2 || len(fields) > 4 {
 			return &Response{Err: "usage: /strategy <name> [seed] [shard]"}, false
 		}
@@ -412,6 +436,11 @@ func (s *Server) meta(cmd string) (*Response, bool) {
 		}
 		return &Response{Message: fmt.Sprintf("strategy %s on all %d shards", fields[1], s.store.ShardCount())}, false
 	case "/tapestry":
+		if p := s.primaryAddr(); p != "" {
+			// Loading data locally would diverge the replica from the
+			// primary's log.
+			return &Response{Err: "read-only follower; primary=" + p}, false
+		}
 		if len(fields) < 4 || len(fields) > 5 {
 			return &Response{Err: "usage: /tapestry <name> <n> <alpha> [seed]"}, false
 		}

@@ -1,0 +1,625 @@
+package server
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"crackdb"
+)
+
+// Session is the topology-aware client: it speaks crackdb.Backend
+// against a replicated deployment, sending writes to the primary and
+// spreading reads over followers according to a ReadPreference. The
+// topology comes from /repl — dial any member and the session discovers
+// the rest. A Session is safe for concurrent use; each endpoint carries
+// its own connection and lock, so concurrent reads on different
+// replicas genuinely run in parallel.
+//
+// Replication is asynchronous, so follower reads are eventually
+// consistent. Fence blocks until every follower has applied everything
+// the primary had accepted at the call — the read-your-writes barrier
+// between a write phase and a follower-read phase.
+
+// ReadPreference selects which members answer reads.
+type ReadPreference int
+
+const (
+	// ReadPrimary sends every read to the primary: strong consistency,
+	// no read scaling.
+	ReadPrimary ReadPreference = iota
+	// ReadFollower spreads reads round-robin over the followers only
+	// (falling back to the primary when there are none).
+	ReadFollower
+	// ReadAny spreads reads round-robin over every member.
+	ReadAny
+)
+
+// ParseReadPreference maps the flag spellings to a ReadPreference.
+func ParseReadPreference(s string) (ReadPreference, error) {
+	switch strings.ToLower(s) {
+	case "primary", "":
+		return ReadPrimary, nil
+	case "follower", "followers":
+		return ReadFollower, nil
+	case "any":
+		return ReadAny, nil
+	default:
+		return 0, fmt.Errorf("server: unknown read preference %q (primary|follower|any)", s)
+	}
+}
+
+// endpoint is one member's connection, lazily dialed and re-dialed
+// after transport errors.
+type endpoint struct {
+	addr string
+	mu   sync.Mutex
+	c    *Client
+}
+
+// do runs one request on the endpoint, dialing on demand. A transport
+// error drops the connection so the next call re-dials.
+func (e *endpoint) do(cmd string) (*Response, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.doLocked(cmd)
+}
+
+func (e *endpoint) doLocked(cmd string) (*Response, error) {
+	if e.c == nil {
+		c, err := DialTimeout(e.addr, 2*time.Second)
+		if err != nil {
+			return nil, err
+		}
+		e.c = c
+	}
+	resp, err := e.c.Do(cmd)
+	if err != nil {
+		e.c.Close()
+		e.c = nil
+		return nil, err
+	}
+	return resp, nil
+}
+
+// doBatch pipelines a batch on the endpoint's connection.
+func (e *endpoint) doBatch(cmds []string) ([]*Response, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.c == nil {
+		c, err := DialTimeout(e.addr, 2*time.Second)
+		if err != nil {
+			return nil, err
+		}
+		e.c = c
+	}
+	resps, err := e.c.DoBatch(cmds)
+	if err != nil {
+		e.c.Close()
+		e.c = nil
+		return nil, err
+	}
+	return resps, nil
+}
+
+func (e *endpoint) close() {
+	e.mu.Lock()
+	if e.c != nil {
+		e.c.Close()
+		e.c = nil
+	}
+	e.mu.Unlock()
+}
+
+// Session routes crackdb.Backend calls over a replicated deployment.
+type Session struct {
+	primary   *endpoint   // nil in a follower-only (read-only) session
+	followers []*endpoint // discovered read replicas
+	readers   []*endpoint // read rotation per the preference
+	pref      ReadPreference
+	rr        atomic.Uint64
+}
+
+// NewSession dials the given members, discovers the full topology via
+// /repl (any one reachable member suffices — a primary names its
+// followers, a follower names its primary), and routes according to
+// pref. Duplicate and unreachable addresses are tolerated as long as
+// the topology resolves.
+func NewSession(addrs []string, pref ReadPreference) (*Session, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("server: session needs at least one address")
+	}
+	roles := make(map[string]string) // addr -> role
+	alive := make(map[string]bool)   // addr -> answered a /repl probe
+	probed := make(map[string]bool)  // addr -> dialed (a role can be learned without dialing)
+	var firstErr error
+	probe := func(addr string) {
+		if addr == "" || probed[addr] {
+			return
+		}
+		probed[addr] = true
+		c, err := DialTimeout(addr, 2*time.Second)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			return
+		}
+		kv, followers, err := replKV(c)
+		c.Close()
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			return
+		}
+		roles[addr] = kv["role"]
+		alive[addr] = true
+		// A member that advertises under a different address than we
+		// dialed keeps the dialed one — both reach the same server.
+		if p := kv["primary"]; p != "" && p != addr {
+			if _, seen := roles[p]; !seen && kv["role"] == "follower" {
+				roles[p] = "primary"
+			}
+		}
+		for _, f := range followers {
+			// follower rows are "<addr> <applied> <age-ms>".
+			if faddr := strings.Fields(f); len(faddr) > 0 {
+				if _, seen := roles[faddr[0]]; !seen {
+					roles[faddr[0]] = "follower"
+				}
+			}
+		}
+	}
+	// Probe to a fixpoint: a follower handed to us names the primary,
+	// the primary names its other followers. Every learned address is
+	// dialed once, so a member the topology still lists but that has
+	// gone away (a crashed follower the primary remembers) is dropped
+	// instead of becoming an unreachable reader or fence target.
+	queue := append([]string(nil), addrs...)
+	for len(queue) > 0 {
+		for _, a := range queue {
+			probe(a)
+		}
+		queue = queue[:0]
+		for addr := range roles {
+			if !probed[addr] {
+				queue = append(queue, addr)
+			}
+		}
+	}
+	if len(alive) == 0 {
+		return nil, fmt.Errorf("server: no member reachable: %v", firstErr)
+	}
+
+	s := &Session{pref: pref}
+	for addr, role := range roles {
+		if !alive[addr] {
+			continue
+		}
+		ep := &endpoint{addr: addr}
+		if role == "primary" && s.primary == nil {
+			s.primary = ep
+		} else {
+			s.followers = append(s.followers, ep)
+		}
+	}
+	sortEndpoints(s.followers)
+	switch pref {
+	case ReadPrimary:
+		if s.primary == nil {
+			return nil, fmt.Errorf("server: read preference primary, but no primary reachable")
+		}
+		s.readers = []*endpoint{s.primary}
+	case ReadFollower:
+		if len(s.followers) > 0 {
+			s.readers = s.followers
+		} else if s.primary != nil {
+			s.readers = []*endpoint{s.primary}
+		}
+	case ReadAny:
+		s.readers = append(s.readers, s.followers...)
+		if s.primary != nil {
+			s.readers = append(s.readers, s.primary)
+		}
+	}
+	if len(s.readers) == 0 {
+		return nil, fmt.Errorf("server: no readable member")
+	}
+	return s, nil
+}
+
+func sortEndpoints(eps []*endpoint) {
+	for i := 1; i < len(eps); i++ {
+		for j := i; j > 0 && eps[j].addr < eps[j-1].addr; j-- {
+			eps[j], eps[j-1] = eps[j-1], eps[j]
+		}
+	}
+}
+
+// Close drops every connection.
+func (s *Session) Close() {
+	if s.primary != nil {
+		s.primary.close()
+	}
+	for _, ep := range s.followers {
+		ep.close()
+	}
+}
+
+// Readers reports how many members serve this session's reads.
+func (s *Session) Readers() int { return len(s.readers) }
+
+// ReaderAddrs lists the addresses serving this session's reads.
+func (s *Session) ReaderAddrs() []string {
+	out := make([]string, len(s.readers))
+	for i, ep := range s.readers {
+		out[i] = ep.addr
+	}
+	return out
+}
+
+// PrimaryAddr returns the primary's address, or "".
+func (s *Session) PrimaryAddr() string {
+	if s.primary == nil {
+		return ""
+	}
+	return s.primary.addr
+}
+
+// write runs one statement on the primary.
+func (s *Session) write(stmt string) (*Response, error) {
+	if s.primary == nil {
+		return nil, fmt.Errorf("server: session has no primary (read-only topology)")
+	}
+	resp, err := s.primary.do(stmt)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("server: %s", resp.Err)
+	}
+	return resp, nil
+}
+
+// read runs one statement on the next reader in rotation, failing over
+// to the remaining readers on transport errors.
+func (s *Session) read(stmt string) (*Response, error) {
+	var lastErr error
+	n := len(s.readers)
+	start := int(s.rr.Add(1)-1) % n
+	for i := 0; i < n; i++ {
+		resp, err := s.readers[(start+i)%n].do(stmt)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.Err != "" {
+			return nil, fmt.Errorf("server: %s", resp.Err)
+		}
+		return resp, nil
+	}
+	return nil, fmt.Errorf("server: all %d readers failed: %v", n, lastErr)
+}
+
+// readBatch pipelines statements on one reader.
+func (s *Session) readBatch(stmts []string) ([]*Response, error) {
+	var lastErr error
+	n := len(s.readers)
+	start := int(s.rr.Add(1)-1) % n
+	for i := 0; i < n; i++ {
+		resps, err := s.readers[(start+i)%n].doBatch(stmts)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return resps, nil
+	}
+	return nil, fmt.Errorf("server: all %d readers failed: %v", n, lastErr)
+}
+
+// Fence blocks until every follower has applied everything the primary
+// had accepted when Fence was called — the read-your-writes barrier.
+// No-op without a primary or followers.
+func (s *Session) Fence(timeout time.Duration) error {
+	if s.primary == nil || len(s.followers) == 0 {
+		return nil
+	}
+	resp, err := s.primary.do("/repl")
+	if err != nil {
+		return err
+	}
+	var next uint64
+	for _, row := range resp.Rows {
+		if len(row) == 2 && row[0] == "next" {
+			next, _ = strconv.ParseUint(row[1], 10, 64)
+		}
+	}
+	if next == 0 {
+		return nil // volatile primary: nothing to fence on
+	}
+	cmd := fmt.Sprintf("/replwait %d %d", next, timeout.Milliseconds())
+	for _, f := range s.followers {
+		resp, err := f.do(cmd)
+		if err != nil {
+			return fmt.Errorf("server: fence %s: %w", f.addr, err)
+		}
+		if resp.Err != "" {
+			return fmt.Errorf("server: fence %s: %s", f.addr, resp.Err)
+		}
+	}
+	return nil
+}
+
+// ---- crackdb.Backend ----
+
+var _ crackdb.Backend = (*Session)(nil)
+
+// insertChunk bounds one INSERT statement so huge loads stay well under
+// the frame limit.
+const insertChunk = 2048
+
+// CreateTable creates the table on the primary; replication carries it
+// to the followers.
+func (s *Session) CreateTable(name string, cols ...string) error {
+	_, err := s.write(fmt.Sprintf("CREATE TABLE %s (%s)", name, strings.Join(cols, ", ")))
+	return err
+}
+
+// DropTable drops the table on the primary.
+func (s *Session) DropTable(name string) error {
+	_, err := s.write("DROP TABLE " + name)
+	return err
+}
+
+// InsertRows appends rows via the primary, chunked into bounded INSERT
+// statements.
+func (s *Session) InsertRows(table string, rows [][]int64) error {
+	for len(rows) > 0 {
+		chunk := rows
+		if len(chunk) > insertChunk {
+			chunk = chunk[:insertChunk]
+		}
+		rows = rows[len(chunk):]
+		var b strings.Builder
+		b.WriteString("INSERT INTO ")
+		b.WriteString(table)
+		b.WriteString(" VALUES ")
+		for i, row := range chunk {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteByte('(')
+			for j, v := range row {
+				if j > 0 {
+					b.WriteByte(',')
+				}
+				b.WriteString(strconv.FormatInt(v, 10))
+			}
+			b.WriteByte(')')
+		}
+		if _, err := s.write(b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Delete removes matching tuples via the primary and reports the count.
+func (s *Session) Delete(table string, conds ...crackdb.Cond) (int, error) {
+	resp, err := s.write("DELETE FROM " + table + whereClause(conds))
+	if err != nil {
+		return 0, err
+	}
+	var n int
+	fmt.Sscanf(resp.Message, "deleted %d", &n)
+	return n, nil
+}
+
+// Select answers the inclusive range query from a reader.
+func (s *Session) Select(table, col string, low, high int64) (crackdb.Rows, error) {
+	return s.SelectWhere(table,
+		crackdb.Cond{Col: col, Op: ">=", Val: low},
+		crackdb.Cond{Col: col, Op: "<=", Val: high})
+}
+
+// Count is Select without materialization.
+func (s *Session) Count(table, col string, low, high int64) (int, error) {
+	return s.CountWhere(table,
+		crackdb.Cond{Col: col, Op: ">=", Val: low},
+		crackdb.Cond{Col: col, Op: "<=", Val: high})
+}
+
+// SelectWhere answers a conjunctive selection from a reader.
+func (s *Session) SelectWhere(table string, conds ...crackdb.Cond) (crackdb.Rows, error) {
+	resp, err := s.read("SELECT * FROM " + table + whereClause(conds))
+	if err != nil {
+		return nil, err
+	}
+	return newWireRows(resp)
+}
+
+// CountWhere counts a conjunctive selection on a reader.
+func (s *Session) CountWhere(table string, conds ...crackdb.Cond) (int, error) {
+	resp, err := s.read("SELECT COUNT(*) FROM " + table + whereClause(conds))
+	if err != nil {
+		return 0, err
+	}
+	v, err := resp.Int64(0, 0)
+	return int(v), err
+}
+
+// SelectBatch pipelines the ranges to one reader in a single flush.
+func (s *Session) SelectBatch(table, col string, ranges []crackdb.Range, opts ...crackdb.BatchOption) ([]crackdb.Rows, error) {
+	stmts := make([]string, len(ranges))
+	for i, r := range ranges {
+		stmts[i] = fmt.Sprintf("SELECT * FROM %s WHERE %s >= %d AND %s <= %d", table, col, r.Low, col, r.High)
+	}
+	resps, err := s.readBatch(stmts)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]crackdb.Rows, len(resps))
+	for i, resp := range resps {
+		if resp.Err != "" {
+			return nil, fmt.Errorf("server: %s", resp.Err)
+		}
+		if out[i], err = newWireRows(resp); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// CountBatch pipelines the range counts to one reader; the server's
+// window batching folds them into one vectorized store entry.
+func (s *Session) CountBatch(table, col string, ranges []crackdb.Range, opts ...crackdb.BatchOption) ([]int, error) {
+	stmts := make([]string, len(ranges))
+	for i, r := range ranges {
+		stmts[i] = fmt.Sprintf("SELECT COUNT(*) FROM %s WHERE %s >= %d AND %s <= %d", table, col, r.Low, col, r.High)
+	}
+	resps, err := s.readBatch(stmts)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, len(resps))
+	for i, resp := range resps {
+		if resp.Err != "" {
+			return nil, fmt.Errorf("server: %s", resp.Err)
+		}
+		v, err := resp.Int64(0, 0)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = int(v)
+	}
+	return out, nil
+}
+
+// GroupBy clusters the column on a reader (the engine's Ω fast path).
+func (s *Session) GroupBy(table, col string) ([]crackdb.GroupInfo, error) {
+	resp, err := s.read(fmt.Sprintf("SELECT %s, COUNT(*) FROM %s GROUP BY %s", col, table, col))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]crackdb.GroupInfo, len(resp.Rows))
+	for i := range resp.Rows {
+		v, err := resp.Int64(i, 0)
+		if err != nil {
+			return nil, err
+		}
+		n, err := resp.Int64(i, 1)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = crackdb.GroupInfo{Value: v, Count: int(n)}
+	}
+	return out, nil
+}
+
+// Tables lists the tables as seen by a reader.
+func (s *Session) Tables() []string {
+	resp, err := s.read("/tables")
+	if err != nil {
+		return nil
+	}
+	out := make([]string, 0, len(resp.Rows))
+	for _, row := range resp.Rows {
+		if len(row) > 0 {
+			out = append(out, row[0])
+		}
+	}
+	return out
+}
+
+// Columns lists a table's columns as seen by a reader.
+func (s *Session) Columns(table string) ([]string, error) {
+	resp, err := s.read("/tables")
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range resp.Rows {
+		if len(row) == 3 && row[0] == table {
+			if row[2] == "" {
+				return nil, nil
+			}
+			return strings.Split(row[2], ","), nil
+		}
+	}
+	return nil, fmt.Errorf("server: unknown table %q", table)
+}
+
+// whereClause renders a conjunction (empty conds render nothing).
+func whereClause(conds []crackdb.Cond) string {
+	if len(conds) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString(" WHERE ")
+	for i, c := range conds {
+		if i > 0 {
+			b.WriteString(" AND ")
+		}
+		fmt.Fprintf(&b, "%s %s %d", c.Col, c.Op, c.Val)
+	}
+	return b.String()
+}
+
+// wireRows is a decoded tabular SELECT * result satisfying
+// crackdb.Rows: count plus by-name column projection, resolved locally
+// against the header the server sent.
+type wireRows struct {
+	cols []string
+	vals [][]int64
+}
+
+func newWireRows(resp *Response) (*wireRows, error) {
+	w := &wireRows{cols: resp.Columns, vals: make([][]int64, len(resp.Rows))}
+	for i, row := range resp.Rows {
+		vals := make([]int64, len(row))
+		for j, cell := range row {
+			v, err := strconv.ParseInt(cell, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("server: non-integer cell %q in result", cell)
+			}
+			vals[j] = v
+		}
+		w.vals[i] = vals
+	}
+	return w, nil
+}
+
+// Count reports the qualifying-tuple count.
+func (w *wireRows) Count() int { return len(w.vals) }
+
+// Rows projects the named columns (all columns when none are named).
+func (w *wireRows) Rows(cols ...string) ([][]int64, error) {
+	if len(cols) == 0 {
+		return w.vals, nil
+	}
+	idx := make([]int, len(cols))
+	for i, c := range cols {
+		idx[i] = -1
+		for j, have := range w.cols {
+			if have == c {
+				idx[i] = j
+				break
+			}
+		}
+		if idx[i] < 0 {
+			return nil, fmt.Errorf("server: result has no column %q", c)
+		}
+	}
+	out := make([][]int64, len(w.vals))
+	for i, row := range w.vals {
+		proj := make([]int64, len(idx))
+		for j, k := range idx {
+			proj[j] = row[k]
+		}
+		out[i] = proj
+	}
+	return out, nil
+}

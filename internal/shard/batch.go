@@ -11,7 +11,6 @@ package shard
 
 import (
 	"crackdb"
-	"crackdb/internal/sql"
 )
 
 // subBatch is the slice of a batch routed to one shard: the ranges plus
@@ -79,7 +78,7 @@ func (s *Store) CountBatch(table, col string, ranges []crackdb.Range, opts ...cr
 // sub-batch per target shard, merging the per-shard answers into one
 // canonical Result per predicate (the same shape SelectWhere returns).
 // Results come back in submission order.
-func (s *Store) SelectBatch(table, col string, ranges []crackdb.Range, opts ...crackdb.BatchOption) ([]sql.Rows, error) {
+func (s *Store) SelectBatch(table, col string, ranges []crackdb.Range, opts ...crackdb.BatchOption) ([]crackdb.Rows, error) {
 	m, part, err := s.meta(table)
 	if err != nil {
 		return nil, err
@@ -107,7 +106,7 @@ func (s *Store) SelectBatch(table, col string, ranges []crackdb.Range, opts ...c
 	}); err != nil {
 		return nil, err
 	}
-	out := make([]sql.Rows, len(ranges))
+	out := make([]crackdb.Rows, len(ranges))
 	for i := range parts {
 		merged := &Result{}
 		for _, p := range parts[i] {

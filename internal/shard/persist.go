@@ -273,9 +273,14 @@ func bumpBoots(path string) int64 {
 	return n
 }
 
-// Apply replays one WAL record against the router — the boot-time
-// inverse of the logging in the mutating methods. Only call before the
-// WAL is attached (replay must not re-log itself).
+// Apply replays one WAL record against the router — the inverse of the
+// logging in the mutating methods. It routes through the public
+// mutators, so its logging behaviour follows the WAL attachment: during
+// boot replay the WAL is not yet attached and nothing is re-logged,
+// while on a follower (WAL attached) every applied record re-logs
+// exactly one local record — the follower's log mirrors the primary's
+// seq for seq, which is what makes the local log frontier the replayed
+// position after a crash.
 func (s *Store) Apply(rec durable.Record) error {
 	switch rec.Kind {
 	case durable.KindCreate:
@@ -298,6 +303,13 @@ func (s *Store) Apply(rec durable.Record) error {
 			return s.SetCrackStrategy(rec.Name, rec.Seed)
 		}
 		return s.SetShardCrackStrategy(rec.Shard, rec.Name, rec.Seed)
+	case durable.KindDelete:
+		conds := make([]crackdb.Cond, len(rec.Conds))
+		for i, c := range rec.Conds {
+			conds[i] = crackdb.Cond{Col: c.Col, Op: c.Op, Val: c.Val}
+		}
+		_, err := s.Delete(rec.Table, conds...)
+		return err
 	default:
 		return fmt.Errorf("shard: cannot apply WAL record kind %v", rec.Kind)
 	}

@@ -1,0 +1,176 @@
+package shard
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"crackdb/internal/durable"
+)
+
+// Replication surface of a durable sharded store. The WAL already is the
+// replication stream — an append-only, checksummed, sequence-numbered
+// record of every logical mutation, logged at the router before routing
+// — so a primary only needs to expose three things: its committed log
+// positions (ReplStatus/ReplSignal), committed-record reads from any
+// position (ReplRead), and the checkpoint image a new follower bootstraps
+// from (ReplManifest/ReplReadFile). Everything here is pull-based: the
+// follower drives, the primary never pushes, and the existing framed
+// request/response protocol carries it all (internal/server's /repl*
+// metas).
+
+// ReplStatus reports the attached log's replication positions: the base
+// of the live segment (== the seq the newest checkpoint covers), the
+// next seq to be assigned, and the durable frontier (one past the last
+// record on stable storage).
+func (s *Store) ReplStatus() (base, next, frontier uint64, ok bool) {
+	s.walMu.RLock()
+	defer s.walMu.RUnlock()
+	if s.wal == nil {
+		return 0, 0, 0, false
+	}
+	st := s.wal.Status()
+	frontier, _ = s.wal.CommitSignal()
+	return st.BaseSeq, st.NextSeq, frontier, true
+}
+
+// ReplSignal returns the durable frontier and a channel closed the next
+// time it moves — what a long-polling /replpull blocks on instead of
+// spinning.
+func (s *Store) ReplSignal() (uint64, <-chan struct{}, bool) {
+	s.walMu.RLock()
+	defer s.walMu.RUnlock()
+	if s.wal == nil {
+		return 0, nil, false
+	}
+	frontier, ch := s.wal.CommitSignal()
+	return frontier, ch, true
+}
+
+// ApplyBarrier returns once every mutation in flight at the call has
+// fully applied. A record's seq is assigned when it is logged, before
+// its in-memory application finishes, and every logged mutator holds
+// walMu shared across both steps — so "next seq reached X" alone does
+// not mean record X-1 is queryable yet. Taking the lock exclusively
+// drains those holders; /replwait uses this so a fence never releases
+// a reader into a half-applied batch.
+func (s *Store) ApplyBarrier() {
+	s.walMu.Lock()
+	//lint:ignore SA2001 the empty critical section IS the barrier
+	s.walMu.Unlock()
+}
+
+// ReplRead reads committed records from seq on (bounded by maxBytes of
+// encoded payload), returning them with the next seq to request. A
+// position rotated out of both the live log and its archives returns
+// *durable.SnapshotRequiredError — the follower must bootstrap from the
+// checkpoint image instead.
+func (s *Store) ReplRead(from uint64, maxBytes int) ([]durable.Record, uint64, error) {
+	s.walMu.RLock()
+	w := s.wal
+	s.walMu.RUnlock()
+	if w == nil {
+		return nil, from, fmt.Errorf("shard: store is not durable")
+	}
+	return w.ReadCommitted(from, maxBytes)
+}
+
+// SnapshotFile is one file of the checkpoint image.
+type SnapshotFile struct {
+	Path string `json:"path"` // relative to the store snapshot root
+	Size int64  `json:"size"`
+}
+
+// SnapshotManifest describes the checkpoint image a follower bootstraps
+// from: the WAL seq the image covers (== the live log's base, by the
+// rotate-on-checkpoint invariant) plus the image's file list. A store
+// that has never checkpointed reports Seq 0 and no files — the follower
+// simply replays the whole log.
+type SnapshotManifest struct {
+	Seq   uint64         `json:"seq"`
+	Files []SnapshotFile `json:"files"`
+}
+
+// ReplManifest walks the checkpoint image under the replication read
+// lock, so a concurrent Checkpoint cannot swap the image mid-listing:
+// the manifest always describes one consistent snapshot, stamped with
+// the log base it equals.
+func (s *Store) ReplManifest() (SnapshotManifest, error) {
+	s.walMu.RLock()
+	defer s.walMu.RUnlock()
+	if s.wal == nil || s.dataDir == "" {
+		return SnapshotManifest{}, fmt.Errorf("shard: store is not durable")
+	}
+	m := SnapshotManifest{Seq: s.wal.Status().BaseSeq}
+	root := filepath.Join(s.dataDir, dataStoreDir)
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			if os.IsNotExist(err) && path == root {
+				return nil // never checkpointed: empty image
+			}
+			return err
+		}
+		if d.IsDir() {
+			return nil
+		}
+		info, err := d.Info()
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		m.Files = append(m.Files, SnapshotFile{Path: filepath.ToSlash(rel), Size: info.Size()})
+		return nil
+	})
+	if err != nil {
+		return SnapshotManifest{}, err
+	}
+	sort.Slice(m.Files, func(i, j int) bool { return m.Files[i].Path < m.Files[j].Path })
+	return m, nil
+}
+
+// ReplReadFile reads a chunk of one checkpoint-image file. seq fences
+// the read against checkpoints: if the image has been superseded since
+// the follower fetched its manifest (the live log's base moved), the
+// read refuses instead of serving bytes from a different snapshot. A
+// short (or empty) return near the end of the file is normal.
+func (s *Store) ReplReadFile(seq uint64, rel string, off int64, n int) ([]byte, error) {
+	if n <= 0 || n > 4<<20 {
+		return nil, fmt.Errorf("shard: bad chunk size %d", n)
+	}
+	clean := filepath.Clean(filepath.FromSlash(rel))
+	if filepath.IsAbs(clean) || clean == ".." || strings.HasPrefix(clean, ".."+string(filepath.Separator)) {
+		return nil, fmt.Errorf("shard: bad snapshot path %q", rel)
+	}
+	s.walMu.RLock()
+	defer s.walMu.RUnlock()
+	if s.wal == nil || s.dataDir == "" {
+		return nil, fmt.Errorf("shard: store is not durable")
+	}
+	if base := s.wal.Status().BaseSeq; base != seq {
+		return nil, fmt.Errorf("shard: snapshot superseded (image at seq %d, requested %d)", base, seq)
+	}
+	f, err := os.Open(filepath.Join(s.dataDir, dataStoreDir, clean))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, n)
+	read, err := f.ReadAt(buf, off)
+	if err != nil && err != io.EOF {
+		return nil, err
+	}
+	return buf[:read], nil
+}
+
+// Options returns the store's sharding configuration — what a follower
+// mirrors so the logical WAL records route identically on its side.
+func (s *Store) Options() Options {
+	return s.opts
+}

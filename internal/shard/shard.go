@@ -8,7 +8,7 @@
 // sequential walk per range shard, but an unrelated trickle per hash
 // shard).
 //
-// The router implements internal/sql.Backend, so the SQL executor runs
+// The router implements crackdb.Backend, so the SQL executor runs
 // unchanged over one store or many. Selections fan out to the shards
 // that can hold qualifying keys (all of them for hashed range
 // predicates, a contiguous subset for range partitioning, exactly one
@@ -27,7 +27,6 @@ import (
 	"crackdb/internal/core"
 	"crackdb/internal/durable"
 	"crackdb/internal/mqs"
-	"crackdb/internal/sql"
 	"crackdb/internal/strategy"
 )
 
@@ -450,11 +449,76 @@ func (m *tableMeta) targets(part partitioner, conds []crackdb.Cond) (first, last
 	return first, last, false
 }
 
+// Select answers the inclusive range query low <= col <= high through
+// the conjunction path, so the range routes by the partition key when
+// col is the key and cracks every target shard otherwise.
+func (s *Store) Select(table, col string, low, high int64) (crackdb.Rows, error) {
+	return s.SelectWhere(table,
+		crackdb.Cond{Col: col, Op: ">=", Val: low},
+		crackdb.Cond{Col: col, Op: "<=", Val: high})
+}
+
+// Count is Select without materialization.
+func (s *Store) Count(table, col string, low, high int64) (int, error) {
+	return s.CountWhere(table,
+		crackdb.Cond{Col: col, Op: ">=", Val: low},
+		crackdb.Cond{Col: col, Op: "<=", Val: high})
+}
+
+// Delete tombstones the tuples matching the conjunction on every target
+// shard. Like InsertRows, the logical delete is logged once at the
+// router — before any shard applies it — so replay (and replication)
+// re-routes the predicate instead of re-reading per-shard effects.
+func (s *Store) Delete(table string, conds ...crackdb.Cond) (int, error) {
+	return s.delete(table, conds, true)
+}
+
+func (s *Store) delete(table string, conds []crackdb.Cond, logIt bool) (int, error) {
+	s.walMu.RLock()
+	defer s.walMu.RUnlock()
+	m, part, err := s.meta(table)
+	if err != nil {
+		return 0, err
+	}
+	if logIt {
+		wconds := make([]durable.Cond, len(conds))
+		for i, c := range conds {
+			wconds[i] = durable.Cond{Col: c.Col, Op: c.Op, Val: c.Val}
+		}
+		if err := s.logRecord(durable.Record{Kind: durable.KindDelete, Table: table, Conds: wconds}); err != nil {
+			return 0, err
+		}
+	}
+	first, last, empty := m.targets(part, conds)
+	if empty {
+		return 0, nil
+	}
+	counts := make([]int, last-first+1)
+	errs := make([]error, last-first+1)
+	var wg sync.WaitGroup
+	for t := first; t <= last; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			counts[t-first], errs[t-first] = s.shards[t].Delete(table, conds...)
+		}(t)
+	}
+	wg.Wait()
+	total := 0
+	for i, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+		total += counts[i]
+	}
+	return total, nil
+}
+
 // SelectWhere fans the conjunction out to the shards whose key interval
 // overlaps the predicates and merges their answers. Each target shard
 // receives the full conjunction, so its cracker sees exactly the
 // workload slice routed to it.
-func (s *Store) SelectWhere(table string, conds ...crackdb.Cond) (sql.Rows, error) {
+func (s *Store) SelectWhere(table string, conds ...crackdb.Cond) (crackdb.Rows, error) {
 	m, part, err := s.meta(table)
 	if err != nil {
 		return nil, err
@@ -736,5 +800,5 @@ func (r *Result) Rows(cols ...string) ([][]int64, error) {
 	return out, nil
 }
 
-var _ sql.Backend = (*Store)(nil)
-var _ sql.Rows = (*Result)(nil)
+var _ crackdb.Backend = (*Store)(nil)
+var _ crackdb.Rows = (*Result)(nil)

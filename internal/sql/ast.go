@@ -71,6 +71,13 @@ func (it SelectItem) Label() string {
 	}
 }
 
+// Delete is DELETE FROM table [WHERE conj]. Without WHERE it deletes
+// every row (the table remains).
+type Delete struct {
+	Table string
+	Where []Cond
+}
+
 // Cond is one comparison of the WHERE conjunction.
 type Cond struct {
 	Col string
@@ -96,4 +103,5 @@ type Select struct {
 func (CreateTable) stmt() {}
 func (DropTable) stmt()   {}
 func (Insert) stmt()      {}
+func (Delete) stmt()      {}
 func (Select) stmt()      {}

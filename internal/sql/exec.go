@@ -7,29 +7,15 @@ import (
 	"crackdb"
 )
 
-// Rows is the executor's view of a selection result: a qualifying-tuple
-// count plus attribute fetch by OID. *crackdb.Result satisfies it for a
-// single store; internal/shard's merged result satisfies it for a
-// partitioned one.
-type Rows interface {
-	Count() int
-	Rows(cols ...string) ([][]int64, error)
-}
-
-// Backend is the storage surface the executor runs on. A single
-// *crackdb.Store satisfies it (via NewEngine's adapter); a sharded store
-// satisfies it by fanning each call out to its shards and merging.
-// Every implementation must be safe for concurrent use — the network
-// server executes statements from many connections on one engine.
-type Backend interface {
-	CreateTable(name string, cols ...string) error
-	DropTable(name string) error
-	InsertRows(name string, rows [][]int64) error
-	SelectWhere(table string, conds ...crackdb.Cond) (Rows, error)
-	CountWhere(table string, conds ...crackdb.Cond) (int, error)
-	GroupBy(table, col string) ([]crackdb.GroupInfo, error)
-	Columns(table string) ([]string, error)
-}
+// Rows and Backend are the root crackdb interfaces: the executor's
+// storage surface was promoted to crackdb.Backend so the engine, the
+// shard router, the wire session and the replication code all program
+// against one shape. The aliases keep this package's historical names
+// working.
+type (
+	Rows    = crackdb.Rows
+	Backend = crackdb.Backend
+)
 
 // Engine executes parsed statements against a cracking backend. WHERE
 // conjunctions are routed through Backend.SelectWhere, so every executed
@@ -40,7 +26,7 @@ type Engine struct {
 
 // NewEngine wraps a single store.
 func NewEngine(store *crackdb.Store) *Engine {
-	return &Engine{store: storeBackend{store}}
+	return &Engine{store: store.Backend()}
 }
 
 // NewEngineOn wraps any backend (e.g. a shard router).
@@ -55,20 +41,10 @@ func (e *Engine) Backend() Backend { return e.store }
 // built with NewEngine, or nil for any other backend. Callers needing
 // store-only surfaces (stats, lineage, persistence) must handle nil.
 func (e *Engine) Store() *crackdb.Store {
-	if sb, ok := e.store.(storeBackend); ok {
-		return sb.Store
+	if u, ok := e.store.(interface{ Unwrap() *crackdb.Store }); ok {
+		return u.Unwrap()
 	}
 	return nil
-}
-
-// storeBackend adapts *crackdb.Store to Backend: the only mismatch is
-// SelectWhere's concrete *crackdb.Result return type.
-type storeBackend struct {
-	*crackdb.Store
-}
-
-func (s storeBackend) SelectWhere(table string, conds ...crackdb.Cond) (Rows, error) {
-	return s.Store.SelectWhere(table, conds...)
 }
 
 // ResultSet is a tabular statement result. DDL and DML return a nil
@@ -124,6 +100,16 @@ func (e *Engine) ExecStmt(stmt Stmt) (*ResultSet, error) {
 			return nil, err
 		}
 		return &ResultSet{Message: fmt.Sprintf("inserted %d rows into %s", len(s.Rows), s.Table)}, nil
+	case Delete:
+		conds := make([]crackdb.Cond, len(s.Where))
+		for i, c := range s.Where {
+			conds[i] = crackdb.Cond{Col: c.Col, Op: c.Op, Val: c.Val}
+		}
+		n, err := e.store.Delete(s.Table, conds...)
+		if err != nil {
+			return nil, err
+		}
+		return &ResultSet{Message: fmt.Sprintf("deleted %d rows from %s", n, s.Table)}, nil
 	case Select:
 		return e.execSelect(s)
 	default:

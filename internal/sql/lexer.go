@@ -45,6 +45,7 @@ var keywords = map[string]bool{
 	"VALUES": true, "CREATE": true, "TABLE": true, "DROP": true,
 	"INT": true, "INTEGER": true, "COUNT": true, "SUM": true,
 	"MIN": true, "MAX": true, "BETWEEN": true, "AS": true,
+	"DELETE": true,
 }
 
 // Lex tokenizes the input. Errors carry the byte position of the

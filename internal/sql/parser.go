@@ -114,6 +114,8 @@ func (p *parser) statement() (Stmt, error) {
 		return p.dropTable()
 	case "INSERT":
 		return p.insert()
+	case "DELETE":
+		return p.deleteStmt()
 	case "SELECT":
 		return p.selectStmt()
 	default:
@@ -206,6 +208,27 @@ func (p *parser) insert() (Stmt, error) {
 		}
 		return Insert{Table: table, Rows: rows}, nil
 	}
+}
+
+func (p *parser) deleteStmt() (Stmt, error) {
+	p.next() // DELETE
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	del := Delete{Table: table}
+	if t := p.peek(); t.Kind == TokKeyword && t.Text == "WHERE" {
+		p.next()
+		conds, err := p.conjunction()
+		if err != nil {
+			return nil, err
+		}
+		del.Where = conds
+	}
+	return del, nil
 }
 
 func (p *parser) selectStmt() (Stmt, error) {

@@ -1,6 +1,7 @@
 package sql
 
 import (
+	"sort"
 	"strings"
 	"testing"
 
@@ -384,5 +385,55 @@ func TestGroupByOmegaFastPathAgrees(t *testing.T) {
 	}
 	if st.Pieces < 3 {
 		t.Fatalf("Ω fast path did not cluster: %+v", st)
+	}
+}
+
+func TestDeleteStatement(t *testing.T) {
+	e := NewEngine(crackdb.New())
+	if _, err := e.ExecScript(`
+		CREATE TABLE r (a, b);
+		INSERT INTO r VALUES (1, 10), (2, 20), (3, 30), (4, 40), (5, 50);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := e.Exec("DELETE FROM r WHERE a >= 2 AND a <= 4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Message != "deleted 3 rows from r" {
+		t.Fatalf("message %q", rs.Message)
+	}
+	cnt, err := e.Exec("SELECT COUNT(*) FROM r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cnt.Rows[0][0]; got != 2 {
+		t.Fatalf("COUNT(*) after delete = %d, want 2", got)
+	}
+	rows, err := e.Exec("SELECT a FROM r WHERE a >= 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []int64
+	for _, row := range rows.Rows {
+		got = append(got, row[0])
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	if len(got) != 2 || got[0] != 1 || got[1] != 5 {
+		t.Fatalf("surviving rows %v, want [1 5]", got)
+	}
+	// BETWEEN sugar and unconditional delete.
+	if _, err := e.Exec("DELETE FROM r WHERE a BETWEEN 1 AND 1"); err != nil {
+		t.Fatal(err)
+	}
+	rs, err = e.Exec("DELETE FROM r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Message != "deleted 1 rows from r" {
+		t.Fatalf("unconditional delete message %q", rs.Message)
+	}
+	if _, err := e.Exec("DELETE FROM missing"); err == nil {
+		t.Fatal("DELETE from a missing table did not error")
 	}
 }

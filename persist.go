@@ -37,7 +37,12 @@ type manifest struct {
 type manifestTable struct {
 	Name    string   `json:"name"`
 	Columns []string `json:"columns"`
-	Rows    int      `json:"rows"`
+	Rows    int      `json:"rows"` // physical rows, tombstoned included
+
+	// Deleted lists the tombstoned OIDs. The BAT images keep deleted rows
+	// (OID stability), so the manifest must carry the tombstone set for a
+	// cold reopen to rebuild the same live view.
+	Deleted []uint32 `json:"deleted,omitempty"`
 }
 
 const (
@@ -72,6 +77,11 @@ func (s *Store) saveLocked(dir string, warm bool) error {
 	m.Version = 1
 	for name, t := range s.tables {
 		mt := manifestTable{Name: name, Columns: t.ColumnNames(), Rows: t.Len()}
+		if ct, ok := s.cracked[name]; ok {
+			for _, oid := range ct.Tombstones() {
+				mt.Deleted = append(mt.Deleted, uint32(oid))
+			}
+		}
 		for _, col := range mt.Columns {
 			b, err := t.Column(col)
 			if err != nil {
@@ -154,8 +164,22 @@ func Open(dir string) (*Store, error) {
 			return nil, err
 		}
 		s.tables[mt.Name] = t
-		if err := s.registerTableLocked(mt.Name, mt.Columns, mt.Rows); err != nil {
+		if err := s.registerTableLocked(mt.Name, mt.Columns, mt.Rows-len(mt.Deleted)); err != nil {
 			return nil, err
+		}
+		if len(mt.Deleted) > 0 {
+			// Tombstones force the cracked wrapper into existence now:
+			// columns restored (or lazily created) later must inherit the
+			// set at birth, and RestoreTombstones refuses once any exist.
+			ct := s.newCrackedTableLocked(mt.Name, t)
+			oids := make([]bat.OID, len(mt.Deleted))
+			for i, o := range mt.Deleted {
+				oids[i] = bat.OID(o)
+			}
+			if err := ct.RestoreTombstones(oids); err != nil {
+				return nil, fmt.Errorf("crackdb: restore %s: %w", mt.Name, err)
+			}
+			s.cracked[mt.Name] = ct
 		}
 	}
 	return s, nil
@@ -291,6 +315,13 @@ func (s *Store) Apply(rec durable.Record) error {
 		return s.LoadTapestry(rec.Table, rec.N, rec.Alpha, rec.Seed)
 	case durable.KindStrategy:
 		return s.SetCrackStrategy(rec.Name, rec.Seed)
+	case durable.KindDelete:
+		conds := make([]Cond, len(rec.Conds))
+		for i, c := range rec.Conds {
+			conds[i] = Cond{Col: c.Col, Op: c.Op, Val: c.Val}
+		}
+		_, err := s.Delete(rec.Table, conds...)
+		return err
 	default:
 		return fmt.Errorf("crackdb: cannot apply WAL record kind %v", rec.Kind)
 	}

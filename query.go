@@ -3,6 +3,7 @@ package crackdb
 import (
 	"fmt"
 
+	"crackdb/internal/durable"
 	"crackdb/internal/expr"
 )
 
@@ -68,6 +69,59 @@ func (s *Store) SelectWhere(table string, conds ...Cond) (*Result, error) {
 		return nil, err
 	}
 	return &Result{store: s, table: t, cracked: ct, oids: oids}, nil
+}
+
+// Delete removes the tuples matching the conjunction (every tuple when
+// the conjunction is empty) and reports how many were deleted. The WAL
+// record is the predicate, not the resolved OIDs: given an identical
+// record prefix the predicate selects identical tuples, so replicas
+// replaying the log — whose physical crack order legitimately differs —
+// converge on the same live set. Deleted tuples are tombstoned, not
+// compacted away: OID stability is what keeps cracker columns and
+// sideways maps aligned (see core.CrackedTable.DeleteOIDs).
+func (s *Store) Delete(table string, conds ...Cond) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tables[table]
+	if !ok {
+		return 0, fmt.Errorf("crackdb: table %q does not exist", table)
+	}
+	term := make(expr.Term, 0, len(conds))
+	wconds := make([]durable.Cond, 0, len(conds))
+	for _, c := range conds {
+		op, err := opOf(c.Op)
+		if err != nil {
+			return 0, err
+		}
+		if !t.HasColumn(c.Col) {
+			return 0, fmt.Errorf("crackdb: table %q has no column %q", table, c.Col)
+		}
+		term = append(term, expr.Pred{Col: c.Col, Op: op, Val: c.Val})
+		wconds = append(wconds, durable.Cond{Col: c.Col, Op: c.Op, Val: c.Val})
+	}
+	if err := s.logRecord(durable.Record{Kind: durable.KindDelete, Table: table, Conds: wconds}); err != nil {
+		return 0, err
+	}
+	ct, ok := s.cracked[table]
+	if !ok {
+		ct = s.newCrackedTableLocked(table, t)
+		s.cracked[table] = ct
+	}
+	oids, _, err := ct.SelectTermPlanned(term)
+	if err != nil {
+		return 0, err
+	}
+	n := ct.DeleteOIDs(oids)
+	// Sideways maps may hold the deleted OIDs in their aligned payload
+	// vectors; drop them and let future projections rebuild from the
+	// post-delete columns.
+	if n > 0 {
+		s.sideways.DropTable(table)
+	}
+	if err := s.cat.SetRows(table, ct.LiveLen()); err != nil {
+		return 0, err
+	}
+	return n, nil
 }
 
 // CountWhere is SelectWhere returning only the qualifying-tuple count.
