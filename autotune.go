@@ -1,0 +1,170 @@
+package crackdb
+
+// Workload-adaptive strategy auto-tuning: the store-side binding of
+// internal/tuner. When enabled, every answered selection's bounds are
+// fed (outside all table and column locks — the same safe point the
+// sideways lockstep observer uses) to a per-column monitor; when the
+// monitor detects a hostile bound pattern it advises a strategy, and
+// the store hot-swaps the column — and its sideways map, in lockstep —
+// to that strategy. A flip only changes future pivot advice, never
+// registered cuts, so results stay byte-identical to any fixed-strategy
+// run; see DESIGN.md (Workload-adaptive tuning) for the safety
+// argument and the decision table.
+
+import (
+	"fmt"
+
+	"crackdb/internal/core"
+	"crackdb/internal/expr"
+	"crackdb/internal/strategy"
+	"crackdb/internal/tuner"
+)
+
+// autoTuner is the store's live auto-tuning state, published through an
+// atomic pointer so the select observer reads it lock-free.
+type autoTuner struct {
+	t *tuner.Tuner
+}
+
+// EnableAutotune turns on workload-adaptive strategy selection with the
+// given monitor configuration (zero-valued fields take tuner defaults).
+// Posture restored from a warm snapshot — per-column decisions, flip
+// counters, operator pins — is adopted by the new tuner. Enabling twice
+// is a no-op.
+func (s *Store) EnableAutotune(cfg tuner.Config) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.autotune.Load() != nil {
+		return
+	}
+	at := &autoTuner{t: tuner.New(cfg)}
+	if len(s.pendingTuner) > 0 {
+		at.t.Restore(s.pendingTuner)
+		s.pendingTuner = nil
+	}
+	s.autotune.Store(at)
+	// Future sideways maps must consult per-column decisions even when
+	// the store default is standard (which installs no factory).
+	s.sideways.SetStrategyFactory(s.sidewaysStrategyLocked())
+}
+
+// AutotuneEnabled reports whether the tuner is running.
+func (s *Store) AutotuneEnabled() bool { return s.autotune.Load() != nil }
+
+// TuneDecisions snapshots the tuner's per-column posture, ordered by
+// (table, column). Nil when autotune is disabled.
+func (s *Store) TuneDecisions() []tuner.Decision {
+	at := s.autotune.Load()
+	if at == nil {
+		return nil
+	}
+	return at.t.Decisions()
+}
+
+// ForceStrategy pins (table, col) to a strategy: the column (and its
+// sideways map) flips immediately and the tuner stops auto-flipping it
+// until ReleaseStrategy. The column is created if the table exists but
+// has not been cracked on col yet.
+func (s *Store) ForceStrategy(table, col, name string) error {
+	at := s.autotune.Load()
+	if at == nil {
+		return fmt.Errorf("crackdb: autotune is not enabled")
+	}
+	name, err := canonicalStrategy(name)
+	if err != nil {
+		return err
+	}
+	ct, _, err := s.crackedFor(table)
+	if err != nil {
+		return err
+	}
+	if _, err := ct.ColumnFor(col); err != nil {
+		return err
+	}
+	at.t.Force(table, col)
+	s.flipColumn(ct, table, col, name)
+	at.t.Flipped(table, col, name)
+	return nil
+}
+
+// ReleaseStrategy returns a forced column to automatic control.
+func (s *Store) ReleaseStrategy(table, col string) error {
+	at := s.autotune.Load()
+	if at == nil {
+		return fmt.Errorf("crackdb: autotune is not enabled")
+	}
+	at.t.Release(table, col)
+	return nil
+}
+
+// exportTunerStates returns the persistable tuner posture, nil when
+// autotune is disabled (pending restored state survives a save-before-
+// enable round trip).
+func (s *Store) exportTunerStates() []tuner.ColumnState {
+	if at := s.autotune.Load(); at != nil {
+		return at.t.Export()
+	}
+	return s.pendingTuner
+}
+
+// observe feeds one answered selection to the monitor and applies any
+// advised flip. Runs outside every table and column lock.
+func (at *autoTuner) observe(s *Store, ct *core.CrackedTable, table string, r expr.Range) {
+	c, ok := ct.Column(r.Col)
+	if !ok {
+		return
+	}
+	want, flip := at.t.Observe(table, r.Col, c.StrategyName(), r.Low, r.High)
+	if !flip {
+		return
+	}
+	s.flipColumn(ct, table, r.Col, want)
+	at.t.Flipped(table, r.Col, want)
+}
+
+// flipColumn hot-swaps the strategy of one column and its sideways map.
+// Each swap computes its replacement under the owner's lock via
+// strategy.Handoff, so RNG position carries across the flip and the
+// whole run stays deterministic. A Handoff error (unreachable for
+// tuner-chosen names) keeps the old strategy.
+func (s *Store) flipColumn(ct *core.CrackedTable, table, col, name string) {
+	s.mu.RLock()
+	base := s.strategySeed
+	s.mu.RUnlock()
+	if c, ok := ct.Column(col); ok {
+		c.SwapStrategy(func(old core.CrackStrategy) core.CrackStrategy {
+			next, err := strategy.Handoff(old, name, columnSeed(base, table, col))
+			if err != nil {
+				return old
+			}
+			return next
+		})
+	}
+	s.sideways.SwapStrategy(table, col, func(old core.CrackStrategy) core.CrackStrategy {
+		next, err := strategy.Handoff(old, name, sidewaysSeed(base, table, col))
+		if err != nil {
+			return old
+		}
+		return next
+	})
+}
+
+// columnSeed derives the deterministic seed a tuner flip hands a
+// column's fresh strategy instance: the sideways-map derivation salted
+// so the column and its map never share an RNG stream.
+func columnSeed(base int64, table, col string) int64 {
+	return sidewaysSeed(base, table, col) ^ 0x5bd1e995
+}
+
+// canonicalStrategy validates a strategy name and folds aliases onto
+// the names columns report ("" and "std" → "standard").
+func canonicalStrategy(name string) (string, error) {
+	st, err := strategy.New(name, 0)
+	if err != nil {
+		return "", fmt.Errorf("crackdb: %w", err)
+	}
+	if st == nil {
+		return "standard", nil
+	}
+	return st.Name(), nil
+}

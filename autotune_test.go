@@ -1,0 +1,329 @@
+package crackdb
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"crackdb/internal/tuner"
+	"crackdb/internal/workload"
+)
+
+// aggressiveTune reacts within a few dozen queries so the oracle runs
+// flip several times inside a small stream.
+func aggressiveTune() tuner.Config {
+	return tuner.Config{Window: 16, Confirm: 1, Cooldown: 32, Monotone: 0.85}
+}
+
+// TestAutotuneOracle is the correctness bar for the tuner: for every
+// store-default strategy × workload pattern, a stream with auto flips,
+// an operator-forced mid-stream flip and mid-stream inserts must answer
+// byte-identically to a naive scan. A strategy flip only changes future
+// pivot advice, never existing cuts, so no tolerance is allowed.
+func TestAutotuneOracle(t *testing.T) {
+	const (
+		domain  = 3000
+		nRows   = 3000
+		queries = 240
+	)
+	for _, strat := range []string{"standard", "ddc", "ddr", "mdd1r"} {
+		for _, pattern := range workload.Patterns() {
+			t.Run(strat+"/"+string(pattern), func(t *testing.T) {
+				s := New()
+				if err := s.SetCrackStrategy(strat, 42); err != nil {
+					t.Fatal(err)
+				}
+				s.EnableAutotune(aggressiveTune())
+				if err := s.CreateTable("w", "a", "b"); err != nil {
+					t.Fatal(err)
+				}
+				rng := rand.New(rand.NewSource(17))
+				var oracle []int64 // live values of column a
+				insert := func(n int) {
+					rows := make([][]int64, n)
+					for i := range rows {
+						v := rng.Int63n(domain)
+						rows[i] = []int64{v, v * 3}
+						oracle = append(oracle, v)
+					}
+					if err := s.InsertRows("w", rows); err != nil {
+						t.Fatal(err)
+					}
+				}
+				insert(nRows)
+
+				gen, err := workload.New(pattern, workload.Config{
+					Domain: domain, Count: queries, Selectivity: 0.05, Seed: 5,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for qi, q := range gen.Queries() {
+					switch qi {
+					case 80:
+						// Operator pins a different strategy mid-stream.
+						if err := s.ForceStrategy("w", "a", "ddr"); err != nil {
+							t.Fatal(err)
+						}
+					case 120:
+						insert(500) // mid-stream growth
+					case 160:
+						if err := s.ReleaseStrategy("w", "a"); err != nil {
+							t.Fatal(err)
+						}
+					}
+					lo, hi := q.Lo, q.Hi-1 // generator emits half-open, Count is inclusive
+					want := 0
+					for _, v := range oracle {
+						if v >= lo && v <= hi {
+							want++
+						}
+					}
+					got, err := s.Count("w", "a", lo, hi)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got != want {
+						t.Fatalf("query %d [%d,%d]: count %d, want %d (decisions %+v)",
+							qi, lo, hi, got, want, s.TuneDecisions())
+					}
+					if qi%20 == 0 { // full materialized answer, not just the count
+						res, err := s.Select("w", "a", lo, hi)
+						if err != nil {
+							t.Fatal(err)
+						}
+						gotVals := append([]int64(nil), res.Values()...)
+						var wantVals []int64
+						for _, v := range oracle {
+							if v >= lo && v <= hi {
+								wantVals = append(wantVals, v)
+							}
+						}
+						sort.Slice(gotVals, func(i, j int) bool { return gotVals[i] < gotVals[j] })
+						sort.Slice(wantVals, func(i, j int) bool { return wantVals[i] < wantVals[j] })
+						if len(gotVals) != len(wantVals) {
+							t.Fatalf("query %d: %d values, want %d", qi, len(gotVals), len(wantVals))
+						}
+						for i := range gotVals {
+							if gotVals[i] != wantVals[i] {
+								t.Fatalf("query %d value %d: %d, want %d", qi, i, gotVals[i], wantVals[i])
+							}
+						}
+					}
+				}
+				// The forced flip must be visible in the posture (released,
+				// but at least two flips happened: force + whatever auto did).
+				var seen bool
+				for _, d := range s.TuneDecisions() {
+					if d.Table == "w" && d.Column == "a" {
+						seen = true
+						if d.Flips == 0 {
+							t.Fatalf("no flips recorded after forced mid-stream flip: %+v", d)
+						}
+						if d.Forced {
+							t.Fatalf("column still forced after release: %+v", d)
+						}
+					}
+				}
+				if !seen {
+					t.Fatal("no tuner decision recorded for w.a")
+				}
+			})
+		}
+	}
+}
+
+// TestAutotuneConvergence pins the decision engine's two acceptance
+// behaviors at store level: a sequential walk on a standard store flips
+// the walked column to mdd1r, and a random stream leaves it on standard
+// with zero flips.
+func TestAutotuneConvergence(t *testing.T) {
+	run := func(pattern workload.Pattern) *Store {
+		s := New()
+		s.EnableAutotune(tuner.Config{Window: 16, Confirm: 2, Cooldown: 64, Monotone: 0.85})
+		if err := s.CreateTable("c", "a"); err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(2))
+		rows := make([][]int64, 5000)
+		for i := range rows {
+			rows[i] = []int64{rng.Int63n(5000)}
+		}
+		if err := s.InsertRows("c", rows); err != nil {
+			t.Fatal(err)
+		}
+		gen, err := workload.New(pattern, workload.Config{Domain: 5000, Count: 400, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range gen.Queries() {
+			if _, err := s.Count("c", "a", q.Lo, q.Hi-1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return s
+	}
+
+	seq := run(workload.Sequential).TuneDecisions()
+	if len(seq) != 1 || seq[0].Strategy != "mdd1r" || seq[0].Flips == 0 || seq[0].Class != "sequential" {
+		t.Fatalf("sequential decisions = %+v, want mdd1r with flips > 0", seq)
+	}
+	rnd := run(workload.Random).TuneDecisions()
+	if len(rnd) != 1 || rnd[0].Strategy != "standard" || rnd[0].Flips != 0 {
+		t.Fatalf("random decisions = %+v, want standard with 0 flips", rnd)
+	}
+}
+
+// TestAutotuneFlipUnderConcurrentSelect races strategy flips (auto and
+// forced) against concurrent selects on the same column — the swap is
+// write-locked and the observer runs outside all locks, so every answer
+// must stay exact. Run with -race.
+func TestAutotuneFlipUnderConcurrentSelect(t *testing.T) {
+	s := New()
+	s.EnableAutotune(tuner.Config{Window: 8, Confirm: 1, Cooldown: 8, Monotone: 0.85})
+	if err := s.CreateTable("r", "a"); err != nil {
+		t.Fatal(err)
+	}
+	const domain = 4000
+	counts := make([]int, domain) // value -> multiplicity
+	rng := rand.New(rand.NewSource(4))
+	rows := make([][]int64, 4000)
+	for i := range rows {
+		v := rng.Int63n(domain)
+		rows[i] = []int64{v}
+		counts[v]++
+	}
+	prefix := make([]int, domain+1) // prefix[i] = rows with value < i
+	for i := 0; i < domain; i++ {
+		prefix[i+1] = prefix[i] + counts[i]
+	}
+	if err := s.InsertRows("r", rows); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			pattern := workload.Sequential
+			if g%2 == 1 {
+				pattern = workload.Random
+			}
+			gen, err := workload.New(pattern, workload.Config{Domain: domain, Count: 300, Seed: int64(g)})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for _, q := range gen.Queries() {
+				n, err := s.Count("r", "a", q.Lo, q.Hi-1)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if want := prefix[q.Hi] - prefix[q.Lo]; n != want {
+					t.Errorf("count [%d,%d) = %d, want %d", q.Lo, q.Hi, n, want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			name := []string{"ddc", "ddr", "mdd1r", "standard"}[i%4]
+			if err := s.ForceStrategy("r", "a", name); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := s.ReleaseStrategy("r", "a"); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+// TestWarmReopenAutotune: the learned posture — per-column strategies
+// and tuner state — survives SaveWarm/OpenWarm. The reopened store runs
+// the flipped strategy even before autotune is re-enabled (the strategy
+// rides in the column snapshot), and re-enabling adopts the persisted
+// flip counters and class.
+func TestWarmReopenAutotune(t *testing.T) {
+	live := New()
+	live.EnableAutotune(aggressiveTune())
+	if err := live.CreateTable("p", "a"); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	rows := make([][]int64, 4000)
+	for i := range rows {
+		rows[i] = []int64{rng.Int63n(4000)}
+	}
+	if err := live.InsertRows("p", rows); err != nil {
+		t.Fatal(err)
+	}
+	gen, err := workload.New(workload.Sequential, workload.Config{Domain: 4000, Count: 200, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range gen.Queries() {
+		if _, err := live.Count("p", "a", q.Lo, q.Hi-1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := live.TuneDecisions()
+	if len(before) != 1 || before[0].Strategy != "mdd1r" || before[0].Flips == 0 {
+		t.Fatalf("live decisions = %+v, want a flipped mdd1r column", before)
+	}
+
+	dir := t.TempDir()
+	if err := live.SaveWarm(dir); err != nil {
+		t.Fatal(err)
+	}
+	re, _, err := OpenWarm(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The flipped per-column strategy is already active before autotune
+	// is re-enabled.
+	stats, err := re.CrackedColumnStats("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stats["a"].Strategy; got != "mdd1r" {
+		t.Fatalf("reopened column runs %q, want mdd1r", got)
+	}
+	if d := re.TuneDecisions(); d != nil {
+		t.Fatalf("TuneDecisions before enable = %+v, want nil", d)
+	}
+	re.EnableAutotune(aggressiveTune())
+	after := re.TuneDecisions()
+	if len(after) != 1 {
+		t.Fatalf("reopened decisions = %+v, want 1", after)
+	}
+	if after[0].Strategy != before[0].Strategy || after[0].Flips != before[0].Flips || after[0].Class != before[0].Class {
+		t.Fatalf("posture changed across reopen: %+v -> %+v", before[0], after[0])
+	}
+	// And the reopened store still answers correctly under the restored
+	// posture.
+	for lo := int64(0); lo < 4000; lo += 400 {
+		want := 0
+		for _, r := range rows {
+			if r[0] >= lo && r[0] <= lo+200 {
+				want++
+			}
+		}
+		got, err := re.Count("p", "a", lo, lo+200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("reopened count [%d,%d] = %d, want %d", lo, lo+200, got, want)
+		}
+	}
+}

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	cracksrv [-addr :7744] [-shards 4] [-partition hash|range]
-//	         [-domain 1048576] [-strategy mdd1r] [-seed 42]
+//	         [-domain 1048576] [-strategy mdd1r] [-seed 42] [-autotune]
 //	         [-tapestry name,n,alpha] [-data dir]
 //	         [-follow primaryaddr] [-advertise addr]
 //	         [-http addr] [-slowms n] [-tracesample n]
@@ -37,6 +37,14 @@
 // still keeps archived. Followers replicate the primary's sharding
 // configuration; -shards/-partition/-domain/-strategy are ignored.
 //
+// With -autotune each shard monitors the bound stream per column and
+// hot-swaps the crack strategy when a hostile (sequential, reverse,
+// zoom-in) pattern is detected — /tune inspects or overrides the
+// decisions, and /stats and /metrics report the per-column strategy and
+// flip counters. A warm snapshot persists the learned posture; a
+// follower tunes its own read workload independently (flips are
+// performance posture, never replicated state).
+//
 // Observability is always on (it costs a sampled timing on the
 // converged read path; see internal/obs): /metrics answers the
 // Prometheus text exposition over the frame protocol, -slowms logs
@@ -64,6 +72,7 @@ import (
 	"crackdb/internal/obs"
 	"crackdb/internal/server"
 	"crackdb/internal/shard"
+	"crackdb/internal/tuner"
 )
 
 func main() {
@@ -74,6 +83,7 @@ func main() {
 		domain   = flag.Int64("domain", 1<<20, "key domain upper bound for range partitioning of empty tables")
 		strat    = flag.String("strategy", "standard", "crack strategy on every shard: standard, ddc, ddr, mdd1r")
 		seed     = flag.Int64("seed", 42, "strategy RNG seed (per-shard sub-seeds are derived)")
+		autotune = flag.Bool("autotune", false, "auto-select crack strategies per column from the observed workload (inspect with /tune)")
 		tapestry = flag.String("tapestry", "", "preload a DBtapestry table: name,n,alpha (e.g. bench,100000,2)")
 		dataDir  = flag.String("data", "", "durable data directory (insert WAL + /save snapshots); empty = volatile")
 		follow   = flag.String("follow", "", "run as a read replica of the primary at this address")
@@ -152,6 +162,14 @@ func main() {
 		if err := store.SetCrackStrategy(*strat, *seed); err != nil {
 			fatal(err)
 		}
+	}
+	// After recovery: a warm snapshot may carry tuner posture, which
+	// EnableAutotune adopts. Followers tune independently — strategy
+	// flips shape performance, never results, so they cannot diverge a
+	// replica.
+	if *autotune {
+		store.EnableAutotune(tuner.Config{})
+		logf("autotune enabled (per-column strategy selection; inspect with /tune)")
 	}
 	if *tapestry != "" {
 		name, n, alpha, err := parseTapestry(*tapestry)

@@ -42,6 +42,7 @@ import (
 	"crackdb/internal/relation"
 	"crackdb/internal/sideways"
 	"crackdb/internal/strategy"
+	"crackdb/internal/tuner"
 )
 
 // Store is a cracking column store: named tables whose columns are
@@ -84,6 +85,15 @@ type Store struct {
 	// cracker column — existing, future, and warm-restored — so query
 	// latency and crack events flow into the obs registry. Guarded by mu.
 	instr *core.Instr
+
+	// autotune, when set by EnableAutotune, monitors every answered
+	// selection and hot-swaps per-column crack strategies (see
+	// autotune.go). Atomic: the select observer reads it lock-free.
+	autotune atomic.Pointer[autoTuner]
+
+	// pendingTuner carries tuner posture restored from a warm snapshot
+	// until EnableAutotune adopts it. Guarded by mu.
+	pendingTuner []tuner.ColumnState
 }
 
 // New returns an empty store.
@@ -185,11 +195,19 @@ func (s *Store) FetchedTuples(table string) (int64, error) {
 // The caller holds s.mu.
 func (s *Store) sidewaysStrategyLocked() func(table, key string) core.CrackStrategy {
 	name, seed := s.strategyName, s.strategySeed
-	if name == "" || name == "standard" {
+	if (name == "" || name == "standard") && s.autotune.Load() == nil {
 		return nil
 	}
 	return func(table, key string) core.CrackStrategy {
-		st, _ := strategy.New(name, sidewaysSeed(seed, table, key))
+		n := name
+		// A map created after the tuner flipped its key column must
+		// start on the flipped strategy, not the store default.
+		if at := s.autotune.Load(); at != nil {
+			if cur, ok := at.t.Current(table, key); ok {
+				n = cur
+			}
+		}
+		st, _ := strategy.New(n, sidewaysSeed(seed, table, key))
 		return st
 	}
 }
@@ -397,13 +415,20 @@ func (s *Store) currentCracked(name string) *core.CrackedTable {
 }
 
 // newCrackedTableLocked wraps a relation with cracker state and wires
-// the sideways lockstep observer: every single-range selection the
-// wrapper answers is forwarded to the sideways registry, which applies
-// the same cuts to any aligned maps of the queried key column. The
-// caller holds s.mu.
+// the select observer: every single-range selection the wrapper answers
+// is forwarded to the sideways registry, which applies the same cuts to
+// any aligned maps of the queried key column, and to the auto-tuner,
+// which classifies the bound stream and may hot-swap the column's
+// strategy (the observer fires outside all table and column locks — the
+// one point where a flip is trivially safe). The caller holds s.mu.
 func (s *Store) newCrackedTableLocked(name string, t *relation.Table) *core.CrackedTable {
 	ct := core.NewCrackedTable(t, s.columnOptions()...)
-	ct.SetSelectObserver(func(r expr.Range) { s.sideways.Observe(ct, name, r) })
+	ct.SetSelectObserver(func(r expr.Range) {
+		s.sideways.Observe(ct, name, r)
+		if at := s.autotune.Load(); at != nil {
+			at.observe(s, ct, name, r)
+		}
+	})
 	return ct
 }
 

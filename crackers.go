@@ -166,6 +166,12 @@ type ColumnStats struct {
 	Pieces         int   // current piece count
 	Fusions        int   // cuts removed under the MaxPieces budget
 	Consolidations int   // pending-update merges
+
+	// Strategy is the column's active crack strategy. Per-column, not
+	// per-store: the auto-tuner (and per-shard /strategy) can leave one
+	// table running a mix. A fold of disagreeing columns reports
+	// "mixed".
+	Strategy string
 }
 
 // Add accumulates another column's counters into this one — the fold
@@ -173,6 +179,12 @@ type ColumnStats struct {
 // Pieces sums too: the total is "pieces across shards", each shard
 // contributing at least one.
 func (cs *ColumnStats) Add(o ColumnStats) {
+	switch {
+	case cs.Strategy == "":
+		cs.Strategy = o.Strategy
+	case o.Strategy != "" && o.Strategy != cs.Strategy:
+		cs.Strategy = "mixed"
+	}
 	cs.Queries += o.Queries
 	cs.Cracks += o.Cracks
 	cs.AuxCracks += o.AuxCracks
@@ -216,6 +228,7 @@ func (s *Store) Stats(table, col string) (ColumnStats, error) {
 		Pieces:         c.Pieces(),
 		Fusions:        cs.Fusions,
 		Consolidations: cs.Consolidations,
+		Strategy:       c.StrategyName(),
 	}, nil
 }
 
@@ -253,6 +266,7 @@ func (s *Store) CrackedColumnStats(table string) (map[string]ColumnStats, error)
 			Pieces:         c.Pieces(),
 			Fusions:        cs.Fusions,
 			Consolidations: cs.Consolidations,
+			Strategy:       c.StrategyName(),
 		}
 	}
 	return out, nil

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"math/bits"
 	"slices"
 	"sync"
 	"time"
@@ -122,16 +123,60 @@ func scratch[T any](s []T, n int) []T {
 
 // cutSnapshot is a read-optimized flattening of the cracker index: the
 // registered cuts in key order, split into parallel arrays. A converged
-// batch resolves each bound with a binary/galloping search over
-// contiguous memory instead of an O(log p) pointer chase through AVL
-// nodes — the per-query win that lets a batch amortize essentially all
-// of the scalar path's cost. The snapshot is immutable once published;
+// batch resolves each bound with a search over contiguous memory
+// instead of an O(log p) pointer chase through AVL nodes — the
+// per-query win that lets a batch amortize essentially all of the
+// scalar path's cost. The snapshot is immutable once published;
 // validity is the index version it was built at.
+//
+// The cold search (find) runs over eyt, the cut values re-laid in
+// Eytzinger (BFS heap) order: the first levels of the implicit tree
+// share a handful of cache lines, so the early probes that a sorted
+// binary search scatters across the whole array all hit hot memory, and
+// the 2k/2k+1 stride is regular enough for the hardware prefetcher.
+// The sorted vals array stays — findFrom gallops from a known floor,
+// which needs contiguity, and at() resolves same-value neighbors by
+// adjacency.
 type cutSnapshot struct {
 	version uint64
 	vals    []int64
 	incls   []bool
 	poss    []int
+	eyt     []int64 // vals in Eytzinger order, 1-based (slot 0 unused)
+	eytIdx  []int32 // eyt slot -> index into the sorted arrays
+}
+
+// newCutSnapshot flattens the cuts (already in key order) into the
+// snapshot's parallel arrays and builds the Eytzinger layout.
+func newCutSnapshot(version uint64, cuts []Cut) *cutSnapshot {
+	s := &cutSnapshot{
+		version: version,
+		vals:    make([]int64, len(cuts)),
+		incls:   make([]bool, len(cuts)),
+		poss:    make([]int, len(cuts)),
+		eyt:     make([]int64, len(cuts)+1),
+		eytIdx:  make([]int32, len(cuts)+1),
+	}
+	for i, cut := range cuts {
+		s.vals[i], s.incls[i], s.poss[i] = cut.Val, cut.Incl, cut.Pos
+	}
+	s.fillEytzinger(1, 0)
+	return s
+}
+
+// fillEytzinger places the sorted values into heap slot k and its
+// subtree via in-order traversal: the k-th in-order slot of the
+// implicit tree receives the k-th smallest value. i is the next sorted
+// index to consume; the updated value is returned.
+func (s *cutSnapshot) fillEytzinger(k, i int) int {
+	if k < len(s.eyt) {
+		i = s.fillEytzinger(2*k, i)
+		s.eyt[k] = s.vals[i]
+		s.eytIdx[k] = int32(i)
+		i++
+		i = s.fillEytzinger(2*k+1, i)
+	}
+	return i
 }
 
 // snapshotLocked returns a snapshot of the current index, rebuilding
@@ -146,16 +191,7 @@ func (c *Column) snapshotLocked() *cutSnapshot {
 	if s := c.snap.Load(); s != nil && s.version == v {
 		return s
 	}
-	cuts := c.idx.Cuts()
-	s := &cutSnapshot{
-		version: v,
-		vals:    make([]int64, len(cuts)),
-		incls:   make([]bool, len(cuts)),
-		poss:    make([]int, len(cuts)),
-	}
-	for i, cut := range cuts {
-		s.vals[i], s.incls[i], s.poss[i] = cut.Val, cut.Incl, cut.Pos
-	}
+	s := newCutSnapshot(v, c.idx.Cuts())
 	c.snap.Store(s)
 	return s
 }
@@ -178,18 +214,31 @@ func (s *cutSnapshot) at(lo int, val int64, incl bool) (int, int, bool) {
 }
 
 // find locates the exact cut (val, incl), returning its array index,
-// its column position, and whether it is registered. The inner loop
-// compares values only — one branch per probe instead of cmpCut's two —
-// and the inclusive flag is resolved once at the end.
+// its column position, and whether it is registered. The descent walks
+// the Eytzinger layout — one value compare per level, branch-free child
+// step — and the final k encodes the lower bound: shifting off the
+// trailing 1-bits (the right turns since the last left turn) plus one
+// lands on the last node where the search went left, which holds the
+// smallest value >= val. k underflowing to 0 means no such node: every
+// comparison went right, the lower bound is len(vals).
 func (s *cutSnapshot) find(val int64, incl bool) (int, int, bool) {
-	lo, hi := 0, len(s.vals)
-	for lo < hi {
-		m := int(uint(lo+hi) >> 1)
-		if s.vals[m] < val {
-			lo = m + 1
-		} else {
-			hi = m
+	n := len(s.vals)
+	k := 1
+	eyt := s.eyt
+	for k <= n {
+		// Written so the compiler emits a conditional move, not a branch:
+		// the comparison outcome is data-dependent and would mispredict
+		// half the time.
+		right := 0
+		if eyt[k] < val {
+			right = 1
 		}
+		k = 2*k + right
+	}
+	k >>= uint(bits.TrailingZeros(^uint(k)) + 1)
+	lo := n
+	if k != 0 {
+		lo = int(s.eytIdx[k])
 	}
 	return s.at(lo, val, incl)
 }

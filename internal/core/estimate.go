@@ -146,6 +146,13 @@ func (ct *CrackedTable) SelectTermPlanned(term expr.Term) ([]bat.OID, *Column, e
 	// Copy under the column lock: view windows would alias state that a
 	// concurrent crack may shuffle.
 	_, cands := col.SelectRangeCopy(advice[bestCol])
+	if ct.selectObs != nil {
+		// The driving column absorbed a single-range selection, exactly
+		// like Select/SelectCopy — the sideways and tuner observers must
+		// see it, or queries arriving through the conjunction planner
+		// (every scalar SQL statement) are invisible to them.
+		ct.selectObs(advice[bestCol])
+	}
 	oids, err := ct.filterOIDs(cands, term)
 	if err != nil {
 		return nil, nil, err

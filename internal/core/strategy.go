@@ -139,6 +139,25 @@ func (c *Column) StrategyName() string {
 	return c.strategy.Name()
 }
 
+// SwapStrategy replaces the column's crack strategy at runtime. swap
+// receives the outgoing strategy (nil for standard) and returns its
+// replacement, computed and installed under the column's write lock so
+// RNG state can be handed off atomically with the swap — no select can
+// consult a half-replaced strategy. The swap is safe at any moment:
+// strategies only influence *future* pivot advice (selectLocked and
+// adviseLocked run under this same lock, and the optimistic read path
+// never consults the strategy), so every cut already registered — and
+// therefore every result — is exactly what a fixed-strategy run would
+// have produced.
+func (c *Column) SwapStrategy(swap func(old CrackStrategy) CrackStrategy) {
+	if swap == nil {
+		return
+	}
+	c.mu.Lock()
+	c.strategy = swap(c.strategy)
+	c.mu.Unlock()
+}
+
 // maxAuxCracksPerCut bounds one bound's consultation loop. 64 covers a
 // full binary descent of the int64 domain; hitting the cap falls back to
 // registering the query cut, which is always correct.

@@ -18,7 +18,7 @@ import (
 // manifest it accompanies. The file layout is:
 //
 //	magic      [4]byte  "CRKS"
-//	version    uint8    2
+//	version    uint8    3
 //	appliedSeq uint64   WAL seq the image covers (replay skips below it)
 //	config     store-wide crack configuration (strategy, pieces, ripple,
 //	           and — version 2 — the sideways map budget)
@@ -26,10 +26,15 @@ import (
 //	columns    ncols × column records (table, attr, ColumnState)
 //	nsets      uint32   (version 2) sideways map spines
 //	sideways   nsets × map records (table, key, vectors, cuts, payloads)
+//	ntune      uint32   (version 3) tuner posture records
+//	tuner      ntune × records (table, column, strategy, class, flips,
+//	           forced) — the auto-tuner's learned per-column posture
 //	crc        uint32   CRC-32 (IEEE) of everything above
 //
-// Version 1 images (no sideways section, no budget field) still open:
-// the maps simply start cold and the budget takes its default.
+// Older images still open: version 1 (no sideways section, no budget
+// field) starts the maps cold with the default budget, and version 2
+// (no tuner section) reopens with no learned posture — the tuner
+// re-learns from live traffic within one window.
 //
 // The trailing checksum mirrors the BAT image format: a torn snapshot is
 // detected and rejected as a whole — recovery then falls back to the
@@ -37,7 +42,7 @@ import (
 
 var snapMagic = [4]byte{'C', 'R', 'K', 'S'}
 
-const snapVersion = 2
+const snapVersion = 3
 
 // StoreConfig is the store-wide crack configuration a snapshot carries,
 // so columns created after a warm reopen behave like columns created
@@ -58,6 +63,18 @@ type ColumnSnapshot struct {
 	State core.ColumnState
 }
 
+// TunerState is one column's persisted auto-tuner posture (the durable
+// mirror of internal/tuner's ColumnState — durable stays decoupled from
+// the tuner package the same way it references strategies only through
+// core.StrategyState).
+type TunerState struct {
+	Table, Column string
+	Strategy      string // strategy the tuner last decided on
+	Class         string // workload class of the last completed window
+	Flips         uint64
+	Forced        bool
+}
+
 // StoreSnapshot is the full crack-state image of one store.
 type StoreSnapshot struct {
 	AppliedSeq uint64
@@ -69,6 +86,11 @@ type StoreSnapshot struct {
 	// multi-attribute projections without re-materializing or re-cracking
 	// a single map.
 	Sideways []sideways.MapState
+
+	// Tuner carries the auto-tuner's learned per-column posture, so a
+	// warm reopen resumes the decided strategies and flip counters
+	// instead of re-learning from scratch.
+	Tuner []TunerState
 }
 
 // WriteSnapshot serializes the snapshot to path atomically (temp file +
@@ -141,6 +163,19 @@ func encodeSnapshot(w io.Writer, s *StoreSnapshot) error {
 		if err := encodeSidewaysSet(w, &s.Sideways[i]); err != nil {
 			return err
 		}
+	}
+	tbuf := make([]byte, 0, 1<<10)
+	tbuf = binary.LittleEndian.AppendUint32(tbuf, uint32(len(s.Tuner)))
+	for _, t := range s.Tuner {
+		tbuf = appendString(tbuf, t.Table)
+		tbuf = appendString(tbuf, t.Column)
+		tbuf = appendString(tbuf, t.Strategy)
+		tbuf = appendString(tbuf, t.Class)
+		tbuf = binary.LittleEndian.AppendUint64(tbuf, t.Flips)
+		tbuf = appendBool(tbuf, t.Forced)
+	}
+	if _, err := w.Write(tbuf); err != nil {
+		return err
 	}
 	return nil
 }
@@ -305,7 +340,7 @@ func ReadSnapshot(path string) (*StoreSnapshot, error) {
 		return nil, fmt.Errorf("%w: bad snapshot magic", ErrCorrupt)
 	}
 	version := r.u8()
-	if r.err == nil && version != 1 && version != snapVersion {
+	if r.err == nil && (version < 1 || version > snapVersion) {
 		return nil, fmt.Errorf("durable: unsupported snapshot version %d", version)
 	}
 	s := &StoreSnapshot{}
@@ -335,6 +370,22 @@ func ReadSnapshot(path string) (*StoreSnapshot, error) {
 		}
 		for i := uint32(0); i < nsets && r.err == nil; i++ {
 			s.Sideways = append(s.Sideways, r.sidewaysSet())
+		}
+	}
+	if version >= 3 && r.err == nil {
+		ntune := r.u32()
+		if !r.count(uint64(ntune), 21, "tuner posture") { // 4 strings + u64 + bool minimum
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, r.err)
+		}
+		for i := uint32(0); i < ntune && r.err == nil; i++ {
+			s.Tuner = append(s.Tuner, TunerState{
+				Table:    r.str(),
+				Column:   r.str(),
+				Strategy: r.str(),
+				Class:    r.str(),
+				Flips:    r.u64(),
+				Forced:   r.bool(),
+			})
 		}
 	}
 	if r.err != nil {

@@ -1,0 +1,143 @@
+package figures
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"crackdb/internal/core"
+	"crackdb/internal/strategy"
+	"crackdb/internal/tuner"
+	"crackdb/internal/workload"
+)
+
+// FigAutotuneConfig parameterizes the workload-adaptive tuning
+// experiment: a query stream that switches regime halfway — a
+// sequential walk (standard cracking's collapse case) for the first
+// half, uniform random (standard's best case) for the second.
+type FigAutotuneConfig struct {
+	N           int     // column cardinality (default 200k)
+	K           int     // total queries; half per phase (default 1024)
+	Seed        int64   // RNG seed for data, workloads and strategies
+	Selectivity float64 // per-query range width as a domain fraction (default 0.01)
+	Tuner       tuner.Config
+}
+
+func (c *FigAutotuneConfig) defaults() {
+	if c.N <= 0 {
+		c.N = 200_000
+	}
+	if c.K <= 0 {
+		c.K = 1024
+	}
+	if c.Selectivity <= 0 {
+		c.Selectivity = 0.01
+	}
+	if c.Tuner.Window == 0 {
+		// React inside the figure's short phases: the store default
+		// (64×2) is tuned for million-query servers.
+		c.Tuner = tuner.Config{Window: 32, Confirm: 2, Cooldown: 64, Monotone: 0.85}
+	}
+}
+
+// FigAutotune compares three postures on the switching stream:
+// static standard, static mdd1r, and the auto-tuner starting from
+// standard. The shapes tell the whole story: static standard collapses
+// through the sequential phase and only recovers when the walk ends;
+// static mdd1r is flat everywhere but pays its constant-factor tax in
+// the random phase; the autotune series starts on standard, flips to
+// mdd1r once the monitor confirms the walk, and flips back to standard
+// when the stream turns random — tracking whichever static line is
+// lower, one detection window behind. Y is per-query latency averaged
+// over small buckets, so the trajectory (not the cumulative integral)
+// is visible.
+func FigAutotune(cfg FigAutotuneConfig) (Figure, error) {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	base := make([]int64, cfg.N)
+	for i := range base {
+		base[i] = rng.Int63n(int64(cfg.N))
+	}
+	queries, err := switchingStream(cfg)
+	if err != nil {
+		return Figure{}, err
+	}
+
+	bucket := cfg.K / 64
+	if bucket < 1 {
+		bucket = 1
+	}
+	var series []Series
+	for _, mode := range []string{"standard", "mdd1r", "autotune"} {
+		name := mode
+		if mode == "autotune" {
+			name = "standard"
+		}
+		st, err := strategy.New(name, cfg.Seed)
+		if err != nil {
+			return Figure{}, err
+		}
+		col := core.NewColumn("a", base, core.WithStrategy(st))
+		var tn *tuner.Tuner
+		current := name
+		if mode == "autotune" {
+			tn = tuner.New(cfg.Tuner)
+		}
+		s := Series{Label: mode}
+		var acc time.Duration
+		for i, q := range queries {
+			t0 := time.Now()
+			col.Select(q.Lo, q.Hi, true, false)
+			acc += time.Since(t0)
+			if tn != nil {
+				if want, flip := tn.Observe("fig", "a", current, q.Lo, q.Hi); flip {
+					col.SwapStrategy(func(old core.CrackStrategy) core.CrackStrategy {
+						next, err := strategy.Handoff(old, want, cfg.Seed)
+						if err != nil {
+							return old
+						}
+						return next
+					})
+					current = want
+					tn.Flipped("fig", "a", want)
+				}
+			}
+			if (i+1)%bucket == 0 || i == len(queries)-1 {
+				nq := (i + 1) % bucket
+				if nq == 0 {
+					nq = bucket
+				}
+				s.Points = append(s.Points, Point{X: float64(i + 1), Y: seconds(acc) / float64(nq)})
+				acc = 0
+			}
+		}
+		series = append(series, s)
+	}
+
+	return Figure{
+		ID:     "autotune",
+		Title:  fmt.Sprintf("Workload-adaptive strategy tuning (N=%d, %d queries, sequential→random switch)", cfg.N, cfg.K),
+		XLabel: "query #",
+		YLabel: "per-query seconds (bucket mean)",
+		Series: series,
+	}, nil
+}
+
+// switchingStream builds the two-phase query stream: a sequential walk
+// for the first half, uniform random for the second.
+func switchingStream(cfg FigAutotuneConfig) ([]workload.Query, error) {
+	half := cfg.K / 2
+	seqGen, err := workload.New(workload.Sequential, workload.Config{
+		Domain: int64(cfg.N), Count: half, Selectivity: cfg.Selectivity, Seed: cfg.Seed + 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rndGen, err := workload.New(workload.Random, workload.Config{
+		Domain: int64(cfg.N), Count: cfg.K - half, Selectivity: cfg.Selectivity, Seed: cfg.Seed + 2,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return append(seqGen.Queries(), rndGen.Queries()...), nil
+}

@@ -113,11 +113,14 @@ func (s *Server) metricsMeta() (*Response, bool) {
 // statsSummary answers a bare /stats: one row per cracked column of
 // every table (counters summed across shards), then per-shard totals
 // and a grand total. Reads only non-creating accessors, so inspection
-// never materializes cracker state.
+// never materializes cracker state. The strategy column is per-column
+// truth: a column whose shards disagree (per-shard /strategy, or the
+// auto-tuner flipping only the shards a hostile walk visits) reports
+// "mixed".
 func (s *Server) statsSummary() (*Response, bool) {
 	resp := &Response{Columns: []string{
 		"scope", "queries", "cracks", "aux_cracks", "index_lookups",
-		"pieces", "tuples_moved", "tuples_touched",
+		"pieces", "tuples_moved", "tuples_touched", "strategy",
 	}}
 	perShard := make([]crackdb.ColumnStats, s.store.ShardCount())
 	var grand crackdb.ColumnStats

@@ -320,7 +320,7 @@ func (s *Server) meta(cmd string) (*Response, bool) {
 	case "/quit":
 		return &Response{Message: "bye"}, true
 	case "/help":
-		return &Response{Message: "/ping /tables /shards /stats [<table> <col>] /metrics /strategy <name> [seed] [shard] /tapestry <name> <n> <alpha> [seed] /save /wal /repl /replwait <seq> /quit — anything else is SQL"}, false
+		return &Response{Message: "/ping /tables /shards /stats [<table> <col>] /metrics /strategy <name> [seed] [shard] /tune [<table> <col> <strategy>|auto] /tapestry <name> <n> <alpha> [seed] /save /wal /repl /replwait <seq> /quit — anything else is SQL"}, false
 	case "/repl":
 		return s.replStatusMeta()
 	case "/replmanifest":
@@ -392,7 +392,7 @@ func (s *Server) meta(cmd string) (*Response, bool) {
 		}
 		resp := &Response{Columns: []string{
 			"shard", "queries", "cracks", "aux_cracks", "index_lookups",
-			"pieces", "tuples_moved", "tuples_touched",
+			"pieces", "tuples_moved", "tuples_touched", "strategy",
 		}}
 		for i, cs := range per {
 			resp.Rows = append(resp.Rows, statsRow(strconv.Itoa(i), cs))
@@ -435,6 +435,40 @@ func (s *Server) meta(cmd string) (*Response, bool) {
 			return &Response{Err: err.Error()}, false
 		}
 		return &Response{Message: fmt.Sprintf("strategy %s on all %d shards", fields[1], s.store.ShardCount())}, false
+	case "/tune":
+		// Inspect or override the auto-tuner's per-column decisions.
+		// Forcing is deliberately not WAL-logged: strategies shape
+		// performance, never results, so a follower may run a posture of
+		// its own without diverging from the primary's log.
+		if !s.store.AutotuneEnabled() {
+			return &Response{Err: "autotune is not enabled (start cracksrv with -autotune)"}, false
+		}
+		if len(fields) == 1 {
+			resp := &Response{Columns: []string{
+				"shard", "table", "column", "strategy", "class", "flips", "queries", "forced",
+			}}
+			for _, d := range s.store.TuneDecisions() {
+				resp.Rows = append(resp.Rows, []string{
+					strconv.Itoa(d.Shard), d.Table, d.Column, d.Strategy, d.Class,
+					strconv.FormatUint(d.Flips, 10), strconv.FormatUint(d.Queries, 10),
+					strconv.FormatBool(d.Forced),
+				})
+			}
+			return resp, false
+		}
+		if len(fields) != 4 {
+			return &Response{Err: "usage: /tune [<table> <column> <strategy>|auto]"}, false
+		}
+		if fields[3] == "auto" {
+			if err := s.store.ReleaseStrategy(fields[1], fields[2]); err != nil {
+				return &Response{Err: err.Error()}, false
+			}
+			return &Response{Message: fmt.Sprintf("%s.%s released to automatic tuning", fields[1], fields[2])}, false
+		}
+		if err := s.store.ForceStrategy(fields[1], fields[2], fields[3]); err != nil {
+			return &Response{Err: err.Error()}, false
+		}
+		return &Response{Message: fmt.Sprintf("%s.%s forced to %s on all %d shards", fields[1], fields[2], fields[3], s.store.ShardCount())}, false
 	case "/tapestry":
 		if p := s.primaryAddr(); p != "" {
 			// Loading data locally would diverge the replica from the
@@ -467,6 +501,10 @@ func (s *Server) meta(cmd string) (*Response, bool) {
 }
 
 func statsRow(label string, cs crackdb.ColumnStats) []string {
+	strat := cs.Strategy
+	if strat == "" {
+		strat = "-" // fold of rows that carry no per-column strategy
+	}
 	return []string{
 		label,
 		strconv.Itoa(cs.Queries),
@@ -476,5 +514,6 @@ func statsRow(label string, cs crackdb.ColumnStats) []string {
 		strconv.Itoa(cs.Pieces),
 		strconv.FormatInt(cs.TuplesMoved, 10),
 		strconv.FormatInt(cs.TuplesTouched, 10),
+		strat,
 	}
 }

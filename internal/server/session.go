@@ -15,9 +15,12 @@ import (
 // against a replicated deployment, sending writes to the primary and
 // spreading reads over followers according to a ReadPreference. The
 // topology comes from /repl — dial any member and the session discovers
-// the rest. A Session is safe for concurrent use; each endpoint carries
-// its own connection and lock, so concurrent reads on different
-// replicas genuinely run in parallel.
+// the rest, and when a write or a whole read rotation fails at the
+// transport layer the session re-probes /repl and retries once, so a
+// restarted member (new port, new role) re-enters the rotation without
+// rebuilding the session. A Session is safe for concurrent use; each
+// endpoint carries its own connection and lock, so concurrent reads on
+// different replicas genuinely run in parallel.
 //
 // Replication is asynchronous, so follower reads are eventually
 // consistent. Fence blocks until every follower has applied everything
@@ -115,12 +118,21 @@ func (e *endpoint) close() {
 }
 
 // Session routes crackdb.Backend calls over a replicated deployment.
+// The topology fields are replaced wholesale under mu by discover;
+// callers snapshot them under RLock and never mutate the slices.
 type Session struct {
-	primary   *endpoint   // nil in a follower-only (read-only) session
-	followers []*endpoint // discovered read replicas
-	readers   []*endpoint // read rotation per the preference
-	pref      ReadPreference
-	rr        atomic.Uint64
+	seeds []string // the addresses NewSession was given, reused by reprobe
+	pref  ReadPreference
+	rr    atomic.Uint64
+
+	mu        sync.RWMutex
+	eps       map[string]*endpoint // every member ever seen, reused across reprobes
+	primary   *endpoint            // nil in a follower-only (read-only) session
+	followers []*endpoint          // discovered read replicas
+	readers   []*endpoint          // read rotation per the preference
+
+	probeMu sync.Mutex    // single-flights reprobe
+	gen     atomic.Uint64 // bumped by every successful discover
 }
 
 // NewSession dials the given members, discovers the full topology via
@@ -132,10 +144,26 @@ func NewSession(addrs []string, pref ReadPreference) (*Session, error) {
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("server: session needs at least one address")
 	}
-	roles := make(map[string]string) // addr -> role
-	alive := make(map[string]bool)   // addr -> answered a /repl probe
-	probed := make(map[string]bool)  // addr -> dialed (a role can be learned without dialing)
-	var firstErr error
+	s := &Session{
+		seeds: append([]string(nil), addrs...),
+		pref:  pref,
+		eps:   make(map[string]*endpoint),
+	}
+	if err := s.discover(addrs); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// probeTopology probes the addresses to a fixpoint: a follower handed
+// to us names the primary, the primary names its other followers. Every
+// learned address is dialed once, so a member the topology still lists
+// but that has gone away (a crashed follower the primary remembers) is
+// dropped instead of becoming an unreachable reader or fence target.
+func probeTopology(addrs []string) (roles map[string]string, alive map[string]bool, firstErr error) {
+	roles = make(map[string]string) // addr -> role
+	alive = make(map[string]bool)   // addr -> answered a /repl probe
+	probed := make(map[string]bool) // addr -> dialed (a role can be learned without dialing)
 	probe := func(addr string) {
 		if addr == "" || probed[addr] {
 			return
@@ -174,11 +202,6 @@ func NewSession(addrs []string, pref ReadPreference) (*Session, error) {
 			}
 		}
 	}
-	// Probe to a fixpoint: a follower handed to us names the primary,
-	// the primary names its other followers. Every learned address is
-	// dialed once, so a member the topology still lists but that has
-	// gone away (a crashed follower the primary remembers) is dropped
-	// instead of becoming an unreachable reader or fence target.
 	queue := append([]string(nil), addrs...)
 	for len(queue) > 0 {
 		for _, a := range queue {
@@ -191,45 +214,86 @@ func NewSession(addrs []string, pref ReadPreference) (*Session, error) {
 			}
 		}
 	}
+	return roles, alive, firstErr
+}
+
+// discover probes the addresses and, when the topology resolves,
+// installs it. A failed discovery leaves the previous topology in
+// place, so a transient probe failure never strands a live session.
+// Endpoints are reused by address across discoveries: a member that
+// survived keeps its open connection.
+func (s *Session) discover(addrs []string) error {
+	roles, alive, firstErr := probeTopology(addrs)
 	if len(alive) == 0 {
-		return nil, fmt.Errorf("server: no member reachable: %v", firstErr)
+		return fmt.Errorf("server: no member reachable: %v", firstErr)
 	}
 
-	s := &Session{pref: pref}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var primary *endpoint
+	var followers []*endpoint
 	for addr, role := range roles {
 		if !alive[addr] {
 			continue
 		}
-		ep := &endpoint{addr: addr}
-		if role == "primary" && s.primary == nil {
-			s.primary = ep
+		ep := s.eps[addr]
+		if ep == nil {
+			ep = &endpoint{addr: addr}
+			s.eps[addr] = ep
+		}
+		if role == "primary" && primary == nil {
+			primary = ep
 		} else {
-			s.followers = append(s.followers, ep)
+			followers = append(followers, ep)
 		}
 	}
-	sortEndpoints(s.followers)
-	switch pref {
+	sortEndpoints(followers)
+	var readers []*endpoint
+	switch s.pref {
 	case ReadPrimary:
-		if s.primary == nil {
-			return nil, fmt.Errorf("server: read preference primary, but no primary reachable")
+		if primary == nil {
+			return fmt.Errorf("server: read preference primary, but no primary reachable")
 		}
-		s.readers = []*endpoint{s.primary}
+		readers = []*endpoint{primary}
 	case ReadFollower:
-		if len(s.followers) > 0 {
-			s.readers = s.followers
-		} else if s.primary != nil {
-			s.readers = []*endpoint{s.primary}
+		if len(followers) > 0 {
+			readers = followers
+		} else if primary != nil {
+			readers = []*endpoint{primary}
 		}
 	case ReadAny:
-		s.readers = append(s.readers, s.followers...)
-		if s.primary != nil {
-			s.readers = append(s.readers, s.primary)
+		readers = append(readers, followers...)
+		if primary != nil {
+			readers = append(readers, primary)
 		}
 	}
-	if len(s.readers) == 0 {
-		return nil, fmt.Errorf("server: no readable member")
+	if len(readers) == 0 {
+		return fmt.Errorf("server: no readable member")
 	}
-	return s, nil
+	s.primary, s.followers, s.readers = primary, followers, readers
+	s.gen.Add(1)
+	return nil
+}
+
+// reprobe refreshes the topology after a transport failure. gen is the
+// generation the caller was routing against: if another goroutine has
+// already refreshed past it, the sweep is skipped, so one failure burst
+// across many goroutines costs one probe round. The probe starts from
+// the original seeds plus every member ever seen — a dead seed must not
+// strand a session whose topology is otherwise alive.
+func (s *Session) reprobe(gen uint64) error {
+	s.probeMu.Lock()
+	defer s.probeMu.Unlock()
+	if s.gen.Load() != gen {
+		return nil
+	}
+	addrs := append([]string(nil), s.seeds...)
+	s.mu.RLock()
+	for addr := range s.eps {
+		addrs = append(addrs, addr)
+	}
+	s.mu.RUnlock()
+	return s.discover(addrs)
 }
 
 func sortEndpoints(eps []*endpoint) {
@@ -242,19 +306,24 @@ func sortEndpoints(eps []*endpoint) {
 
 // Close drops every connection.
 func (s *Session) Close() {
-	if s.primary != nil {
-		s.primary.close()
-	}
-	for _, ep := range s.followers {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, ep := range s.eps {
 		ep.close()
 	}
 }
 
 // Readers reports how many members serve this session's reads.
-func (s *Session) Readers() int { return len(s.readers) }
+func (s *Session) Readers() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.readers)
+}
 
 // ReaderAddrs lists the addresses serving this session's reads.
 func (s *Session) ReaderAddrs() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := make([]string, len(s.readers))
 	for i, ep := range s.readers {
 		out[i] = ep.addr
@@ -264,20 +333,47 @@ func (s *Session) ReaderAddrs() []string {
 
 // PrimaryAddr returns the primary's address, or "".
 func (s *Session) PrimaryAddr() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if s.primary == nil {
 		return ""
 	}
 	return s.primary.addr
 }
 
-// write runs one statement on the primary.
+func (s *Session) currentPrimary() *endpoint {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.primary
+}
+
+func (s *Session) currentReaders() []*endpoint {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.readers
+}
+
+// write runs one statement on the primary. A transport failure (as
+// opposed to the server answering an error) triggers a topology reprobe
+// and one retry, so a restarted primary re-enters without rebuilding
+// the session.
 func (s *Session) write(stmt string) (*Response, error) {
-	if s.primary == nil {
+	gen := s.gen.Load()
+	p := s.currentPrimary()
+	if p == nil {
 		return nil, fmt.Errorf("server: session has no primary (read-only topology)")
 	}
-	resp, err := s.primary.do(stmt)
+	resp, err := p.do(stmt)
 	if err != nil {
-		return nil, err
+		if rerr := s.reprobe(gen); rerr != nil {
+			return nil, err
+		}
+		if p = s.currentPrimary(); p == nil {
+			return nil, err
+		}
+		if resp, err = p.do(stmt); err != nil {
+			return nil, err
+		}
 	}
 	if resp.Err != "" {
 		return nil, fmt.Errorf("server: %s", resp.Err)
@@ -286,49 +382,77 @@ func (s *Session) write(stmt string) (*Response, error) {
 }
 
 // read runs one statement on the next reader in rotation, failing over
-// to the remaining readers on transport errors.
+// to the remaining readers on transport errors. When the whole rotation
+// fails, the session reprobes the topology and retries once.
 func (s *Session) read(stmt string) (*Response, error) {
+	gen := s.gen.Load()
+	resp, err, transport := s.readAttempt(stmt)
+	if transport && s.reprobe(gen) == nil {
+		resp, err, _ = s.readAttempt(stmt)
+	}
+	return resp, err
+}
+
+// readAttempt runs one rotation over the current readers. transport
+// reports whether every reader failed at the transport layer — the cue
+// that the topology may be stale, not that the query is bad.
+func (s *Session) readAttempt(stmt string) (resp *Response, err error, transport bool) {
+	readers := s.currentReaders()
 	var lastErr error
-	n := len(s.readers)
+	n := len(readers)
 	start := int(s.rr.Add(1)-1) % n
 	for i := 0; i < n; i++ {
-		resp, err := s.readers[(start+i)%n].do(stmt)
+		resp, err := readers[(start+i)%n].do(stmt)
 		if err != nil {
 			lastErr = err
 			continue
 		}
 		if resp.Err != "" {
-			return nil, fmt.Errorf("server: %s", resp.Err)
+			return nil, fmt.Errorf("server: %s", resp.Err), false
 		}
-		return resp, nil
+		return resp, nil, false
 	}
-	return nil, fmt.Errorf("server: all %d readers failed: %v", n, lastErr)
+	return nil, fmt.Errorf("server: all %d readers failed: %v", n, lastErr), true
 }
 
-// readBatch pipelines statements on one reader.
+// readBatch pipelines statements on one reader, with the same
+// reprobe-and-retry-once recovery as read.
 func (s *Session) readBatch(stmts []string) ([]*Response, error) {
+	gen := s.gen.Load()
+	resps, err, transport := s.readBatchAttempt(stmts)
+	if transport && s.reprobe(gen) == nil {
+		resps, err, _ = s.readBatchAttempt(stmts)
+	}
+	return resps, err
+}
+
+func (s *Session) readBatchAttempt(stmts []string) (resps []*Response, err error, transport bool) {
+	readers := s.currentReaders()
 	var lastErr error
-	n := len(s.readers)
+	n := len(readers)
 	start := int(s.rr.Add(1)-1) % n
 	for i := 0; i < n; i++ {
-		resps, err := s.readers[(start+i)%n].doBatch(stmts)
+		resps, err := readers[(start+i)%n].doBatch(stmts)
 		if err != nil {
 			lastErr = err
 			continue
 		}
-		return resps, nil
+		return resps, nil, false
 	}
-	return nil, fmt.Errorf("server: all %d readers failed: %v", n, lastErr)
+	return nil, fmt.Errorf("server: all %d readers failed: %v", n, lastErr), true
 }
 
 // Fence blocks until every follower has applied everything the primary
 // had accepted when Fence was called — the read-your-writes barrier.
 // No-op without a primary or followers.
 func (s *Session) Fence(timeout time.Duration) error {
-	if s.primary == nil || len(s.followers) == 0 {
+	s.mu.RLock()
+	primary, followers := s.primary, s.followers
+	s.mu.RUnlock()
+	if primary == nil || len(followers) == 0 {
 		return nil
 	}
-	resp, err := s.primary.do("/repl")
+	resp, err := primary.do("/repl")
 	if err != nil {
 		return err
 	}
@@ -342,7 +466,7 @@ func (s *Session) Fence(timeout time.Duration) error {
 		return nil // volatile primary: nothing to fence on
 	}
 	cmd := fmt.Sprintf("/replwait %d %d", next, timeout.Milliseconds())
-	for _, f := range s.followers {
+	for _, f := range followers {
 		resp, err := f.do(cmd)
 		if err != nil {
 			return fmt.Errorf("server: fence %s: %w", f.addr, err)

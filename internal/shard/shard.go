@@ -28,6 +28,7 @@ import (
 	"crackdb/internal/durable"
 	"crackdb/internal/mqs"
 	"crackdb/internal/strategy"
+	"crackdb/internal/tuner"
 )
 
 // Options configures a sharded store.
@@ -149,6 +150,63 @@ func (s *Store) SetShardCrackStrategy(i int, name string, seed int64) error {
 		return err
 	}
 	return s.setShardStrategy(i, name, seed)
+}
+
+// EnableAutotune turns on workload-adaptive strategy selection on every
+// shard. The tuner runs shard-local: each shard's monitor sees only the
+// bound stream routed to it, so a hostile walk over a range-partitioned
+// table flips exactly the shards it visits while the rest stay on their
+// defaults. Decisions surface through TuneDecisions and Gather (the
+// per-shard collectors export flip counters and strategy gauges under
+// their shard label).
+func (s *Store) EnableAutotune(cfg tuner.Config) {
+	for _, sh := range s.shards {
+		sh.EnableAutotune(cfg)
+	}
+}
+
+// AutotuneEnabled reports whether the auto-tuner is running (it runs on
+// every shard or on none).
+func (s *Store) AutotuneEnabled() bool { return s.shards[0].AutotuneEnabled() }
+
+// TuneDecision is one shard-local tuner decision.
+type TuneDecision struct {
+	Shard int
+	tuner.Decision
+}
+
+// TuneDecisions gathers every shard's per-column tuner posture, ordered
+// by (table, column, shard). Nil when autotune is disabled.
+func (s *Store) TuneDecisions() []TuneDecision {
+	var out []TuneDecision
+	for i, sh := range s.shards {
+		for _, d := range sh.TuneDecisions() {
+			out = append(out, TuneDecision{Shard: i, Decision: d})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		x, y := out[a], out[b]
+		if x.Table != y.Table {
+			return x.Table < y.Table
+		}
+		if x.Column != y.Column {
+			return x.Column < y.Column
+		}
+		return x.Shard < y.Shard
+	})
+	return out
+}
+
+// ForceStrategy pins (table, col) to a strategy on every shard; the
+// tuners stop auto-flipping the column until ReleaseStrategy.
+func (s *Store) ForceStrategy(table, col, name string) error {
+	return s.fanOut(func(i int) error { return s.shards[i].ForceStrategy(table, col, name) })
+}
+
+// ReleaseStrategy returns a forced column to automatic control on every
+// shard.
+func (s *Store) ReleaseStrategy(table, col string) error {
+	return s.fanOut(func(i int) error { return s.shards[i].ReleaseStrategy(table, col) })
 }
 
 // setShardStrategy applies a validated strategy change to one shard

@@ -162,6 +162,25 @@ func (g *Registry) SetStrategyFactory(f func(table, key string) core.CrackStrate
 	g.newStrategy = f
 }
 
+// SwapStrategy replaces the strategy of the live map spine keyed by
+// (table, key), if one exists. swap receives the outgoing strategy
+// (nil for standard) and returns its replacement, invoked under the
+// registry mutex so no crack can consult a half-replaced instance.
+// This is the tuner's lockstep hook: when a column's strategy flips,
+// its sideways map flips in the same breath, and — exactly as for the
+// column — the swap only changes future pivot advice, never the cuts
+// already partitioning the spine.
+func (g *Registry) SwapStrategy(table, key string, swap func(old core.CrackStrategy) core.CrackStrategy) {
+	if swap == nil {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if m, ok := g.sets[setID(table, key)]; ok {
+		m.strategy = swap(m.strategy)
+	}
+}
+
 // Snapshot returns the current work counters and map census.
 func (g *Registry) Snapshot() Stats {
 	g.mu.Lock()

@@ -225,6 +225,34 @@ func New(name string, seed int64) (core.CrackStrategy, error) {
 	}
 }
 
+// Handoff builds the strategy `name` to replace `old` on the same
+// column, carrying state across the swap: when the outgoing strategy
+// owns an RNG, the incoming one resumes that exact stream instead of
+// re-seeding — so a run that flips strategies mid-stream is as
+// deterministic as a fixed-strategy run, and flipping A→B→A continues
+// A's pivot sequence rather than replaying it. When the outgoing
+// strategy is stateless (standard/DDC), seed seeds the new instance.
+// Intended for the tuner's hot swap: call it inside
+// core.Column.SwapStrategy so the read-modify-install is atomic under
+// the column's write lock.
+func Handoff(old core.CrackStrategy, name string, seed int64) (core.CrackStrategy, error) {
+	next, err := New(name, seed)
+	if err != nil || next == nil {
+		return next, err
+	}
+	if ss, ok := old.(core.StatefulStrategy); ok {
+		if st := ss.Export(); st.RNG != 0 {
+			switch n := next.(type) {
+			case *DDR:
+				n.rng.state = st.RNG
+			case *MDD1R:
+				n.rng.state = st.RNG
+			}
+		}
+	}
+	return next, nil
+}
+
 // Restore rebuilds a live strategy instance from an exported state: the
 // inverse of core.StatefulStrategy.Export, used by the durability
 // subsystem on warm reopen. The restored instance continues the exact

@@ -77,6 +77,8 @@ func (s *Store) collect(e *obs.Exporter) {
 			e.Counter("crackdb_tuples_moved_total", "Element writes during crack partitioning.", cs.TuplesMoved, lt, lc)
 			e.Counter("crackdb_fusions_total", "Cuts removed under the MaxPieces budget.", int64(cs.Fusions), lt, lc)
 			e.Gauge("crackdb_pieces", "Pieces the column is currently cracked into.", float64(cs.Pieces), lt, lc)
+			e.Gauge("crackdb_strategy_info", "Active crack strategy per column (value is always 1; the strategy label carries the decision).",
+				1, lt, lc, obs.L("strategy", cs.Strategy))
 		}
 		if ct := s.currentCracked(table); ct != nil {
 			e.Counter("crackdb_fetched_tuples_total", "Tuples reconstructed through the base table by OID fetches.", ct.FetchedTuples(), lt)
@@ -90,4 +92,10 @@ func (s *Store) collect(e *obs.Exporter) {
 	e.Counter("crackdb_sideways_builds_total", "Payload vectors materialized from the base table.", sw.Builds)
 	e.Gauge("crackdb_sideways_live_maps", "Live sideways map spines.", float64(sw.Sets))
 	e.Gauge("crackdb_sideways_live_payloads", "Live sideways payload vectors.", float64(sw.Pays))
+	for _, d := range s.TuneDecisions() {
+		lt, lc := obs.L("table", d.Table), obs.L("column", d.Column)
+		e.Counter("crackdb_strategy_flips_total", "Strategy changes the auto-tuner applied per column (auto + forced).", int64(d.Flips), lt, lc)
+		e.Gauge("crackdb_tuner_class_info", "Workload class the tuner last assigned per column (value is always 1; the class label carries it).",
+			1, lt, lc, obs.L("class", d.Class))
+	}
 }

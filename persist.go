@@ -11,6 +11,7 @@ import (
 	"crackdb/internal/durable"
 	"crackdb/internal/relation"
 	"crackdb/internal/strategy"
+	"crackdb/internal/tuner"
 )
 
 // Store persistence: each column is saved as one checksummed BAT image,
@@ -112,6 +113,13 @@ func (s *Store) saveLocked(dir string, warm bool) error {
 			SidewaysBudget: s.sideways.Budget(),
 		},
 		Sideways: s.sideways.Export(),
+	}
+	for _, t := range s.exportTunerStates() {
+		snap.Tuner = append(snap.Tuner, durable.TunerState{
+			Table: t.Table, Column: t.Column,
+			Strategy: t.Strategy, Class: t.Class,
+			Flips: t.Flips, Forced: t.Forced,
+		})
 	}
 	if s.wal != nil {
 		snap.AppliedSeq = s.wal.Seq()
@@ -264,6 +272,19 @@ func (s *Store) restoreSnapshot(snap *durable.StoreSnapshot) error {
 		if err := s.sideways.Restore(snap.Sideways, lookup, strategy.Restore); err != nil {
 			return fmt.Errorf("crackdb: %w", err)
 		}
+	}
+	// Tuner posture parks in pendingTuner until EnableAutotune adopts it
+	// (the flag is a runtime choice, not part of the image). Per-column
+	// strategies themselves were already restored above: each column
+	// record carries its own strategy state, and baseColumnOptions
+	// deliberately omits the store default — so a column the tuner
+	// flipped to standard reopens as standard, not as the default.
+	for _, t := range snap.Tuner {
+		s.pendingTuner = append(s.pendingTuner, tuner.ColumnState{
+			Table: t.Table, Column: t.Column,
+			Strategy: t.Strategy, Class: t.Class,
+			Flips: t.Flips, Forced: t.Forced,
+		})
 	}
 	return nil
 }
