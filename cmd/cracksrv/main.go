@@ -8,6 +8,7 @@
 //	cracksrv [-addr :7744] [-shards 4] [-partition hash|range]
 //	         [-domain 1048576] [-strategy mdd1r] [-seed 42] [-autotune]
 //	         [-tapestry name,n,alpha] [-data dir]
+//	         [-ckptdelta] [-walretain 4]
 //	         [-follow primaryaddr] [-advertise addr]
 //	         [-http addr] [-slowms n] [-tracesample n]
 //
@@ -25,7 +26,13 @@
 // checkpoints a warm crack-state snapshot into <dir>/store/ and rotates
 // the log, and boot recovers snapshot + WAL suffix, so even a SIGKILL
 // loses nothing that was acked. When a snapshot exists its recorded
-// sharding configuration wins over the command-line flags.
+// sharding configuration wins over the command-line flags. With
+// -ckptdelta a bare /save appends a differential chain element
+// (<dir>/delta-NNNNNN/) carrying only the shards that changed since the
+// last checkpoint; /save full forces a fresh full image, and the chain
+// auto-compacts when it grows long or heavy. -walretain bounds how many
+// rotated WAL segments each checkpoint keeps for replication catch-up;
+// segments a connected follower still needs are never pruned.
 //
 // With -follow the server is a read replica: it bootstraps from the
 // primary's checkpoint image plus WAL suffix, then pulls and applies
@@ -77,21 +84,23 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":7744", "listen address")
-		shards   = flag.Int("shards", 4, "number of cracker stores to partition tables across")
-		partKind = flag.String("partition", "hash", "partitioning scheme for new tables: hash or range")
-		domain   = flag.Int64("domain", 1<<20, "key domain upper bound for range partitioning of empty tables")
-		strat    = flag.String("strategy", "standard", "crack strategy on every shard: standard, ddc, ddr, mdd1r")
-		seed     = flag.Int64("seed", 42, "strategy RNG seed (per-shard sub-seeds are derived)")
-		autotune = flag.Bool("autotune", false, "auto-select crack strategies per column from the observed workload (inspect with /tune)")
-		tapestry = flag.String("tapestry", "", "preload a DBtapestry table: name,n,alpha (e.g. bench,100000,2)")
-		dataDir  = flag.String("data", "", "durable data directory (insert WAL + /save snapshots); empty = volatile")
-		follow   = flag.String("follow", "", "run as a read replica of the primary at this address")
-		adv      = flag.String("advertise", "", "address peers dial to reach this server (default: the -addr value)")
-		walWin   = flag.Duration("walwindow", 0, "WAL group-commit fsync coalescing window (0 = fsync-latency batching only)")
-		httpAddr = flag.String("http", "", "serve /metrics and /debug/pprof over HTTP on this address (e.g. 127.0.0.1:7790)")
-		slowMS   = flag.Int("slowms", 0, "log statements slower than this many milliseconds with their crack-event trace (0 = off)")
-		sample   = flag.Int("tracesample", 256, "time one converged lookup in this many (rounded to a power of two; 1 = every lookup)")
+		addr      = flag.String("addr", ":7744", "listen address")
+		shards    = flag.Int("shards", 4, "number of cracker stores to partition tables across")
+		partKind  = flag.String("partition", "hash", "partitioning scheme for new tables: hash or range")
+		domain    = flag.Int64("domain", 1<<20, "key domain upper bound for range partitioning of empty tables")
+		strat     = flag.String("strategy", "standard", "crack strategy on every shard: standard, ddc, ddr, mdd1r")
+		seed      = flag.Int64("seed", 42, "strategy RNG seed (per-shard sub-seeds are derived)")
+		autotune  = flag.Bool("autotune", false, "auto-select crack strategies per column from the observed workload (inspect with /tune)")
+		tapestry  = flag.String("tapestry", "", "preload a DBtapestry table: name,n,alpha (e.g. bench,100000,2)")
+		dataDir   = flag.String("data", "", "durable data directory (insert WAL + /save snapshots); empty = volatile")
+		follow    = flag.String("follow", "", "run as a read replica of the primary at this address")
+		adv       = flag.String("advertise", "", "address peers dial to reach this server (default: the -addr value)")
+		walWin    = flag.Duration("walwindow", 0, "WAL group-commit fsync coalescing window (0 = fsync-latency batching only)")
+		ckptDelta = flag.Bool("ckptdelta", false, "differential checkpoints: bare /save appends a delta element instead of rewriting the full image")
+		walRetain = flag.Int("walretain", 4, "archived WAL segments kept after each checkpoint (replication catch-up history)")
+		httpAddr  = flag.String("http", "", "serve /metrics and /debug/pprof over HTTP on this address (e.g. 127.0.0.1:7790)")
+		slowMS    = flag.Int("slowms", 0, "log statements slower than this many milliseconds with their crack-event trace (0 = off)")
+		sample    = flag.Int("tracesample", 256, "time one converged lookup in this many (rounded to a power of two; 1 = every lookup)")
 	)
 	flag.Parse()
 
@@ -155,6 +164,20 @@ func main() {
 		}
 		store.SetWALCoalesceWindow(*walWin)
 		logf("WAL group-commit coalescing window %v", *walWin)
+	}
+	if *ckptDelta {
+		if *dataDir == "" && *follow == "" {
+			fatal(fmt.Errorf("-ckptdelta requires a durable store (-data)"))
+		}
+		store.SetCheckpointDelta(true)
+		logf("differential checkpoints enabled (/save appends delta elements; /save full compacts)")
+	}
+	if *walRetain != 4 {
+		if *dataDir == "" && *follow == "" {
+			fatal(fmt.Errorf("-walretain requires a durable store (-data)"))
+		}
+		store.SetWALArchiveRetain(*walRetain)
+		logf("WAL archive retention %d segments", *walRetain)
 	}
 	// A recovered snapshot carries its own strategy configuration; only
 	// force the flag onto a store that has no history to contradict it.

@@ -94,6 +94,11 @@ type Store struct {
 	// pendingTuner carries tuner posture restored from a warm snapshot
 	// until EnableAutotune adopts it. Guarded by mu.
 	pendingTuner []tuner.ColumnState
+
+	// mark remembers what the last saved warm image contained, anchoring
+	// differential checkpoints (see persist_delta.go). Guarded by mu; nil
+	// until a warm save or warm open completes.
+	mark *saveMark
 }
 
 // New returns an empty store.

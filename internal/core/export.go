@@ -148,3 +148,81 @@ func ColumnFromState(st ColumnState, opts ...Option) (*Column, error) {
 func sortOIDs(s []bat.OID) {
 	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
 }
+
+// StateFingerprint hashes everything ExportState would serialize except
+// the value/oid vectors themselves: the cut set, pending queue, tombstone
+// set, vector length, and strategy identity/RNG position. Two columns
+// with equal fingerprints would export byte-identical crack state as long
+// as the underlying vectors are unchanged — which the caller establishes
+// separately (a data change tombstones or appends, both of which move
+// nextOID or the deleted set and therefore the fingerprint).
+//
+// Deliberately NOT part of the hash: Index.Version(). ColumnFromState
+// rebuilds the index cut by cut, so version counters differ between a
+// live column and its restored twin even though the crack state is
+// identical. Hashing the cut contents keeps fingerprints stable across a
+// save/restore round trip, which is what differential checkpoints need.
+func (c *Column) StateFingerprint() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var h uint64 = fingerprintSeed
+	mix := func(v uint64) { h = fpMix(h ^ v) }
+	mixStr := func(s string) {
+		mix(uint64(len(s)))
+		for i := 0; i < len(s); i++ {
+			mix(uint64(s[i]))
+		}
+	}
+	mixStr(c.name)
+	mix(uint64(len(c.vals)))
+	mix(uint64(c.nextOID))
+	if c.sorted {
+		mix(1)
+	} else {
+		mix(2)
+	}
+	for _, cut := range c.idx.Cuts() {
+		mix(uint64(cut.Val))
+		mix(uint64(cut.Pos))
+		if cut.Incl {
+			mix(1)
+		} else {
+			mix(2)
+		}
+	}
+	mix(uint64(len(c.pending)))
+	for _, p := range c.pending {
+		mix(uint64(p.oid))
+		mix(uint64(p.val))
+	}
+	del := make([]bat.OID, 0, len(c.deleted))
+	for oid := range c.deleted {
+		del = append(del, oid)
+	}
+	sortOIDs(del)
+	mix(uint64(len(del)))
+	for _, oid := range del {
+		mix(uint64(oid))
+	}
+	if ss, ok := c.strategy.(StatefulStrategy); ok {
+		st := ss.Export()
+		mixStr(st.Name)
+		mix(uint64(st.MinPiece))
+		mix(st.RNG)
+	} else if c.strategy != nil {
+		mixStr(c.strategy.Name())
+	}
+	return h
+}
+
+const fingerprintSeed = 0x9e3779b97f4a7c15
+
+// fpMix is the splitmix64 finalizer: a cheap full-avalanche mixer.
+func fpMix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -146,6 +146,28 @@ func (ct *CrackedTable) RestoreColumn(attr string, c *Column) error {
 	return nil
 }
 
+// ReplaceColumn swaps in a reconstructed cracker column for attr,
+// displacing any live column. Same validation as RestoreColumn minus the
+// already-cracked refusal — this is the differential-checkpoint apply
+// path, where a delta element supersedes the column state restored from
+// the chain's base image.
+func (ct *CrackedTable) ReplaceColumn(attr string, c *Column) error {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	ct.baseMu.RLock()
+	hasCol := ct.base.HasColumn(attr)
+	liveLen := ct.base.Len() - len(ct.tomb)
+	ct.baseMu.RUnlock()
+	if !hasCol {
+		return fmt.Errorf("core: table %q has no column %q to replace", ct.base.Name, attr)
+	}
+	if got := c.Len(); got != liveLen {
+		return fmt.Errorf("core: replacement column %q has %d live tuples, base has %d", attr, got, liveLen)
+	}
+	ct.cols[attr] = c
+	return nil
+}
+
 // CrackedColumns returns the attributes that currently have a cracker
 // column (i.e. have been filtered on at least once).
 func (ct *CrackedTable) CrackedColumns() []string {

@@ -97,42 +97,53 @@ type StoreSnapshot struct {
 // rename), fsyncing before the rename so a crash leaves either the old
 // image or the complete new one.
 func WriteSnapshot(path string, s *StoreSnapshot) error {
+	_, err := WriteSnapshotSum(path, s)
+	return err
+}
+
+// WriteSnapshotSum is WriteSnapshot returning the image's checksum (the
+// CRC-32 trailer value) — the chain link a differential checkpoint
+// records as its PrevSum to name this image as its base. The trailer,
+// not a CRC of the whole file: a CRC over a message that ends in its
+// own CRC is the fixed CRC-32 residue, the same for every file.
+func WriteSnapshotSum(path string, s *StoreSnapshot) (uint32, error) {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
-		return err
+		return 0, err
+	}
+	fail := func(err error) (uint32, error) {
+		f.Close()
+		os.Remove(tmp)
+		return 0, err
 	}
 	bw := bufio.NewWriterSize(f, 1<<20)
 	crc := crc32.NewIEEE()
 	w := io.MultiWriter(bw, crc)
 
 	if err := encodeSnapshot(w, s); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
+		return fail(err)
 	}
+	body := crc.Sum32()
 	var sum [4]byte
-	binary.LittleEndian.PutUint32(sum[:], crc.Sum32())
+	binary.LittleEndian.PutUint32(sum[:], body)
 	if _, err := bw.Write(sum[:]); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
+		return fail(err)
 	}
 	if err := bw.Flush(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
+		return fail(err)
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
+		return fail(err)
 	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
-		return err
+		return 0, err
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		return 0, err
+	}
+	return body, nil
 }
 
 func encodeSnapshot(w io.Writer, s *StoreSnapshot) error {
@@ -317,14 +328,22 @@ func encodeColumn(w io.Writer, cs *ColumnSnapshot) error {
 
 // ReadSnapshot loads and validates a snapshot written by WriteSnapshot.
 func ReadSnapshot(path string) (*StoreSnapshot, error) {
+	s, _, err := ReadSnapshotSum(path)
+	return s, err
+}
+
+// ReadSnapshotSum is ReadSnapshot returning the image's verified
+// checksum (the CRC-32 trailer value), so a chain opener can check that
+// the first delta's PrevSum names exactly this base image.
+func ReadSnapshotSum(path string) (*StoreSnapshot, uint32, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	defer f.Close()
 	fi, err := f.Stat()
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	br := bufio.NewReaderSize(f, 1<<20)
 	crc := crc32.NewIEEE()
@@ -337,11 +356,11 @@ func ReadSnapshot(path string) (*StoreSnapshot, error) {
 	var magic [4]byte
 	r.read(magic[:])
 	if r.err != nil || magic != snapMagic {
-		return nil, fmt.Errorf("%w: bad snapshot magic", ErrCorrupt)
+		return nil, 0, fmt.Errorf("%w: bad snapshot magic", ErrCorrupt)
 	}
 	version := r.u8()
 	if r.err == nil && (version < 1 || version > snapVersion) {
-		return nil, fmt.Errorf("durable: unsupported snapshot version %d", version)
+		return nil, 0, fmt.Errorf("durable: unsupported snapshot version %d", version)
 	}
 	s := &StoreSnapshot{}
 	s.AppliedSeq = r.u64()
@@ -358,7 +377,7 @@ func ReadSnapshot(path string) (*StoreSnapshot, error) {
 	}
 	ncols := r.u32()
 	if !r.count(uint64(ncols), 16, "column") { // conservative minimum per column record
-		return nil, fmt.Errorf("%w: %v", ErrCorrupt, r.err)
+		return nil, 0, fmt.Errorf("%w: %v", ErrCorrupt, r.err)
 	}
 	for i := uint32(0); i < ncols && r.err == nil; i++ {
 		s.Columns = append(s.Columns, r.column())
@@ -366,7 +385,7 @@ func ReadSnapshot(path string) (*StoreSnapshot, error) {
 	if version >= 2 && r.err == nil {
 		nsets := r.u32()
 		if !r.count(uint64(nsets), 21, "sideways map") { // minimum per map record
-			return nil, fmt.Errorf("%w: %v", ErrCorrupt, r.err)
+			return nil, 0, fmt.Errorf("%w: %v", ErrCorrupt, r.err)
 		}
 		for i := uint32(0); i < nsets && r.err == nil; i++ {
 			s.Sideways = append(s.Sideways, r.sidewaysSet())
@@ -375,7 +394,7 @@ func ReadSnapshot(path string) (*StoreSnapshot, error) {
 	if version >= 3 && r.err == nil {
 		ntune := r.u32()
 		if !r.count(uint64(ntune), 21, "tuner posture") { // 4 strings + u64 + bool minimum
-			return nil, fmt.Errorf("%w: %v", ErrCorrupt, r.err)
+			return nil, 0, fmt.Errorf("%w: %v", ErrCorrupt, r.err)
 		}
 		for i := uint32(0); i < ntune && r.err == nil; i++ {
 			s.Tuner = append(s.Tuner, TunerState{
@@ -389,19 +408,19 @@ func ReadSnapshot(path string) (*StoreSnapshot, error) {
 		}
 	}
 	if r.err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCorrupt, r.err)
+		return nil, 0, fmt.Errorf("%w: %v", ErrCorrupt, r.err)
 	}
 	// The checksum trails the teed content: read it from the underlying
 	// reader so it does not feed back into the running CRC.
 	want := crc.Sum32()
 	var sum [4]byte
 	if _, err := io.ReadFull(br, sum[:]); err != nil {
-		return nil, fmt.Errorf("%w: missing snapshot checksum: %v", ErrCorrupt, err)
+		return nil, 0, fmt.Errorf("%w: missing snapshot checksum: %v", ErrCorrupt, err)
 	}
 	if got := binary.LittleEndian.Uint32(sum[:]); got != want {
-		return nil, fmt.Errorf("%w: snapshot checksum mismatch (got %08x want %08x)", ErrCorrupt, got, want)
+		return nil, 0, fmt.Errorf("%w: snapshot checksum mismatch (got %08x want %08x)", ErrCorrupt, got, want)
 	}
-	return s, nil
+	return s, want, nil
 }
 
 // snapReader is a little decoding cursor with sticky error handling.

@@ -65,6 +65,14 @@ type WAL struct {
 	// original behavior — batching emerges only from fsync latency.
 	coalesce time.Duration
 
+	// retain bounds how many rotated segments are kept as replication
+	// history (default archiveRetain); pruneFloor additionally protects
+	// every segment still holding records a connected subscriber needs —
+	// a segment whose end exceeds the floor survives retention. The
+	// default floor (MaxUint64) protects nothing beyond retain.
+	retain     int
+	pruneFloor uint64
+
 	// obs carries the optional observer callbacks (SetObserver). Held
 	// behind an atomic pointer so observation can be attached to a live
 	// log and the unobserved path pays one load per event.
@@ -132,14 +140,16 @@ func Create(path string, baseSeq uint64) (*WAL, error) {
 
 func newWAL(path string, f *os.File, baseSeq uint64, size int64) *WAL {
 	w := &WAL{
-		path:     path,
-		f:        f,
-		base:     baseSeq,
-		seq:      baseSeq,
-		durSeq:   baseSeq,
-		bytes:    size,
-		done:     make(chan struct{}),
-		commitCh: make(chan struct{}),
+		path:       path,
+		f:          f,
+		base:       baseSeq,
+		seq:        baseSeq,
+		durSeq:     baseSeq,
+		bytes:      size,
+		done:       make(chan struct{}),
+		commitCh:   make(chan struct{}),
+		retain:     archiveRetain,
+		pruneFloor: ^uint64(0),
 	}
 	w.cond = sync.NewCond(&w.mu)
 	go w.flusher()
@@ -394,9 +404,33 @@ func (w *WAL) Status() Status {
 	}
 }
 
-// archiveRetain bounds how many rotated segments are kept next to the
-// live log as replication history (see Rotate).
+// archiveRetain is the default bound on how many rotated segments are
+// kept next to the live log as replication history (see Rotate and
+// SetArchiveRetain).
 const archiveRetain = 4
+
+// SetArchiveRetain bounds how many rotated segments Rotate keeps as
+// replication history. A follower lagging by more rotations than this
+// is forced into snapshot bootstrap, so deployments with slow replicas
+// and disk to spare raise it (cracksrv -walretain).
+func (w *WAL) SetArchiveRetain(n int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	w.retain = n
+}
+
+// SetPruneFloor protects archived segments still needed by the slowest
+// connected replication subscriber: no segment containing records at or
+// above seq is pruned, regardless of the retain bound. MaxUint64 (the
+// default) restores pure count-based retention.
+func (w *WAL) SetPruneFloor(seq uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.pruneFloor = seq
+}
 
 // archivePath names the rotated segment that began at base.
 func archivePath(path string, base uint64) string {
@@ -471,7 +505,7 @@ func (w *WAL) Rotate(baseSeq uint64) error {
 	w.seq = baseSeq
 	w.durSeq = baseSeq
 	w.bytes = walHeaderSize
-	pruneArchives(w.path, archiveRetain)
+	pruneArchives(w.path, w.retain, w.base, w.pruneFloor)
 	close(w.commitCh) // subscribers must re-read the rotated log's state
 	w.commitCh = make(chan struct{})
 	return nil
@@ -496,10 +530,21 @@ func listArchives(path string) []uint64 {
 	return bases
 }
 
-// pruneArchives deletes all but the newest keep archived segments.
-func pruneArchives(path string, keep int) {
+// pruneArchives deletes the oldest archived segments until at most keep
+// remain, stopping early at the first segment a subscriber at floor
+// still needs. Segment i spans [bases[i], bases[i+1]); the newest spans
+// up to liveBase — a segment whose end exceeds floor holds records the
+// slowest follower has not acked yet and must survive.
+func pruneArchives(path string, keep int, liveBase, floor uint64) {
 	bases := listArchives(path)
 	for len(bases) > keep {
+		end := liveBase
+		if len(bases) > 1 {
+			end = bases[1]
+		}
+		if end > floor {
+			break
+		}
 		os.Remove(archivePath(path, bases[0]))
 		bases = bases[1:]
 	}

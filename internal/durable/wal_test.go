@@ -486,3 +486,81 @@ func TestSnapshotChecksum(t *testing.T) {
 		t.Fatal("truncated snapshot was accepted")
 	}
 }
+
+// rotateRounds appends one record and rotates, n times, returning the
+// final sequence number.
+func rotateRounds(t *testing.T, w *WAL, n int) uint64 {
+	t.Helper()
+	var seq uint64
+	for i := 0; i < n; i++ {
+		s, err := w.Append(Record{Kind: KindDrop, Table: "t"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq = s + 1
+		if err := w.Rotate(seq); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return seq
+}
+
+// TestWALArchiveRetain: SetArchiveRetain bounds the rotated-segment
+// history, dropping oldest-first.
+func TestWALArchiveRetain(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := Create(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	w.SetArchiveRetain(2)
+	rotateRounds(t, w, 5)
+	bases := listArchives(path)
+	if len(bases) != 2 {
+		t.Fatalf("retain 2 left %d archives: %v", len(bases), bases)
+	}
+	// The survivors must be the newest segments, not an arbitrary pair.
+	if bases[0] != 3 || bases[1] != 4 {
+		t.Fatalf("retained the wrong segments: %v", bases)
+	}
+	// Tightening the bound takes effect at the next rotation.
+	w.SetArchiveRetain(0)
+	rotateRounds(t, w, 1)
+	if bases := listArchives(path); len(bases) != 0 {
+		t.Fatalf("retain 0 left archives behind: %v", bases)
+	}
+}
+
+// TestWALPruneFloorProtects: segments holding records the slowest
+// follower has not acked survive pruning regardless of the retain
+// bound; lifting the floor releases them at the next rotation.
+func TestWALPruneFloorProtects(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := Create(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	w.SetArchiveRetain(0)
+	w.SetPruneFloor(0) // a follower still needs everything from seq 0
+	rotateRounds(t, w, 4)
+	if bases := listArchives(path); len(bases) != 4 {
+		t.Fatalf("floor 0 with retain 0: want all 4 archives kept, got %v", bases)
+	}
+	// Follower catches up partway: only segments ending after its ack
+	// position survive. Segment i spans [i, i+1), so floor 2 protects
+	// the segments based at 2 and 3.
+	w.SetPruneFloor(2)
+	rotateRounds(t, w, 1)
+	bases := listArchives(path)
+	if len(bases) != 3 || bases[0] != 2 {
+		t.Fatalf("floor 2: want archives [2 3 4], got %v", bases)
+	}
+	// No follower lagging at all: pure count-based retention again.
+	w.SetPruneFloor(^uint64(0))
+	rotateRounds(t, w, 1)
+	if bases := listArchives(path); len(bases) != 0 {
+		t.Fatalf("lifted floor with retain 0 left archives: %v", bases)
+	}
+}

@@ -76,7 +76,17 @@ func (s *Server) primaryAddr() string {
 	return s.repl.primary
 }
 
-// noteFollower records one follower heartbeat.
+// followerSeenWindow bounds how long a silent follower keeps protecting
+// archived WAL segments from pruning: one that has not heartbeated for
+// this long is presumed gone and will re-bootstrap from the snapshot if
+// it returns after its position rotated out.
+const followerSeenWindow = 20 * time.Second
+
+// noteFollower records one follower heartbeat and refreshes the WAL
+// prune floor: no archived segment a recently-seen follower still needs
+// (its acked position or later) is ever pruned, however small the
+// retention bound, so a slow-but-connected follower never falls off the
+// stream into a forced re-bootstrap.
 func (s *Server) noteFollower(addr string, applied uint64) {
 	if addr == "" {
 		return
@@ -86,7 +96,15 @@ func (s *Server) noteFollower(addr string, applied uint64) {
 		s.repl.followers = make(map[string]followerInfo)
 	}
 	s.repl.followers[addr] = followerInfo{applied: applied, seen: time.Now()}
+	floor := ^uint64(0)
+	cutoff := time.Now().Add(-followerSeenWindow)
+	for _, fi := range s.repl.followers {
+		if fi.seen.After(cutoff) && fi.applied < floor {
+			floor = fi.applied
+		}
+	}
 	s.repl.mu.Unlock()
+	s.store.SetWALPruneFloor(floor)
 }
 
 // readOnlyStmt reports whether a SQL statement is safe on a follower.

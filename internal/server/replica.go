@@ -4,6 +4,8 @@ import (
 	"encoding/base64"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -68,6 +70,13 @@ type Follower struct {
 	primaryDurable atomic.Uint64
 	applied        atomic.Uint64 // records applied since Run started
 	lagWired       atomic.Bool   // lag collector registered at most once
+
+	// Bootstrap transfer accounting: bytes actually fetched from the
+	// primary vs. bytes satisfied by checksum-matched local files. A
+	// re-bootstrap against a mostly-unchanged image shows downloaded ≪
+	// reused — the resumability the gauges exist to prove.
+	bootDownloaded atomic.Int64
+	bootReused     atomic.Int64
 }
 
 // Store returns the follower's local store, safe for concurrent reads
@@ -132,6 +141,7 @@ func OpenFollower(opts FollowerOptions) (*Follower, error) {
 	// Probe: can the primary serve our position from its live log or
 	// archives? If not, the local image is too old — bootstrap from the
 	// primary's checkpoint.
+	var bootTransfer bootStats
 	resp, err := c.Do(fmt.Sprintf("/replpull %d 1", localNext(store)))
 	if err != nil {
 		store.CloseWAL()
@@ -146,7 +156,7 @@ func OpenFollower(opts FollowerOptions) (*Follower, error) {
 		if err := store.CloseWAL(); err != nil {
 			return nil, err
 		}
-		store, err = bootstrapFromSnapshot(c, dataDir, sOpts, logf)
+		store, bootTransfer, err = bootstrapFromSnapshot(c, dataDir, sOpts, logf)
 		if err != nil {
 			return nil, err
 		}
@@ -161,6 +171,8 @@ func OpenFollower(opts FollowerOptions) (*Follower, error) {
 		stop:      make(chan struct{}),
 		done:      make(chan struct{}),
 	}
+	f.bootDownloaded.Store(bootTransfer.downloaded)
+	f.bootReused.Store(bootTransfer.reused)
 	if reg := store.Registry(); reg != nil {
 		f.registerLagGauges(reg)
 	}
@@ -185,6 +197,8 @@ func (f *Follower) registerLagGauges(reg *obs.Registry) {
 		e.Gauge("crackdb_repl_primary_durable_seq", "Primary's committed frontier at the last pull.", float64(pd))
 		e.Gauge("crackdb_repl_apply_lag_records", "Committed primary records not yet applied locally.", float64(lag))
 		e.Counter("crackdb_repl_applied_records_total", "Records applied since this follower started.", int64(f.applied.Load()))
+		e.Gauge("crackdb_repl_bootstrap_downloaded_bytes", "Snapshot bytes fetched from the primary at the last bootstrap.", float64(f.bootDownloaded.Load()))
+		e.Gauge("crackdb_repl_bootstrap_reused_bytes", "Snapshot bytes satisfied by checksum-matched local files at the last bootstrap.", float64(f.bootReused.Load()))
 	})
 }
 
@@ -376,66 +390,175 @@ func optionsFromKV(kv map[string]string) (shard.Options, error) {
 	return o, nil
 }
 
+// bootStats accounts a bootstrap's transfer: bytes fetched over the
+// wire vs. bytes satisfied by checksum-matched files already on disk.
+type bootStats struct {
+	downloaded int64
+	reused     int64
+}
+
+// BootstrapBytes reports the last bootstrap's transfer accounting
+// (zero/zero when the follower resumed from its own log without one).
+func (f *Follower) BootstrapBytes() (downloaded, reused int64) {
+	return f.bootDownloaded.Load(), f.bootReused.Load()
+}
+
+// stagingRel maps a manifest path to its location inside the staging
+// dir, which mirrors the data-dir layout. New primaries send data-dir
+// relative paths ("store/...", "delta-NNNNNN/..."); bare paths from
+// older manifests belong under the base image.
+func stagingRel(p string) string {
+	if p == "store" || strings.HasPrefix(p, "store/") || strings.HasPrefix(p, "delta-") {
+		return p
+	}
+	return "store/" + p
+}
+
+// fileMatches reports whether the file at path already holds exactly
+// the manifest entry's contents (size and CRC-32 both match).
+func fileMatches(path string, sf shard.SnapshotFile) bool {
+	info, err := os.Stat(path)
+	if err != nil || info.Size() != sf.Size {
+		return false
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false
+	}
+	return crc32.ChecksumIEEE(data) == sf.Crc
+}
+
 // bootstrapFromSnapshot replaces the follower's local state with the
-// primary's checkpoint image: download the manifest and every file into
-// a staging dir, swap it in as the snapshot, drop the stale local log,
-// and reopen — OpenDurable then boots warm from the image and creates a
-// fresh log based at the image's seq, which is exactly the position the
-// pull loop resumes from. Every chunk read is fenced by the image's
-// seq; a checkpoint landing mid-download answers "snapshot superseded"
-// and the whole download restarts against the newer image.
-func bootstrapFromSnapshot(c *Client, dataDir string, sOpts shard.Options, logf func(string, ...any)) (*shard.Store, error) {
-	const attempts = 5
+// primary's checkpoint image — base plus delta chain — downloading only
+// what local disk does not already hold. Every manifest file is first
+// checked (by size and checksum) against the staging dir, then against
+// the previously installed image; only mismatches are fetched. Every
+// chunk read is fenced by the image's seq; a checkpoint landing
+// mid-download answers "snapshot superseded", and the retry re-fetches
+// the manifest but keeps the staging dir — files unchanged across the
+// checkpoint are never downloaded twice, so the bootstrap converges
+// even when checkpoints keep racing it. Once staging is complete, the
+// stale local state is dropped, the image is installed, and OpenDurable
+// boots warm from it with a fresh log based at the image's seq —
+// exactly the position the pull loop resumes from.
+func bootstrapFromSnapshot(c *Client, dataDir string, sOpts shard.Options, logf func(string, ...any)) (*shard.Store, bootStats, error) {
+	const attempts = 8
+	var stats bootStats
+	staging := filepath.Join(dataDir, "store.repl")
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
 		m, err := fetchManifest(c)
 		if err != nil {
-			return nil, err
+			return nil, stats, err
 		}
-		staging := filepath.Join(dataDir, "store.repl")
-		if err := os.RemoveAll(staging); err != nil {
-			return nil, err
-		}
-		if err := downloadImage(c, m, staging); err != nil {
+		reused, err := stageImage(c, m, staging, dataDir, &stats)
+		if err != nil {
 			if strings.Contains(err.Error(), "superseded") {
-				logf("follower: snapshot superseded mid-download, retrying")
+				logf("follower: snapshot superseded mid-download, resuming against the newer image")
 				lastErr = err
 				continue
 			}
-			return nil, err
+			return nil, stats, err
 		}
+		stats.reused = reused
 		// Point of no return: drop the stale local state, install the image.
-		storeDir := filepath.Join(dataDir, "store")
-		if err := os.RemoveAll(storeDir); err != nil {
-			return nil, err
-		}
-		walPath := filepath.Join(dataDir, "wal.log")
-		if err := os.RemoveAll(walPath); err != nil {
-			return nil, err
-		}
-		if archived, _ := filepath.Glob(walPath + ".*"); archived != nil {
-			for _, a := range archived {
-				os.Remove(a)
-			}
+		if err := removeLocalState(dataDir); err != nil {
+			return nil, stats, err
 		}
 		if len(m.Files) > 0 {
-			if err := os.Rename(staging, storeDir); err != nil {
-				return nil, err
+			entries, err := os.ReadDir(staging)
+			if err != nil {
+				return nil, stats, err
 			}
-		} else {
-			// A primary that has never checkpointed has no image: the
-			// whole history lives in its log (base 0), so an empty local
-			// store replayed from seq 0 is the bootstrap.
-			os.RemoveAll(staging)
+			for _, e := range entries {
+				if err := os.Rename(filepath.Join(staging, e.Name()), filepath.Join(dataDir, e.Name())); err != nil {
+					return nil, stats, err
+				}
+			}
 		}
+		// A primary that has never checkpointed has no image: the whole
+		// history lives in its log (base 0), so an empty local store
+		// replayed from seq 0 is the bootstrap.
+		os.RemoveAll(staging)
 		store, info, err := shard.OpenDurable(dataDir, sOpts)
 		if err != nil {
-			return nil, err
+			return nil, stats, err
 		}
-		logf("follower: bootstrapped from primary snapshot at seq %d (%d files)", info.AppliedSeq, len(m.Files))
-		return store, nil
+		logf("follower: bootstrapped from primary snapshot at seq %d (%d files, %d bytes fetched, %d reused)",
+			info.AppliedSeq, len(m.Files), stats.downloaded, stats.reused)
+		return store, stats, nil
 	}
-	return nil, fmt.Errorf("server: snapshot bootstrap kept racing checkpoints: %v", lastErr)
+	return nil, stats, fmt.Errorf("server: snapshot bootstrap kept racing checkpoints: %v", lastErr)
+}
+
+// removeLocalState clears the follower's superseded snapshot, delta
+// chain, and log so the staged image installs into a clean data dir.
+func removeLocalState(dataDir string) error {
+	if err := os.RemoveAll(filepath.Join(dataDir, "store")); err != nil {
+		return err
+	}
+	if deltas, _ := filepath.Glob(filepath.Join(dataDir, "delta-*")); deltas != nil {
+		for _, d := range deltas {
+			if err := os.RemoveAll(d); err != nil {
+				return err
+			}
+		}
+	}
+	walPath := filepath.Join(dataDir, "wal.log")
+	if err := os.RemoveAll(walPath); err != nil {
+		return err
+	}
+	if archived, _ := filepath.Glob(walPath + ".*"); archived != nil {
+		for _, a := range archived {
+			os.Remove(a)
+		}
+	}
+	return nil
+}
+
+// stageImage brings the staging dir to exactly the manifest's contents,
+// downloading only files whose checksums match neither a staged copy
+// (from an earlier, interrupted attempt) nor the installed local image.
+// Returns the byte count satisfied locally. Staging extras not in the
+// manifest are pruned so the install step moves nothing stale.
+func stageImage(c *Client, m shard.SnapshotManifest, staging, dataDir string, stats *bootStats) (int64, error) {
+	want := make(map[string]bool, len(m.Files))
+	var reused int64
+	for _, sf := range m.Files {
+		rel := filepath.FromSlash(stagingRel(sf.Path))
+		want[rel] = true
+		dst := filepath.Join(staging, rel)
+		if fileMatches(dst, sf) {
+			reused += sf.Size
+			continue
+		}
+		if prev := filepath.Join(dataDir, rel); fileMatches(prev, sf) {
+			if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+				return reused, err
+			}
+			data, err := os.ReadFile(prev)
+			if err == nil && os.WriteFile(dst, data, 0o644) == nil {
+				reused += sf.Size
+				continue
+			}
+		}
+		if err := downloadFile(c, m.Seq, sf, dst, stats); err != nil {
+			return reused, err
+		}
+	}
+	// Prune staged files the manifest no longer lists (renamed tables,
+	// compacted chain elements): install must produce the image exactly.
+	filepath.WalkDir(staging, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return nil
+		}
+		rel, err := filepath.Rel(staging, path)
+		if err == nil && !want[rel] {
+			os.Remove(path)
+		}
+		return nil
+	})
+	return reused, nil
 }
 
 // fetchManifest pulls and decodes /replmanifest.
@@ -462,55 +585,51 @@ func fetchManifest(c *Client) (shard.SnapshotManifest, error) {
 	return m, nil
 }
 
-// downloadImage fetches every manifest file into dir, chunk by chunk.
-func downloadImage(c *Client, m shard.SnapshotManifest, dir string) error {
-	for _, sf := range m.Files {
-		dst := filepath.Join(dir, filepath.FromSlash(sf.Path))
-		if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
-			return err
-		}
-		out, err := os.Create(dst)
-		if err != nil {
-			return err
-		}
-		var off int64
-		for off < sf.Size {
-			n := fetchChunk
-			if rem := sf.Size - off; rem < int64(n) {
-				n = int(rem)
-			}
-			resp, err := c.Do(fmt.Sprintf("/replfetch %d %s %d %d", m.Seq, sf.Path, off, n))
-			if err != nil {
-				out.Close()
-				return err
-			}
-			if resp.Err != "" {
-				out.Close()
-				return fmt.Errorf("server: /replfetch %s: %s", sf.Path, resp.Err)
-			}
-			b64, ok := strings.CutPrefix(resp.Message, "chunk ")
-			if !ok {
-				out.Close()
-				return fmt.Errorf("server: malformed chunk reply %q", resp.Message)
-			}
-			chunk, err := base64.StdEncoding.DecodeString(b64)
-			if err != nil {
-				out.Close()
-				return err
-			}
-			if len(chunk) == 0 {
-				out.Close()
-				return fmt.Errorf("server: short image file %s (%d of %d bytes)", sf.Path, off, sf.Size)
-			}
-			if _, err := out.Write(chunk); err != nil {
-				out.Close()
-				return err
-			}
-			off += int64(len(chunk))
-		}
-		if err := out.Close(); err != nil {
-			return err
-		}
+// downloadFile fetches one manifest file into dst, chunk by chunk,
+// counting the transferred bytes.
+func downloadFile(c *Client, seq uint64, sf shard.SnapshotFile, dst string, stats *bootStats) error {
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return err
 	}
-	return nil
+	out, err := os.Create(dst)
+	if err != nil {
+		return err
+	}
+	var off int64
+	for off < sf.Size {
+		n := fetchChunk
+		if rem := sf.Size - off; rem < int64(n) {
+			n = int(rem)
+		}
+		resp, err := c.Do(fmt.Sprintf("/replfetch %d %s %d %d", seq, sf.Path, off, n))
+		if err != nil {
+			out.Close()
+			return err
+		}
+		if resp.Err != "" {
+			out.Close()
+			return fmt.Errorf("server: /replfetch %s: %s", sf.Path, resp.Err)
+		}
+		b64, ok := strings.CutPrefix(resp.Message, "chunk ")
+		if !ok {
+			out.Close()
+			return fmt.Errorf("server: malformed chunk reply %q", resp.Message)
+		}
+		chunk, err := base64.StdEncoding.DecodeString(b64)
+		if err != nil {
+			out.Close()
+			return err
+		}
+		if len(chunk) == 0 {
+			out.Close()
+			return fmt.Errorf("server: short image file %s (%d of %d bytes)", sf.Path, off, sf.Size)
+		}
+		if _, err := out.Write(chunk); err != nil {
+			out.Close()
+			return err
+		}
+		off += int64(len(chunk))
+		stats.downloaded += int64(len(chunk))
+	}
+	return out.Close()
 }

@@ -320,7 +320,7 @@ func (s *Server) meta(cmd string) (*Response, bool) {
 	case "/quit":
 		return &Response{Message: "bye"}, true
 	case "/help":
-		return &Response{Message: "/ping /tables /shards /stats [<table> <col>] /metrics /strategy <name> [seed] [shard] /tune [<table> <col> <strategy>|auto] /tapestry <name> <n> <alpha> [seed] /save /wal /repl /replwait <seq> /quit — anything else is SQL"}, false
+		return &Response{Message: "/ping /tables /shards /stats [<table> <col>] /metrics /strategy <name> [seed] [shard] /tune [<table> <col> <strategy>|auto] /tapestry <name> <n> <alpha> [seed] /save [full|delta] /wal /repl /replwait <seq> /quit — anything else is SQL"}, false
 	case "/repl":
 		return s.replStatusMeta()
 	case "/replmanifest":
@@ -334,15 +334,24 @@ func (s *Server) meta(cmd string) (*Response, bool) {
 	case "/save":
 		// Checkpoint: warm snapshot + WAL rotation. Requires a store booted
 		// with -data; mutations block for the duration, queries keep running.
+		// An optional argument forces the mode: "full" rewrites the whole
+		// image, "delta" appends a differential chain element carrying only
+		// the shards that changed; bare /save uses the store's default
+		// (-ckptdelta).
 		if !s.store.Durable() {
 			return &Response{Err: "store is not durable (start cracksrv with -data)"}, false
 		}
-		if err := s.store.Checkpoint(); err != nil {
+		mode := ""
+		if len(fields) > 1 {
+			mode = fields[1]
+		}
+		ran, err := s.store.CheckpointMode(mode)
+		if err != nil {
 			return &Response{Err: err.Error()}, false
 		}
 		st, _ := s.store.WALStatus()
-		s.logf("checkpoint complete (wal rotated at seq %d)", st.BaseSeq)
-		return &Response{Message: fmt.Sprintf("checkpoint complete, wal rotated at seq %d", st.BaseSeq)}, false
+		s.logf("checkpoint complete (%s, wal rotated at seq %d)", ran, st.BaseSeq)
+		return &Response{Message: fmt.Sprintf("checkpoint complete (%s), wal rotated at seq %d", ran, st.BaseSeq)}, false
 	case "/wal":
 		st, ok := s.store.WALStatus()
 		if !ok {

@@ -1,0 +1,360 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"crackdb"
+	"crackdb/internal/durable"
+)
+
+// Differential checkpoints for the sharded store. A full checkpoint
+// rewrites every shard's image under dir/store; a delta checkpoint adds
+// one element directory next to it:
+//
+//	dir/store/          base image (full Checkpoint)
+//	dir/delta-000001/   first element: delta.json + shard-K/ for each
+//	                    shard dirty since the previous element
+//	dir/delta-000002/   ...
+//
+// delta.json records the element's WAL stamp, the dirty-shard list, the
+// router manifest as of the element (so tables created after the base
+// boot correctly), and the CRC-32 of its predecessor — the previous
+// element's delta.json, or the base's shard.json for the first element.
+// Boot resolves the chain: superseded elements (covered by a newer full
+// image) are deleted, the checksum links are verified end to end, and
+// each shard opens its base image plus exactly the elements that carry
+// it (crackdb.OpenWarmChain). An element that fails verification refuses
+// the boot — a half-trusted chain must never silently serve cold.
+//
+// Compaction folds the chain back into a full image when it grows past
+// deltaCompactEvery elements or past half the base's size: chains stay
+// short, so boot and follower bootstrap never walk unbounded history.
+
+const (
+	deltaDirPrefix    = "delta-"
+	deltaManifestName = "delta.json"
+
+	// deltaCompactEvery bounds the chain length; deltaCompactRatio (the
+	// numerator of a /2) bounds cumulative delta bytes against the base.
+	deltaCompactEvery = 8
+)
+
+// deltaManifest is the on-disk description of one chain element.
+type deltaManifest struct {
+	Version int            `json:"version"`
+	Seq     uint64         `json:"seq"`      // WAL stamp (rotation point)
+	PrevSum uint32         `json:"prev_sum"` // CRC-32 of the predecessor
+	Dirty   []int          `json:"dirty"`    // shards with a shard-K/ subdir
+	Router  routerManifest `json:"router"`   // routing state at the element
+}
+
+// chainElem is one resolved on-disk element.
+type chainElem struct {
+	name  string // directory name under the data dir ("delta-000001")
+	ord   int
+	seq   uint64
+	sum   uint32 // CRC-32 of this element's delta.json
+	dirty []int
+}
+
+func deltaDirName(ord int) string {
+	return fmt.Sprintf("%s%06d", deltaDirPrefix, ord)
+}
+
+// SetCheckpointDelta selects the default Checkpoint mode: on, /save
+// without an argument writes a differential element (escalating to a
+// full image when the compaction policy triggers); off (the default), it
+// writes a full image. The cracksrv -ckptdelta flag.
+func (s *Store) SetCheckpointDelta(on bool) {
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	s.ckptDelta = on
+}
+
+// SetWALArchiveRetain bounds how many rotated WAL segments checkpoints
+// keep as replication history (durable.WAL.SetArchiveRetain; the
+// cracksrv -walretain flag). No-op on a volatile store.
+func (s *Store) SetWALArchiveRetain(n int) {
+	s.walMu.RLock()
+	defer s.walMu.RUnlock()
+	if s.wal != nil {
+		s.wal.SetArchiveRetain(n)
+	}
+}
+
+// SetWALPruneFloor protects archived WAL segments still needed by the
+// slowest connected follower (durable.WAL.SetPruneFloor). The server
+// recomputes it from follower acks; MaxUint64 clears the protection.
+func (s *Store) SetWALPruneFloor(seq uint64) {
+	s.walMu.RLock()
+	defer s.walMu.RUnlock()
+	if s.wal != nil {
+		s.wal.SetPruneFloor(seq)
+	}
+}
+
+// CheckpointMode writes a checkpoint in the requested mode — "full",
+// "delta", or "" for the store's configured default — and returns the
+// mode that actually ran: "delta" escalates to "full" when there is no
+// base image yet, when the compaction policy triggers, or when a shard
+// cannot anchor a delta to its last save.
+func (s *Store) CheckpointMode(mode string) (string, error) {
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	if s.wal == nil || s.dataDir == "" {
+		return "", fmt.Errorf("shard: store is not durable (no data directory)")
+	}
+	switch mode {
+	case "":
+		mode = "full"
+		if s.ckptDelta {
+			mode = "delta"
+		}
+	case "full", "delta":
+	default:
+		return "", fmt.Errorf("shard: unknown checkpoint mode %q (want full or delta)", mode)
+	}
+	if o := s.obsv.Load(); o != nil {
+		t0 := time.Now()
+		defer func() { o.checkpointNS.Observe(time.Since(t0).Nanoseconds()) }()
+	}
+	if mode == "delta" {
+		ran, err := s.checkpointDeltaLocked()
+		if err != nil {
+			return "delta", err
+		}
+		if ran {
+			return "delta", nil
+		}
+	}
+	return "full", s.checkpointFullLocked()
+}
+
+// checkpointFullLocked writes a full warm image, retires the delta chain
+// it supersedes, and rotates the WAL. Caller holds walMu exclusively.
+func (s *Store) checkpointFullLocked() error {
+	seq := s.wal.Seq()
+	storeDir := filepath.Join(s.dataDir, dataStoreDir)
+	if err := s.saveLocked(storeDir, true); err != nil {
+		return err
+	}
+	// The new base covers every element; remove them before rotating so
+	// a crash leaves either chain or base authoritative, never a base
+	// with unlinked newer elements. A crash before the removals leaves
+	// superseded elements (seq <= the base's stamp), which boot deletes.
+	for _, e := range s.chain {
+		os.RemoveAll(filepath.Join(s.dataDir, e.name))
+	}
+	s.chain = nil
+	s.chainBytes = 0
+	sum, err := fileCRC(filepath.Join(storeDir, routerManifestName))
+	if err != nil {
+		return fmt.Errorf("shard: stamp checkpoint base: %w", err)
+	}
+	s.baseSum = sum
+	s.baseBytes = dirSize(storeDir)
+	return s.wal.Rotate(seq)
+}
+
+// checkpointDeltaLocked writes one chain element carrying only the
+// shards that changed since their last save. Returns false (and no
+// error) when the caller should escalate to a full image instead.
+func (s *Store) checkpointDeltaLocked() (bool, error) {
+	storeDir := filepath.Join(s.dataDir, dataStoreDir)
+	if _, err := os.Stat(filepath.Join(storeDir, routerManifestName)); err != nil {
+		return false, nil // no base image yet
+	}
+	if len(s.chain) >= deltaCompactEvery ||
+		(s.baseBytes > 0 && s.chainBytes >= s.baseBytes/2) {
+		return false, nil // compaction due
+	}
+	seq := s.wal.Seq()
+	var dirty []int
+	for i, st := range s.shards {
+		if st.DirtySinceSave() {
+			dirty = append(dirty, i)
+		}
+	}
+	if len(dirty) == 0 && seq == s.wal.Status().BaseSeq {
+		return true, nil // nothing changed since the last checkpoint
+	}
+	ord := 1
+	prevSum := s.baseSum
+	if n := len(s.chain); n > 0 {
+		ord = s.chain[n-1].ord + 1
+		prevSum = s.chain[n-1].sum
+	}
+	dm := deltaManifest{
+		Version: 1,
+		Seq:     seq,
+		PrevSum: prevSum,
+		Dirty:   dirty,
+		Router:  s.routerManifestLocked(seq),
+	}
+	data, err := json.MarshalIndent(dm, "", "  ")
+	if err != nil {
+		return false, err
+	}
+	name := deltaDirName(ord)
+	dir := filepath.Join(s.dataDir, name)
+	err = durable.AtomicReplaceDir(dir, func(tmp string) error {
+		for _, i := range dirty {
+			if err := s.shards[i].SaveDelta(filepath.Join(tmp, fmt.Sprintf("shard-%d", i))); err != nil {
+				return fmt.Errorf("shard %d: %w", i, err)
+			}
+		}
+		return os.WriteFile(filepath.Join(tmp, deltaManifestName), data, 0o644)
+	})
+	if err != nil {
+		// The shard marks may no longer match what reached disk; a full
+		// image re-anchors everything.
+		for _, st := range s.shards {
+			st.InvalidateSaveMark()
+		}
+		return false, nil
+	}
+	s.chain = append(s.chain, chainElem{name: name, ord: ord, seq: seq, sum: crc32.ChecksumIEEE(data), dirty: dirty})
+	s.chainBytes += dirSize(dir)
+	return true, s.wal.Rotate(seq)
+}
+
+// resolveChain scans the data dir for delta elements, deletes the ones a
+// newer full image superseded, and verifies the checksum links end to
+// end. Called at boot, before any store state exists.
+func resolveChain(dir string, baseExists bool, baseApplied uint64, baseSum uint32) ([]chainElem, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, deltaDirPrefix+"*"))
+	if err != nil {
+		return nil, err
+	}
+	var elems []chainElem
+	for _, m := range matches {
+		name := filepath.Base(m)
+		var ord int
+		if _, err := fmt.Sscanf(name, deltaDirPrefix+"%d", &ord); err != nil || deltaDirName(ord) != name {
+			continue // .old residue, tmp dirs, foreign names
+		}
+		durable.RecoverDirSwap(m, deltaManifestName)
+		data, err := os.ReadFile(filepath.Join(m, deltaManifestName))
+		if err != nil {
+			if os.IsNotExist(err) {
+				// A directory without its manifest cannot be a completed
+				// element (the swap is atomic): writer residue, remove.
+				os.RemoveAll(m)
+				continue
+			}
+			return nil, err
+		}
+		var dm deltaManifest
+		if err := json.Unmarshal(data, &dm); err != nil {
+			return nil, fmt.Errorf("shard: corrupt delta manifest %s: %w", name, err)
+		}
+		if dm.Version != 1 {
+			return nil, fmt.Errorf("shard: unsupported delta version %d in %s", dm.Version, name)
+		}
+		if baseExists && dm.Seq <= baseApplied {
+			// A newer full image covers this element (crash between the
+			// base swap and the chain cleanup).
+			os.RemoveAll(m)
+			continue
+		}
+		elems = append(elems, chainElem{name: name, ord: ord, seq: dm.Seq, sum: crc32.ChecksumIEEE(data), dirty: dm.Dirty})
+	}
+	if len(elems) == 0 {
+		return nil, nil
+	}
+	if !baseExists {
+		return nil, fmt.Errorf("shard: delta chain present but no base image under %s — refusing to boot cold over existing checkpoints", dir)
+	}
+	sort.Slice(elems, func(i, j int) bool { return elems[i].ord < elems[j].ord })
+	prev := baseSum
+	at := "base image"
+	for _, e := range elems {
+		dm, err := readDeltaManifest(filepath.Join(dir, e.name))
+		if err != nil {
+			return nil, err
+		}
+		if dm.PrevSum != prev {
+			return nil, fmt.Errorf("shard: delta chain broken: %s links predecessor %08x, but %s is %08x",
+				e.name, dm.PrevSum, at, prev)
+		}
+		prev = e.sum
+		at = e.name
+	}
+	return elems, nil
+}
+
+func readDeltaManifest(dir string) (*deltaManifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, deltaManifestName))
+	if err != nil {
+		return nil, err
+	}
+	var dm deltaManifest
+	if err := json.Unmarshal(data, &dm); err != nil {
+		return nil, fmt.Errorf("shard: corrupt delta manifest in %s: %w", dir, err)
+	}
+	return &dm, nil
+}
+
+// openChain boots a store from its base image plus a verified chain: the
+// final element's router manifest is authoritative for routing, each
+// shard opens its base plus exactly the elements that carry it.
+func openChain(dir string, elems []chainElem) (*Store, uint64, error) {
+	final := elems[len(elems)-1]
+	dm, err := readDeltaManifest(filepath.Join(dir, final.name))
+	if err != nil {
+		return nil, 0, err
+	}
+	s, err := storeFromRouterManifest(dm.Router)
+	if err != nil {
+		return nil, 0, err
+	}
+	for i := range s.shards {
+		var deltaDirs []string
+		for _, e := range elems {
+			for _, d := range e.dirty {
+				if d == i {
+					deltaDirs = append(deltaDirs, filepath.Join(dir, e.name, fmt.Sprintf("shard-%d", i)))
+					break
+				}
+			}
+		}
+		base := filepath.Join(dir, dataStoreDir, fmt.Sprintf("shard-%d", i))
+		st, _, err := crackdb.OpenWarmChain(base, deltaDirs)
+		if err != nil {
+			return nil, 0, fmt.Errorf("shard %d: %w", i, err)
+		}
+		s.shards[i] = st
+	}
+	return s, final.seq, nil
+}
+
+// fileCRC returns the CRC-32 (IEEE) of a file's full contents.
+func fileCRC(path string) (uint32, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	return crc32.ChecksumIEEE(data), nil
+}
+
+// dirSize sums the file sizes under root (best-effort; 0 on error).
+func dirSize(root string) int64 {
+	var total int64
+	filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return nil
+		}
+		if info, err := d.Info(); err == nil {
+			total += info.Size()
+		}
+		return nil
+	})
+	return total
+}

@@ -1,0 +1,330 @@
+package shard_test
+
+import (
+	"encoding/json"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"crackdb"
+	"crackdb/internal/shard"
+)
+
+// rangeOpts partitions keys [0, 8000) statically across 8 shards (1000
+// keys each), so a test can target one shard by key range.
+func rangeOpts() shard.Options {
+	return shard.Options{Shards: 8, Kind: shard.Range, Domain: [2]int64{0, 8000}, StaticRangeBounds: true}
+}
+
+func mustExec(t testing.TB, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// seedDurable boots a durable store, loads a cracked table across all
+// shards, and writes the first full checkpoint.
+func seedDurable(t *testing.T, dir string) *shard.Store {
+	t.Helper()
+	s, _, err := shard.OpenDurable(dir, rangeOpts())
+	mustExec(t, err)
+	mustExec(t, s.CreateTable("t", "k", "v"))
+	rows := make([][]int64, 8000)
+	for i := range rows {
+		rows[i] = []int64{int64(i), int64(i % 97)}
+	}
+	mustExec(t, s.InsertRows("t", rows))
+	for lo := int64(0); lo < 7500; lo += 300 {
+		_, err := s.CountWhere("t",
+			crackdb.Cond{Col: "k", Op: ">=", Val: lo},
+			crackdb.Cond{Col: "k", Op: "<", Val: lo + 250})
+		mustExec(t, err)
+	}
+	if mode, err := s.CheckpointMode("full"); err != nil || mode != "full" {
+		t.Fatalf("full checkpoint: mode %q err %v", mode, err)
+	}
+	return s
+}
+
+func dirBytes(t testing.TB, root string) int64 {
+	t.Helper()
+	var total int64
+	filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return nil
+		}
+		info, err := d.Info()
+		if err == nil {
+			total += info.Size()
+		}
+		return nil
+	})
+	return total
+}
+
+func deltaDirs(t testing.TB, dataDir string) []string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dataDir, "delta-*"))
+	mustExec(t, err)
+	return matches
+}
+
+// TestDeltaCheckpointSkipsCleanShards: after writes land on one shard
+// only, a delta checkpoint must carry exactly that shard — and its
+// bytes must be a small fraction of the full image's.
+func TestDeltaCheckpointSkipsCleanShards(t *testing.T) {
+	dir := t.TempDir()
+	s := seedDurable(t, dir)
+	defer s.CloseWAL()
+	fullBytes := dirBytes(t, filepath.Join(dir, "store"))
+
+	// Keys < 1000 route to shard 0 under the static 8-way range split.
+	rows := make([][]int64, 50)
+	for i := range rows {
+		rows[i] = []int64{int64(i % 1000), int64(i)}
+	}
+	mustExec(t, s.InsertRows("t", rows))
+
+	mode, err := s.CheckpointMode("delta")
+	mustExec(t, err)
+	if mode != "delta" {
+		t.Fatalf("checkpoint escalated to %q", mode)
+	}
+	dds := deltaDirs(t, dir)
+	if len(dds) != 1 {
+		t.Fatalf("want 1 delta element, found %v", dds)
+	}
+	entries, err := os.ReadDir(dds[0])
+	mustExec(t, err)
+	var shardsSaved []string
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "shard-") {
+			shardsSaved = append(shardsSaved, e.Name())
+		}
+	}
+	if len(shardsSaved) != 1 || shardsSaved[0] != "shard-0" {
+		t.Fatalf("delta carries shards %v, want only shard-0", shardsSaved)
+	}
+	deltaBytes := dirBytes(t, dds[0])
+	if deltaBytes*5 > fullBytes {
+		t.Fatalf("delta wrote %d bytes, more than 1/5 of the %d-byte full image", deltaBytes, fullBytes)
+	}
+}
+
+// TestDeltaRebootMatchesFullReboot: rebooting from base + chain must
+// answer exactly like rebooting from a full image taken at the same
+// instant, across all strategies.
+func TestDeltaRebootMatchesFullReboot(t *testing.T) {
+	for _, strat := range []string{"standard", "ddc", "ddr", "mdd1r"} {
+		t.Run(strat, func(t *testing.T) {
+			dir := t.TempDir()
+			s, _, err := shard.OpenDurable(dir, rangeOpts())
+			mustExec(t, err)
+			if strat != "standard" {
+				mustExec(t, s.SetCrackStrategy(strat, 42))
+			}
+			mustExec(t, s.CreateTable("t", "k", "v"))
+			rows := make([][]int64, 6000)
+			for i := range rows {
+				rows[i] = []int64{int64(i * 7 % 8000), int64(i % 101)}
+			}
+			mustExec(t, s.InsertRows("t", rows))
+			// crack runs range counts inside one shard's key range — so a
+			// delta round dirties exactly the shard it targets (a query
+			// that spanned shards would crack, and so dirty, all of them).
+			crack := func(base, seed int64) {
+				for i := int64(0); i < 20; i++ {
+					lo := base + (seed*131+i*89)%700
+					_, err := s.CountWhere("t",
+						crackdb.Cond{Col: "k", Op: ">=", Val: lo},
+						crackdb.Cond{Col: "k", Op: "<", Val: lo + 150})
+					mustExec(t, err)
+				}
+			}
+			for sh := int64(0); sh < 8; sh++ {
+				crack(sh*1000, 1)
+			}
+			if _, err := s.CheckpointMode("full"); err != nil {
+				t.Fatal(err)
+			}
+			// Two delta rounds, each touching a different single shard.
+			mustExec(t, s.InsertRows("t", [][]int64{{100, 1}, {150, 2}}))
+			crack(0, 2)
+			if mode, err := s.CheckpointMode("delta"); err != nil || mode != "delta" {
+				t.Fatalf("delta 1: mode %q err %v", mode, err)
+			}
+			mustExec(t, s.InsertRows("t", [][]int64{{6100, 1}, {6150, 2}}))
+			crack(6000, 3)
+			if mode, err := s.CheckpointMode("delta"); err != nil || mode != "delta" {
+				t.Fatalf("delta 2: mode %q err %v", mode, err)
+			}
+			// A full image of the same state, for the oracle.
+			oracleDir := filepath.Join(t.TempDir(), "oracle")
+			mustExec(t, s.SaveWarm(oracleDir))
+			mustExec(t, s.CloseWAL())
+
+			chainStore, info, err := shard.OpenDurable(dir, rangeOpts())
+			mustExec(t, err)
+			defer chainStore.CloseWAL()
+			if !info.Recovered || info.ChainDeltas != 2 {
+				t.Fatalf("boot did not walk the chain: %+v", info)
+			}
+			oracle, _, err := shard.OpenWarm(oracleDir)
+			mustExec(t, err)
+
+			for i := int64(0); i < 40; i++ {
+				lo := (i * 173) % 7500
+				conds := []crackdb.Cond{
+					{Col: "k", Op: ">=", Val: lo},
+					{Col: "k", Op: "<", Val: lo + 300},
+				}
+				a, err := chainStore.CountWhere("t", conds...)
+				mustExec(t, err)
+				b, err := oracle.CountWhere("t", conds...)
+				mustExec(t, err)
+				if a != b {
+					t.Fatalf("query %d: chain reboot %d, full-image reboot %d", i, a, b)
+				}
+			}
+			// Physical crack state matches shard for shard.
+			for i := 0; i < chainStore.ShardCount(); i++ {
+				sa, errA := chainStore.Shard(i).Stats("t", "k")
+				sb, errB := oracle.Shard(i).Stats("t", "k")
+				if (errA == nil) != (errB == nil) {
+					t.Fatalf("shard %d stats availability diverges: %v vs %v", i, errA, errB)
+				}
+				if errA == nil && sa.Pieces != sb.Pieces {
+					t.Fatalf("shard %d piece counts diverge: chain %d, full %d", i, sa.Pieces, sb.Pieces)
+				}
+			}
+		})
+	}
+}
+
+// TestDeltaChainCompaction: the chain folds back into a full image once
+// it reaches the element bound, and the element dirs are gone.
+func TestDeltaChainCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s := seedDurable(t, dir)
+	defer s.CloseWAL()
+	s.SetCheckpointDelta(true)
+
+	sawDelta := 0
+	for i := 0; i < 12; i++ {
+		mustExec(t, s.InsertRows("t", [][]int64{{int64(i * 600 % 8000), int64(i)}}))
+		mode, err := s.CheckpointMode("")
+		mustExec(t, err)
+		if mode == "delta" {
+			sawDelta++
+		}
+	}
+	if sawDelta == 0 {
+		t.Fatal("no delta checkpoints ran before compaction")
+	}
+	if sawDelta == 12 {
+		t.Fatal("chain never compacted in 12 rounds")
+	}
+	// After a compaction the chain restarts from the new base; whatever
+	// elements exist now must be fewer than the total delta count.
+	if n := len(deltaDirs(t, dir)); n >= sawDelta {
+		t.Fatalf("%d delta dirs on disk after compaction (saw %d delta checkpoints)", n, sawDelta)
+	}
+}
+
+// TestBrokenChainRefusesBoot: tampering with a chain element's manifest
+// must fail the next OpenDurable, not silently cold-boot.
+func TestBrokenChainRefusesBoot(t *testing.T) {
+	dir := t.TempDir()
+	s := seedDurable(t, dir)
+	mustExec(t, s.InsertRows("t", [][]int64{{10, 1}}))
+	if mode, err := s.CheckpointMode("delta"); err != nil || mode != "delta" {
+		t.Fatalf("delta: mode %q err %v", mode, err)
+	}
+	mustExec(t, s.InsertRows("t", [][]int64{{20, 2}}))
+	if mode, err := s.CheckpointMode("delta"); err != nil || mode != "delta" {
+		t.Fatalf("delta: mode %q err %v", mode, err)
+	}
+	mustExec(t, s.CloseWAL())
+
+	dds := deltaDirs(t, dir)
+	if len(dds) != 2 {
+		t.Fatalf("want 2 elements, found %v", dds)
+	}
+	// Corrupt the first element's link: rewrite its manifest with a
+	// different PrevSum (valid JSON, wrong chain).
+	manifest := filepath.Join(dds[0], "delta.json")
+	data, err := os.ReadFile(manifest)
+	mustExec(t, err)
+	var m map[string]any
+	mustExec(t, json.Unmarshal(data, &m))
+	m["prev_sum"] = 12345
+	data, err = json.Marshal(m)
+	mustExec(t, err)
+	mustExec(t, os.WriteFile(manifest, data, 0o644))
+
+	if _, _, err := shard.OpenDurable(dir, rangeOpts()); err == nil || !strings.Contains(err.Error(), "chain") {
+		t.Fatalf("want chain refusal, got %v", err)
+	}
+}
+
+// TestSupersededElementsCleaned: chain elements left behind by a crash
+// between a full checkpoint's image swap and its chain cleanup are
+// removed at the next boot, and the boot succeeds from the base alone.
+func TestSupersededElementsCleaned(t *testing.T) {
+	dir := t.TempDir()
+	s := seedDurable(t, dir)
+	mustExec(t, s.InsertRows("t", [][]int64{{10, 1}}))
+	if mode, err := s.CheckpointMode("delta"); err != nil || mode != "delta" {
+		t.Fatalf("delta: mode %q err %v", mode, err)
+	}
+	// Simulate the crash: keep a copy of the element, run the full
+	// checkpoint (which removes it), then put the stale copy back.
+	dds := deltaDirs(t, dir)
+	if len(dds) != 1 {
+		t.Fatalf("want 1 element, found %v", dds)
+	}
+	stale := dds[0]
+	backup := stale + ".bak"
+	mustExec(t, os.Rename(stale, backup))
+	mustExec(t, os.Rename(backup, stale)) // restore; full ckpt will remove it again
+	if mode, err := s.CheckpointMode("full"); err != nil || mode != "full" {
+		t.Fatalf("full: mode %q err %v", mode, err)
+	}
+	// Re-create the stale element as if the cleanup never ran.
+	mustExec(t, os.MkdirAll(stale, 0o755))
+	staleManifest := []byte(`{"version":1,"seq":1,"prev_sum":1,"dirty":[0],"router":{"version":1,"shards":8,"kind":"range","domain":[0,8000],"applied_seq":1,"tables":null}}`)
+	mustExec(t, os.WriteFile(filepath.Join(stale, "delta.json"), staleManifest, 0o644))
+	mustExec(t, s.CloseWAL())
+
+	re, info, err := shard.OpenDurable(dir, rangeOpts())
+	mustExec(t, err)
+	defer re.CloseWAL()
+	if !info.Recovered || info.ChainDeltas != 0 {
+		t.Fatalf("boot after cleanup: %+v", info)
+	}
+	if dds := deltaDirs(t, dir); len(dds) != 0 {
+		t.Fatalf("superseded elements survived boot: %v", dds)
+	}
+	n, err := re.CountWhere("t", crackdb.Cond{Col: "k", Op: ">=", Val: 0}, crackdb.Cond{Col: "k", Op: "<", Val: 8000})
+	mustExec(t, err)
+	if n != 8001 {
+		t.Fatalf("recovered %d rows, want 8001", n)
+	}
+}
+
+// TestDeltaCheckpointNoop: with no traffic since the last checkpoint, a
+// delta checkpoint writes nothing at all.
+func TestDeltaCheckpointNoop(t *testing.T) {
+	dir := t.TempDir()
+	s := seedDurable(t, dir)
+	defer s.CloseWAL()
+	if mode, err := s.CheckpointMode("delta"); err != nil || mode != "delta" {
+		t.Fatalf("noop delta: mode %q err %v", mode, err)
+	}
+	if dds := deltaDirs(t, dir); len(dds) != 0 {
+		t.Fatalf("no-op delta checkpoint still wrote elements: %v", dds)
+	}
+}

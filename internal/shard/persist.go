@@ -3,6 +3,7 @@ package shard
 import (
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sort"
@@ -81,32 +82,41 @@ func (s *Store) save(dir string, warm bool) error {
 	return s.saveLocked(dir, warm)
 }
 
+// routerManifestLocked builds the manifest describing the router as it
+// stands, stamped with the given WAL position. The caller holds walMu.
+func (s *Store) routerManifestLocked(seq uint64) routerManifest {
+	m := routerManifest{
+		Version:           1,
+		Shards:            len(s.shards),
+		Kind:              s.opts.Kind,
+		Domain:            s.opts.Domain,
+		StaticRangeBounds: s.opts.StaticRangeBounds,
+		AppliedSeq:        seq,
+	}
+	s.mu.RLock()
+	for name, tm := range s.tables {
+		m.Tables = append(m.Tables, routerTableEntry{
+			Name:   name,
+			Key:    tm.key,
+			KeyIdx: tm.keyIdx,
+			Cols:   append([]string(nil), tm.cols...),
+			Seeded: tm.seeded,
+			Part:   tm.part.spec(),
+		})
+	}
+	s.mu.RUnlock()
+	sort.Slice(m.Tables, func(a, b int) bool { return m.Tables[a].Name < m.Tables[b].Name })
+	return m
+}
+
 // saveLocked writes the image. The caller holds walMu exclusively.
 func (s *Store) saveLocked(dir string, warm bool) error {
-	return durable.AtomicReplaceDir(dir, func(tmp string) error {
-		m := routerManifest{
-			Version:           1,
-			Shards:            len(s.shards),
-			Kind:              s.opts.Kind,
-			Domain:            s.opts.Domain,
-			StaticRangeBounds: s.opts.StaticRangeBounds,
-		}
+	err := durable.AtomicReplaceDir(dir, func(tmp string) error {
+		var seq uint64
 		if s.wal != nil {
-			m.AppliedSeq = s.wal.Seq()
+			seq = s.wal.Seq()
 		}
-		s.mu.RLock()
-		for name, tm := range s.tables {
-			m.Tables = append(m.Tables, routerTableEntry{
-				Name:   name,
-				Key:    tm.key,
-				KeyIdx: tm.keyIdx,
-				Cols:   append([]string(nil), tm.cols...),
-				Seeded: tm.seeded,
-				Part:   tm.part.spec(),
-			})
-		}
-		s.mu.RUnlock()
-		sort.Slice(m.Tables, func(a, b int) bool { return m.Tables[a].Name < m.Tables[b].Name })
+		m := s.routerManifestLocked(seq)
 		data, err := json.MarshalIndent(m, "", "  ")
 		if err != nil {
 			return err
@@ -128,6 +138,17 @@ func (s *Store) saveLocked(dir string, warm bool) error {
 		}
 		return nil
 	})
+	// Differential checkpoints anchor to the image in the data dir. A
+	// warm save that failed, or that landed anywhere else, leaves the
+	// per-shard save marks pointing at state the chain cannot link to —
+	// drop them so the next delta attempt escalates to a full image
+	// instead of writing an unresolvable chain element.
+	if warm && (err != nil || s.dataDir == "" || dir != filepath.Join(s.dataDir, dataStoreDir)) {
+		for _, st := range s.shards {
+			st.InvalidateSaveMark()
+		}
+	}
+	return err
 }
 
 // Open loads a sharded store's cold image previously written by Save.
@@ -144,29 +165,13 @@ func OpenWarm(dir string) (*Store, uint64, error) {
 
 func open(dir string, warm bool) (*Store, uint64, error) {
 	durable.RecoverDirSwap(dir, routerManifestName)
-	data, err := os.ReadFile(filepath.Join(dir, routerManifestName))
+	m, err := readRouterManifest(dir)
 	if err != nil {
-		return nil, 0, fmt.Errorf("shard: open store: %w", err)
+		return nil, 0, err
 	}
-	var m routerManifest
-	if err := json.Unmarshal(data, &m); err != nil {
-		return nil, 0, fmt.Errorf("shard: corrupt router manifest: %w", err)
-	}
-	if m.Version != 1 {
-		return nil, 0, fmt.Errorf("shard: unsupported router version %d", m.Version)
-	}
-	if m.Shards < 1 {
-		return nil, 0, fmt.Errorf("shard: router manifest with %d shards", m.Shards)
-	}
-	s := &Store{
-		opts: Options{
-			Shards:            m.Shards,
-			Kind:              m.Kind,
-			Domain:            m.Domain,
-			StaticRangeBounds: m.StaticRangeBounds,
-		},
-		shards: make([]*crackdb.Store, m.Shards),
-		tables: make(map[string]*tableMeta, len(m.Tables)),
+	s, err := storeFromRouterManifest(*m)
+	if err != nil {
+		return nil, 0, err
 	}
 	for i := range s.shards {
 		sub := filepath.Join(dir, fmt.Sprintf("shard-%d", i))
@@ -179,17 +184,53 @@ func open(dir string, warm bool) (*Store, uint64, error) {
 			return nil, 0, fmt.Errorf("shard %d: %w", i, err)
 		}
 	}
+	return s, m.AppliedSeq, nil
+}
+
+// readRouterManifest loads and decodes dir/shard.json.
+func readRouterManifest(dir string) (*routerManifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, routerManifestName))
+	if err != nil {
+		return nil, fmt.Errorf("shard: open store: %w", err)
+	}
+	var m routerManifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("shard: corrupt router manifest: %w", err)
+	}
+	return &m, nil
+}
+
+// storeFromRouterManifest validates a manifest and builds the store
+// skeleton — options, routing metadata, and a shard slice the caller
+// fills by opening each shard's image.
+func storeFromRouterManifest(m routerManifest) (*Store, error) {
+	if m.Version != 1 {
+		return nil, fmt.Errorf("shard: unsupported router version %d", m.Version)
+	}
+	if m.Shards < 1 {
+		return nil, fmt.Errorf("shard: router manifest with %d shards", m.Shards)
+	}
+	s := &Store{
+		opts: Options{
+			Shards:            m.Shards,
+			Kind:              m.Kind,
+			Domain:            m.Domain,
+			StaticRangeBounds: m.StaticRangeBounds,
+		},
+		shards: make([]*crackdb.Store, m.Shards),
+		tables: make(map[string]*tableMeta, len(m.Tables)),
+	}
 	for _, te := range m.Tables {
 		part, err := partFromSpec(te.Part)
 		if err != nil {
-			return nil, 0, fmt.Errorf("shard: table %q: %w", te.Name, err)
+			return nil, fmt.Errorf("shard: table %q: %w", te.Name, err)
 		}
 		if te.Part.Shards != m.Shards {
-			return nil, 0, fmt.Errorf("shard: table %q partitioned over %d shards, router has %d",
+			return nil, fmt.Errorf("shard: table %q partitioned over %d shards, router has %d",
 				te.Name, te.Part.Shards, m.Shards)
 		}
 		if te.KeyIdx < 0 || te.KeyIdx >= len(te.Cols) || te.Cols[te.KeyIdx] != te.Key {
-			return nil, 0, fmt.Errorf("shard: table %q key %q does not match column %d",
+			return nil, fmt.Errorf("shard: table %q key %q does not match column %d",
 				te.Name, te.Key, te.KeyIdx)
 		}
 		s.tables[te.Name] = &tableMeta{
@@ -200,26 +241,31 @@ func open(dir string, warm bool) (*Store, uint64, error) {
 			seeded: te.Seeded,
 		}
 	}
-	return s, m.AppliedSeq, nil
+	return s, nil
 }
 
 // BootInfo describes what OpenDurable recovered.
 type BootInfo struct {
-	Recovered  bool   // a snapshot was found and loaded
-	AppliedSeq uint64 // WAL seq the snapshot covered
-	Replayed   int    // WAL records replayed on top of it
+	Recovered   bool   // a snapshot was found and loaded
+	AppliedSeq  uint64 // WAL seq the snapshot (or chain tip) covered
+	Replayed    int    // WAL records replayed on top of it
+	ChainDeltas int    // differential elements applied over the base image
 }
 
 // OpenDurable boots a sharded store from a data directory:
 //
-//	dir/store/    newest snapshot (written by Checkpoint), if any
-//	dir/wal.log   the mutation log
+//	dir/store/       newest full snapshot (written by Checkpoint), if any
+//	dir/delta-NNNNNN/ differential elements on top of it (delta mode)
+//	dir/wal.log      the mutation log
 //
-// The snapshot (when present) is opened warm, the WAL's uncovered suffix
-// is replayed, and the log is attached so every further mutation is
-// WAL-first. A missing directory is a cold boot: a fresh store under
+// The snapshot (when present) is opened warm — plus the verified delta
+// chain, when differential checkpoints left one — the WAL's uncovered
+// suffix is replayed, and the log is attached so every further mutation
+// is WAL-first. A missing directory is a cold boot: a fresh store under
 // opts with an empty log. Either way the returned store is ready to
-// serve and Checkpoint-able.
+// serve and Checkpoint-able. A delta chain that fails verification
+// (broken link, corrupt manifest) refuses the boot rather than serving
+// a partial image.
 func OpenDurable(dir string, opts Options) (*Store, BootInfo, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, BootInfo{}, err
@@ -227,15 +273,38 @@ func OpenDurable(dir string, opts Options) (*Store, BootInfo, error) {
 	storeDir := filepath.Join(dir, dataStoreDir)
 	durable.RecoverDirSwap(storeDir, routerManifestName)
 
+	var baseExists bool
+	var baseApplied uint64
+	var baseSum uint32
+	if data, err := os.ReadFile(filepath.Join(storeDir, routerManifestName)); err == nil {
+		var m routerManifest
+		if err := json.Unmarshal(data, &m); err != nil {
+			return nil, BootInfo{}, fmt.Errorf("shard: corrupt router manifest: %w", err)
+		}
+		baseExists, baseApplied, baseSum = true, m.AppliedSeq, crc32.ChecksumIEEE(data)
+	}
+	elems, err := resolveChain(dir, baseExists, baseApplied, baseSum)
+	if err != nil {
+		return nil, BootInfo{}, err
+	}
+
 	var s *Store
 	var info BootInfo
-	if _, err := os.Stat(filepath.Join(storeDir, routerManifestName)); err == nil {
+	switch {
+	case len(elems) > 0:
+		st, applied, err := openChain(dir, elems)
+		if err != nil {
+			return nil, BootInfo{}, err
+		}
+		s, info.Recovered, info.AppliedSeq = st, true, applied
+		info.ChainDeltas = len(elems)
+	case baseExists:
 		st, applied, err := OpenWarm(storeDir)
 		if err != nil {
 			return nil, BootInfo{}, err
 		}
 		s, info.Recovered, info.AppliedSeq = st, true, applied
-	} else {
+	default:
 		s = New(opts)
 	}
 	wal, err := durable.Open(filepath.Join(dir, dataWALName), info.AppliedSeq,
@@ -253,6 +322,16 @@ func OpenDurable(dir string, opts Options) (*Store, BootInfo, error) {
 	s.wal = wal
 	s.dataDir = dir
 	s.boots = bumpBoots(filepath.Join(dir, dataBootsName))
+	s.chain = elems
+	s.baseSum = baseSum
+	if baseExists {
+		s.baseBytes = dirSize(storeDir)
+	}
+	var chainBytes int64
+	for _, e := range elems {
+		chainBytes += dirSize(filepath.Join(dir, e.name))
+	}
+	s.chainBytes = chainBytes
 	s.walMu.Unlock()
 	return s, info, nil
 }
@@ -323,27 +402,17 @@ func (s *Store) Durable() bool {
 	return s.wal != nil && s.dataDir != ""
 }
 
-// Checkpoint writes a fresh warm snapshot into the data directory and
+// Checkpoint writes a fresh snapshot into the data directory and
 // rotates the WAL, under full mutation exclusion: no insert can slip
 // between the image and the log cut, so nothing acked is ever lost and
 // nothing is replayed twice. Queries keep running throughout — they
 // reorganize crack state, which the snapshot captures per column
-// atomically and which is re-derivable anyway.
+// atomically and which is re-derivable anyway. In the store's default
+// mode (SetCheckpointDelta) this is a full image; delta mode writes a
+// differential chain element instead — see CheckpointMode.
 func (s *Store) Checkpoint() error {
-	s.walMu.Lock()
-	defer s.walMu.Unlock()
-	if s.wal == nil || s.dataDir == "" {
-		return fmt.Errorf("shard: store is not durable (no data directory)")
-	}
-	if o := s.obsv.Load(); o != nil {
-		t0 := time.Now()
-		defer func() { o.checkpointNS.Observe(time.Since(t0).Nanoseconds()) }()
-	}
-	seq := s.wal.Seq()
-	if err := s.saveLocked(filepath.Join(s.dataDir, dataStoreDir), true); err != nil {
-		return err
-	}
-	return s.wal.Rotate(seq)
+	_, err := s.CheckpointMode("")
+	return err
 }
 
 // SetWALCoalesceWindow widens group commit on the attached log: the

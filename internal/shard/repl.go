@@ -81,13 +81,17 @@ func (s *Store) ReplRead(from uint64, maxBytes int) ([]durable.Record, uint64, e
 
 // SnapshotFile is one file of the checkpoint image.
 type SnapshotFile struct {
-	Path string `json:"path"` // relative to the store snapshot root
+	Path string `json:"path"` // data-dir relative ("store/..." or "delta-NNNNNN/...")
 	Size int64  `json:"size"`
+	Crc  uint32 `json:"crc"` // CRC-32 (IEEE) of the file's contents
 }
 
 // SnapshotManifest describes the checkpoint image a follower bootstraps
 // from: the WAL seq the image covers (== the live log's base, by the
-// rotate-on-checkpoint invariant) plus the image's file list. A store
+// rotate-on-checkpoint invariant) plus the image's file list — the base
+// image and, under differential checkpoints, every delta chain element
+// on top of it. Each file carries its checksum, so a re-bootstrapping
+// follower downloads only the files it does not already hold. A store
 // that has never checkpointed reports Seq 0 and no files — the follower
 // simply replays the whole log.
 type SnapshotManifest struct {
@@ -95,10 +99,10 @@ type SnapshotManifest struct {
 	Files []SnapshotFile `json:"files"`
 }
 
-// ReplManifest walks the checkpoint image under the replication read
-// lock, so a concurrent Checkpoint cannot swap the image mid-listing:
-// the manifest always describes one consistent snapshot, stamped with
-// the log base it equals.
+// ReplManifest walks the checkpoint image — base plus delta chain —
+// under the replication read lock, so a concurrent Checkpoint cannot
+// swap the image mid-listing: the manifest always describes one
+// consistent snapshot, stamped with the log base it equals.
 func (s *Store) ReplManifest() (SnapshotManifest, error) {
 	s.walMu.RLock()
 	defer s.walMu.RUnlock()
@@ -106,30 +110,44 @@ func (s *Store) ReplManifest() (SnapshotManifest, error) {
 		return SnapshotManifest{}, fmt.Errorf("shard: store is not durable")
 	}
 	m := SnapshotManifest{Seq: s.wal.Status().BaseSeq}
-	root := filepath.Join(s.dataDir, dataStoreDir)
-	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
-		if err != nil {
-			if os.IsNotExist(err) && path == root {
-				return nil // never checkpointed: empty image
+	dirs := []string{dataStoreDir}
+	for _, e := range s.chain {
+		dirs = append(dirs, e.name)
+	}
+	for _, sub := range dirs {
+		root := filepath.Join(s.dataDir, sub)
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				if os.IsNotExist(err) && path == root {
+					return nil // never checkpointed: empty image
+				}
+				return err
 			}
-			return err
-		}
-		if d.IsDir() {
+			if d.IsDir() {
+				return nil
+			}
+			info, err := d.Info()
+			if err != nil {
+				return err
+			}
+			rel, err := filepath.Rel(root, path)
+			if err != nil {
+				return err
+			}
+			crc, err := fileCRC(path)
+			if err != nil {
+				return err
+			}
+			m.Files = append(m.Files, SnapshotFile{
+				Path: sub + "/" + filepath.ToSlash(rel),
+				Size: info.Size(),
+				Crc:  crc,
+			})
 			return nil
-		}
-		info, err := d.Info()
+		})
 		if err != nil {
-			return err
+			return SnapshotManifest{}, err
 		}
-		rel, err := filepath.Rel(root, path)
-		if err != nil {
-			return err
-		}
-		m.Files = append(m.Files, SnapshotFile{Path: filepath.ToSlash(rel), Size: info.Size()})
-		return nil
-	})
-	if err != nil {
-		return SnapshotManifest{}, err
 	}
 	sort.Slice(m.Files, func(i, j int) bool { return m.Files[i].Path < m.Files[j].Path })
 	return m, nil
@@ -156,7 +174,18 @@ func (s *Store) ReplReadFile(seq uint64, rel string, off int64, n int) ([]byte, 
 	if base := s.wal.Status().BaseSeq; base != seq {
 		return nil, fmt.Errorf("shard: snapshot superseded (image at seq %d, requested %d)", base, seq)
 	}
-	f, err := os.Open(filepath.Join(s.dataDir, dataStoreDir, clean))
+	// Manifest paths are data-dir relative ("store/..." or a chain
+	// element "delta-NNNNNN/..."). Anything else — including bare paths
+	// from pre-delta followers — is read under the base image, and only
+	// those two roots are ever served.
+	first := clean
+	if i := strings.IndexByte(clean, filepath.Separator); i >= 0 {
+		first = clean[:i]
+	}
+	if first != dataStoreDir && !strings.HasPrefix(first, deltaDirPrefix) {
+		clean = filepath.Join(dataStoreDir, clean)
+	}
+	f, err := os.Open(filepath.Join(s.dataDir, clean))
 	if err != nil {
 		return nil, err
 	}

@@ -86,6 +86,15 @@ type Store struct {
 	// data directory (1 on a cold boot, so restarts = boots-1).
 	obsv  atomic.Pointer[storeObs]
 	boots int64
+
+	// Differential-checkpoint chain state (see delta.go in this
+	// package): the resolved base + delta elements currently on disk.
+	// Guarded by walMu (Checkpoint holds it exclusively).
+	ckptDelta  bool        // CheckpointMode("") writes deltas by default
+	chain      []chainElem // on-disk delta elements, oldest first
+	baseSum    uint32      // CRC-32 of the base image's router manifest
+	baseBytes  int64       // total size of the base image
+	chainBytes int64       // cumulative size of the delta elements
 }
 
 type tableMeta struct {

@@ -65,15 +65,31 @@ func (s *Store) SaveWarm(dir string) error { return s.save(dir, true) }
 func (s *Store) save(dir string, warm bool) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return durable.AtomicReplaceDir(dir, func(tmp string) error {
-		return s.saveLocked(tmp, warm)
+	var sum uint32
+	err := durable.AtomicReplaceDir(dir, func(tmp string) error {
+		var serr error
+		sum, serr = s.saveLocked(tmp, warm)
+		return serr
 	})
+	// The mark anchors differential checkpoints to the image on disk: a
+	// successful warm save becomes the new chain base, and any failure —
+	// including the final directory swap, after the snapshot itself was
+	// written — clears it, so the next SaveDelta refuses rather than
+	// chaining to an image that never landed.
+	if err != nil || !warm {
+		s.mark = nil
+		return err
+	}
+	s.markLocked(sum)
+	return nil
 }
 
-// saveLocked writes the image into dir (which exists and is empty). The
-// caller holds s.mu, so no insert can slip between the BAT images, the
-// crack-state snapshot, and the WAL stamp.
-func (s *Store) saveLocked(dir string, warm bool) error {
+// saveLocked writes the image into dir (which exists and is empty),
+// returning the crack-state file's whole-file checksum for warm saves
+// (the identity a differential checkpoint chains to). The caller holds
+// s.mu, so no insert can slip between the BAT images, the crack-state
+// snapshot, and the WAL stamp.
+func (s *Store) saveLocked(dir string, warm bool) (uint32, error) {
 	var m manifest
 	m.Version = 1
 	for name, t := range s.tables {
@@ -86,32 +102,26 @@ func (s *Store) saveLocked(dir string, warm bool) error {
 		for _, col := range mt.Columns {
 			b, err := t.Column(col)
 			if err != nil {
-				return err
+				return 0, err
 			}
 			if err := b.Save(columnPath(dir, name, col)); err != nil {
-				return fmt.Errorf("crackdb: save %s.%s: %w", name, col, err)
+				return 0, fmt.Errorf("crackdb: save %s.%s: %w", name, col, err)
 			}
 		}
 		m.Tables = append(m.Tables, mt)
 	}
 	data, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if err := os.WriteFile(filepath.Join(dir, manifestName), data, 0o644); err != nil {
-		return err
+		return 0, err
 	}
 	if !warm {
-		return nil
+		return 0, nil
 	}
 	snap := &durable.StoreSnapshot{
-		Config: durable.StoreConfig{
-			StrategyName:   s.strategyName,
-			StrategySeed:   s.strategySeed,
-			MaxPieces:      s.maxPieces,
-			Ripple:         s.ripple,
-			SidewaysBudget: s.sideways.Budget(),
-		},
+		Config:   s.configLocked(),
 		Sideways: s.sideways.Export(),
 	}
 	for _, t := range s.exportTunerStates() {
@@ -135,7 +145,7 @@ func (s *Store) saveLocked(dir string, warm bool) error {
 			})
 		}
 	}
-	return durable.WriteSnapshot(filepath.Join(dir, crackStateName), snap)
+	return durable.WriteSnapshotSum(filepath.Join(dir, crackStateName), snap)
 }
 
 // Open loads a store's cold image previously written by Save (or the
@@ -204,7 +214,7 @@ func OpenWarm(dir string) (*Store, uint64, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	snap, err := durable.ReadSnapshot(filepath.Join(dir, crackStateName))
+	snap, sum, err := durable.ReadSnapshotSum(filepath.Join(dir, crackStateName))
 	if os.IsNotExist(err) {
 		return s, 0, nil
 	}
@@ -214,6 +224,11 @@ func OpenWarm(dir string) (*Store, uint64, error) {
 	if err := s.restoreSnapshot(snap); err != nil {
 		return nil, 0, err
 	}
+	// The reopened state matches the on-disk image exactly, so the image
+	// can anchor differential checkpoints without another full save.
+	s.mu.Lock()
+	s.markLocked(sum)
+	s.mu.Unlock()
 	return s, snap.AppliedSeq, nil
 }
 

@@ -1,0 +1,309 @@
+package crackdb_test
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"crackdb"
+)
+
+// mutateAndCrack runs one more round of mixed load against a store —
+// inserts, range counts (which crack), a delete — and extends the naive
+// oracle to match.
+func mutateAndCrack(t *testing.T, s *crackdb.Store, rows *[][]int64, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	batch := make([][]int64, 400)
+	for i := range batch {
+		batch[i] = []int64{rng.Int63n(10_000), rng.Int63n(1000)}
+	}
+	if err := s.InsertRows("t", batch); err != nil {
+		t.Fatal(err)
+	}
+	*rows = append(*rows, batch...)
+	for i := 0; i < 25; i++ {
+		lo := rng.Int63n(9000)
+		if _, err := s.Count("t", "k", lo, lo+rng.Int63n(700)+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One delete so tombstones ride the delta too.
+	cut := rng.Int63n(200)
+	if _, err := s.Delete("t", crackdb.Cond{Col: "v", Op: "<", Val: cut}); err != nil {
+		t.Fatal(err)
+	}
+	kept := (*rows)[:0]
+	for _, r := range *rows {
+		if r[1] >= cut {
+			kept = append(kept, r)
+		}
+	}
+	*rows = kept
+}
+
+// compareStores runs the same query stream against every store and the
+// naive oracle; any divergence fails.
+func compareStores(t *testing.T, rows [][]int64, stores map[string]*crackdb.Store) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 60; i++ {
+		lo := rng.Int63n(9000)
+		hi := lo + rng.Int63n(900) + 1
+		want := naiveCount(rows, lo, hi)
+		for name, s := range stores {
+			got, err := s.Count("t", "k", lo, hi)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if got != want {
+				t.Fatalf("query %d [%d,%d]: %s answered %d, oracle %d", i, lo, hi, name, got, want)
+			}
+		}
+	}
+}
+
+// TestDeltaChainOracle: for all four strategies, a store reopened from
+// base + delta chain must be indistinguishable from the live store and
+// from a store reopened from a full image saved at the same instant —
+// same counts, same rows, same crack-state piece counts.
+func TestDeltaChainOracle(t *testing.T) {
+	for _, strat := range []string{"standard", "ddc", "ddr", "mdd1r"} {
+		t.Run(strat, func(t *testing.T) {
+			live, rows := buildCrackedStore(t, strat, 99)
+			root := t.TempDir()
+			base := filepath.Join(root, "base")
+			if err := live.SaveWarm(base); err != nil {
+				t.Fatal(err)
+			}
+			mutateAndCrack(t, live, &rows, 501)
+			d1 := filepath.Join(root, "d1")
+			if err := live.SaveDelta(d1); err != nil {
+				t.Fatal(err)
+			}
+			mutateAndCrack(t, live, &rows, 502)
+			d2 := filepath.Join(root, "d2")
+			if err := live.SaveDelta(d2); err != nil {
+				t.Fatal(err)
+			}
+			full := filepath.Join(root, "full")
+			if err := live.SaveWarm(full); err != nil {
+				t.Fatal(err)
+			}
+
+			chain, _, err := crackdb.OpenWarmChain(base, []string{d1, d2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			fullStore, _, err := crackdb.OpenWarm(full)
+			if err != nil {
+				t.Fatal(err)
+			}
+			compareStores(t, rows, map[string]*crackdb.Store{
+				"live": live, "chain": chain, "full": fullStore,
+			})
+			// Row-level equality and physical crack state.
+			resA, err := chain.Select("t", "k", 2000, 2500)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resB, err := fullStore.Select("t", "k", 2000, 2500)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rowsA, err := resA.Rows("k", "v")
+			if err != nil {
+				t.Fatal(err)
+			}
+			rowsB, err := resB.Rows("k", "v")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(rowsA, rowsB) {
+				t.Fatal("chain and full reopen disagree on row sets")
+			}
+			sa, err := chain.Stats("t", "k")
+			if err != nil {
+				t.Fatal(err)
+			}
+			sb, err := fullStore.Stats("t", "k")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sa.Pieces != sb.Pieces {
+				t.Fatalf("piece counts diverge: chain %d, full image %d", sa.Pieces, sb.Pieces)
+			}
+		})
+	}
+}
+
+// TestSaveDeltaRequiresBase: a store that never completed a warm save
+// has nothing to delta against and must refuse rather than write an
+// unanchored element.
+func TestSaveDeltaRequiresBase(t *testing.T) {
+	s := crackdb.New()
+	if err := s.CreateTable("t", "k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	err := s.SaveDelta(filepath.Join(t.TempDir(), "d"))
+	if err == nil || !strings.Contains(err.Error(), "no base image") {
+		t.Fatalf("want refusal without a base, got %v", err)
+	}
+}
+
+// TestDeltaSkipsCleanTables: a delta after touching only one of two
+// tables must carry no column data for the untouched one.
+func TestDeltaSkipsCleanTables(t *testing.T) {
+	s := crackdb.New()
+	for _, name := range []string{"hot", "cold"} {
+		if err := s.CreateTable(name, "k", "v"); err != nil {
+			t.Fatal(err)
+		}
+		rows := make([][]int64, 2000)
+		for i := range rows {
+			rows[i] = []int64{int64(i * 3 % 5000), int64(i)}
+		}
+		if err := s.InsertRows(name, rows); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Count(name, "k", 100, 4000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	root := t.TempDir()
+	base := filepath.Join(root, "base")
+	if err := s.SaveWarm(base); err != nil {
+		t.Fatal(err)
+	}
+	if s.DirtySinceSave() {
+		t.Fatal("store reports dirty immediately after a warm save")
+	}
+	// Crack only "hot" (queries reorganize; no inserts needed).
+	for lo := int64(0); lo < 4000; lo += 250 {
+		if _, err := s.Count("hot", "k", lo, lo+200); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !s.DirtySinceSave() {
+		t.Fatal("cracking did not mark the store dirty")
+	}
+	d := filepath.Join(root, "d")
+	if err := s.SaveDelta(d); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "cold.") {
+			t.Fatalf("delta carries data for the untouched table: %s", e.Name())
+		}
+	}
+	// And the chain still reopens to the full two-table store.
+	re, _, err := crackdb.OpenWarmChain(base, []string{d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"hot", "cold"} {
+		n, err := re.NumRows(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != 2000 {
+			t.Fatalf("table %s reopened with %d rows, want 2000", name, n)
+		}
+	}
+}
+
+// TestDeltaChainRefusals: a chain missing its base, with elements out
+// of order, or with a corrupted element must refuse to open — never
+// silently serve partial or cold state.
+func TestDeltaChainRefusals(t *testing.T) {
+	live, rows := buildCrackedStore(t, "standard", 7)
+	root := t.TempDir()
+	base := filepath.Join(root, "base")
+	if err := live.SaveWarm(base); err != nil {
+		t.Fatal(err)
+	}
+	mutateAndCrack(t, live, &rows, 601)
+	d1 := filepath.Join(root, "d1")
+	if err := live.SaveDelta(d1); err != nil {
+		t.Fatal(err)
+	}
+	mutateAndCrack(t, live, &rows, 602)
+	d2 := filepath.Join(root, "d2")
+	if err := live.SaveDelta(d2); err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("missing base crack state", func(t *testing.T) {
+		cold := filepath.Join(root, "coldbase")
+		if err := live.Save(cold); err != nil { // cold image: no crackstate.crk
+			t.Fatal(err)
+		}
+		_, _, err := crackdb.OpenWarmChain(cold, []string{d1, d2})
+		if err == nil || !strings.Contains(err.Error(), "warm base") {
+			t.Fatalf("want refusal on cold base, got %v", err)
+		}
+	})
+	t.Run("out of order", func(t *testing.T) {
+		_, _, err := crackdb.OpenWarmChain(base, []string{d2, d1})
+		if err == nil || !strings.Contains(err.Error(), "chain") {
+			t.Fatalf("want chain-link refusal, got %v", err)
+		}
+	})
+	t.Run("corrupt element", func(t *testing.T) {
+		bad := filepath.Join(root, "bad")
+		if err := copyDir(t, d2, bad); err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(bad, "crackdelta.crk")
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)/2] ^= 0x40
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, _, err = crackdb.OpenWarmChain(base, []string{d1, bad})
+		if err == nil {
+			t.Fatal("corrupted delta element opened without error")
+		}
+	})
+	// The intact chain still opens after all that.
+	if _, _, err := crackdb.OpenWarmChain(base, []string{d1, d2}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func copyDir(t *testing.T, src, dst string) error {
+	t.Helper()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			if err := copyDir(t, filepath.Join(src, e.Name()), filepath.Join(dst, e.Name())); err != nil {
+				return err
+			}
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
