@@ -99,6 +99,13 @@ type Store struct {
 	// differential checkpoints (see persist_delta.go). Guarded by mu; nil
 	// until a warm save or warm open completes.
 	mark *saveMark
+
+	// tableGen stamps each live table with a store-unique generation,
+	// bumped on every (re)creation, so delta dirtiness distinguishes a
+	// drop+recreate from the table it replaced even when the shapes (and
+	// row counts) coincide exactly. Guarded by mu.
+	tableGen map[string]uint64
+	genSeq   uint64
 }
 
 // New returns an empty store.
@@ -108,6 +115,7 @@ func New() *Store {
 		tables:   make(map[string]*relation.Table),
 		cracked:  make(map[string]*core.CrackedTable),
 		sideways: sideways.NewRegistry(sideways.DefaultBudget),
+		tableGen: make(map[string]uint64),
 	}
 }
 
@@ -259,6 +267,7 @@ func (s *Store) CreateTable(name string, cols ...string) error {
 		return err
 	}
 	s.tables[name] = relation.New(name, cols...)
+	s.bumpTableGenLocked(name)
 	return nil
 }
 
@@ -276,6 +285,7 @@ func (s *Store) DropTable(name string) error {
 		return err
 	}
 	delete(s.tables, name)
+	delete(s.tableGen, name)
 	delete(s.cracked, name)
 	s.sideways.DropTable(name)
 	return nil
@@ -344,6 +354,7 @@ func (s *Store) LoadTapestry(name string, n, alpha int, seed int64) error {
 		return err
 	}
 	s.tables[name] = t
+	s.bumpTableGenLocked(name)
 	return s.cat.SetRows(name, n)
 }
 
@@ -611,6 +622,7 @@ func (r *Result) Materialize(name string) error {
 		return err
 	}
 	r.store.tables[name] = out
+	r.store.bumpTableGenLocked(name)
 	return r.store.cat.SetRows(name, out.Len())
 }
 

@@ -104,6 +104,8 @@ func (s *Store) VerticalPartition(table string, attrs ...string) (head, rest str
 	}
 	h.Name, r.Name = head, rest
 	s.tables[head], s.tables[rest] = h, r
+	s.bumpTableGenLocked(head)
+	s.bumpTableGenLocked(rest)
 	for _, pc := range []struct {
 		name string
 		cols []string
@@ -138,6 +140,7 @@ func (s *Store) Reunite(newName, head, rest string, cols ...string) error {
 		return err
 	}
 	s.tables[newName] = t
+	s.bumpTableGenLocked(newName)
 	return s.registerTableLocked(newName, cols, t.Len())
 }
 

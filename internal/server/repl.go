@@ -96,8 +96,20 @@ func (s *Server) noteFollower(addr string, applied uint64) {
 		s.repl.followers = make(map[string]followerInfo)
 	}
 	s.repl.followers[addr] = followerInfo{applied: applied, seen: time.Now()}
+	s.repl.mu.Unlock()
+	s.refreshPruneFloor()
+}
+
+// refreshPruneFloor recomputes the WAL prune floor from the followers
+// seen within followerSeenWindow. Besides every heartbeat, the /save
+// path calls it just before the checkpoint rotates (rotation is the
+// only moment archives are pruned) — so the acked position of a
+// follower that disconnected does not keep protecting archived
+// segments until some other follower happens to heartbeat.
+func (s *Server) refreshPruneFloor() {
 	floor := ^uint64(0)
 	cutoff := time.Now().Add(-followerSeenWindow)
+	s.repl.mu.Lock()
 	for _, fi := range s.repl.followers {
 		if fi.seen.After(cutoff) && fi.applied < floor {
 			floor = fi.applied

@@ -433,11 +433,13 @@ func fileMatches(path string, sf shard.SnapshotFile) bool {
 // what local disk does not already hold. Every manifest file is first
 // checked (by size and checksum) against the staging dir, then against
 // the previously installed image; only mismatches are fetched. Every
-// chunk read is fenced by the image's seq; a checkpoint landing
-// mid-download answers "snapshot superseded", and the retry re-fetches
-// the manifest but keeps the staging dir — files unchanged across the
-// checkpoint are never downloaded twice, so the bootstrap converges
-// even when checkpoints keep racing it. Once staging is complete, the
+// chunk read is fenced by the image's seq, and every downloaded file is
+// checksum-verified against the manifest (the fence alone cannot catch
+// a checkpoint that replaced files at an unchanged seq); either trip
+// answers "snapshot superseded", and the retry re-fetches the manifest
+// but keeps the staging dir — files unchanged across the checkpoint are
+// never downloaded twice, so the bootstrap converges even when
+// checkpoints keep racing it. Once staging is complete, the
 // stale local state is dropped, the image is installed, and OpenDurable
 // boots warm from it with a fresh log based at the image's seq —
 // exactly the position the pull loop resumes from.
@@ -586,7 +588,14 @@ func fetchManifest(c *Client) (shard.SnapshotManifest, error) {
 }
 
 // downloadFile fetches one manifest file into dst, chunk by chunk,
-// counting the transferred bytes.
+// counting the transferred bytes, and verifies the result against the
+// manifest's checksum before accepting it. The seq fence only catches
+// checkpoints that advanced the WAL stamp; a delta or compaction
+// checkpoint can replace image files at an unchanged seq, so a torn
+// half-old/half-new read passes the fence — the CRC is what actually
+// guarantees the staged file matches the manifest. A mismatch (or a
+// file that shrank mid-download) reads as a superseded snapshot: the
+// bad staging copy is dropped and the caller re-fetches the manifest.
 func downloadFile(c *Client, seq uint64, sf shard.SnapshotFile, dst string, stats *bootStats) error {
 	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
 		return err
@@ -595,6 +604,7 @@ func downloadFile(c *Client, seq uint64, sf shard.SnapshotFile, dst string, stat
 	if err != nil {
 		return err
 	}
+	sum := crc32.NewIEEE()
 	var off int64
 	for off < sf.Size {
 		n := fetchChunk
@@ -622,14 +632,23 @@ func downloadFile(c *Client, seq uint64, sf shard.SnapshotFile, dst string, stat
 		}
 		if len(chunk) == 0 {
 			out.Close()
-			return fmt.Errorf("server: short image file %s (%d of %d bytes)", sf.Path, off, sf.Size)
+			os.Remove(dst)
+			return fmt.Errorf("server: image file %s shrank mid-download (%d of %d bytes) — snapshot superseded", sf.Path, off, sf.Size)
 		}
 		if _, err := out.Write(chunk); err != nil {
 			out.Close()
 			return err
 		}
+		sum.Write(chunk)
 		off += int64(len(chunk))
 		stats.downloaded += int64(len(chunk))
 	}
-	return out.Close()
+	if err := out.Close(); err != nil {
+		return err
+	}
+	if sum.Sum32() != sf.Crc {
+		os.Remove(dst)
+		return fmt.Errorf("server: image file %s downloaded with crc %08x, manifest wants %08x — snapshot superseded mid-download", sf.Path, sum.Sum32(), sf.Crc)
+	}
+	return nil
 }

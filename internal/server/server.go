@@ -345,6 +345,9 @@ func (s *Server) meta(cmd string) (*Response, bool) {
 		if len(fields) > 1 {
 			mode = fields[1]
 		}
+		// Pruning happens at the rotation this checkpoint triggers; refresh
+		// the floor first so a follower long gone stops pinning archives.
+		s.refreshPruneFloor()
 		ran, err := s.store.CheckpointMode(mode)
 		if err != nil {
 			return &Response{Err: err.Error()}, false

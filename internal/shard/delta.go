@@ -57,11 +57,12 @@ type deltaManifest struct {
 
 // chainElem is one resolved on-disk element.
 type chainElem struct {
-	name  string // directory name under the data dir ("delta-000001")
-	ord   int
-	seq   uint64
-	sum   uint32 // CRC-32 of this element's delta.json
-	dirty []int
+	name    string // directory name under the data dir ("delta-000001")
+	ord     int
+	seq     uint64
+	sum     uint32 // CRC-32 of this element's delta.json
+	prevSum uint32 // the predecessor this element links to
+	dirty   []int
 }
 
 func deltaDirName(ord int) string {
@@ -148,7 +149,8 @@ func (s *Store) checkpointFullLocked() error {
 	// The new base covers every element; remove them before rotating so
 	// a crash leaves either chain or base authoritative, never a base
 	// with unlinked newer elements. A crash before the removals leaves
-	// superseded elements (seq <= the base's stamp), which boot deletes.
+	// superseded elements (older stamps, or unlinked at the base's
+	// stamp), which boot's resolveChain deletes.
 	for _, e := range s.chain {
 		os.RemoveAll(filepath.Join(s.dataDir, e.name))
 	}
@@ -220,7 +222,7 @@ func (s *Store) checkpointDeltaLocked() (bool, error) {
 		}
 		return false, nil
 	}
-	s.chain = append(s.chain, chainElem{name: name, ord: ord, seq: seq, sum: crc32.ChecksumIEEE(data), dirty: dirty})
+	s.chain = append(s.chain, chainElem{name: name, ord: ord, seq: seq, sum: crc32.ChecksumIEEE(data), prevSum: prevSum, dirty: dirty})
 	s.chainBytes += dirSize(dir)
 	return true, s.wal.Rotate(seq)
 }
@@ -228,6 +230,14 @@ func (s *Store) checkpointDeltaLocked() (bool, error) {
 // resolveChain scans the data dir for delta elements, deletes the ones a
 // newer full image superseded, and verifies the checksum links end to
 // end. Called at boot, before any store state exists.
+//
+// Supersession cannot be decided by seq alone: a live element written
+// after crack-only changes carries the base's own stamp (no WAL record
+// advanced the seq), and so does residue from a full checkpoint that
+// crashed between the base swap and the chain cleanup. An element
+// strictly older than the base is always residue; one at the base's
+// stamp is residue exactly when it does not link into the chain growing
+// out of the base's checksum.
 func resolveChain(dir string, baseExists bool, baseApplied uint64, baseSum uint32) ([]chainElem, error) {
 	matches, err := filepath.Glob(filepath.Join(dir, deltaDirPrefix+"*"))
 	if err != nil {
@@ -258,13 +268,7 @@ func resolveChain(dir string, baseExists bool, baseApplied uint64, baseSum uint3
 		if dm.Version != 1 {
 			return nil, fmt.Errorf("shard: unsupported delta version %d in %s", dm.Version, name)
 		}
-		if baseExists && dm.Seq <= baseApplied {
-			// A newer full image covers this element (crash between the
-			// base swap and the chain cleanup).
-			os.RemoveAll(m)
-			continue
-		}
-		elems = append(elems, chainElem{name: name, ord: ord, seq: dm.Seq, sum: crc32.ChecksumIEEE(data), dirty: dm.Dirty})
+		elems = append(elems, chainElem{name: name, ord: ord, seq: dm.Seq, sum: crc32.ChecksumIEEE(data), prevSum: dm.PrevSum, dirty: dm.Dirty})
 	}
 	if len(elems) == 0 {
 		return nil, nil
@@ -273,21 +277,28 @@ func resolveChain(dir string, baseExists bool, baseApplied uint64, baseSum uint3
 		return nil, fmt.Errorf("shard: delta chain present but no base image under %s — refusing to boot cold over existing checkpoints", dir)
 	}
 	sort.Slice(elems, func(i, j int) bool { return elems[i].ord < elems[j].ord })
+	var live []chainElem
 	prev := baseSum
 	at := "base image"
 	for _, e := range elems {
-		dm, err := readDeltaManifest(filepath.Join(dir, e.name))
-		if err != nil {
-			return nil, err
+		if e.seq < baseApplied || (e.seq == baseApplied && e.prevSum != prev) {
+			// A newer full image covers this element: every live element
+			// was written at or after the base's stamp (the base's full
+			// checkpoint rotated the WAL to it) and links into the chain
+			// anchored at the base's checksum. Anything else is residue
+			// from a crash between the base swap and the chain cleanup.
+			os.RemoveAll(filepath.Join(dir, e.name))
+			continue
 		}
-		if dm.PrevSum != prev {
+		if e.prevSum != prev {
 			return nil, fmt.Errorf("shard: delta chain broken: %s links predecessor %08x, but %s is %08x",
-				e.name, dm.PrevSum, at, prev)
+				e.name, e.prevSum, at, prev)
 		}
+		live = append(live, e)
 		prev = e.sum
 		at = e.name
 	}
-	return elems, nil
+	return live, nil
 }
 
 func readDeltaManifest(dir string) (*deltaManifest, error) {

@@ -315,6 +315,50 @@ func TestSupersededElementsCleaned(t *testing.T) {
 	}
 }
 
+// TestCrackOnlyDeltaSurvivesReboot: a delta checkpoint taken after
+// crack-only changes carries the base's own WAL stamp (queries append
+// no records), and a later element links to it by checksum. Boot must
+// keep that element as part of the live chain — deleting it as
+// full-checkpoint residue would break every later link and refuse a
+// perfectly healthy restart.
+func TestCrackOnlyDeltaSurvivesReboot(t *testing.T) {
+	dir := t.TempDir()
+	s := seedDurable(t, dir)
+	// Crack-only round: fresh cut points on shard 0, no WAL traffic, so
+	// the element's seq equals the base's applied seq.
+	for lo := int64(0); lo < 900; lo += 40 {
+		_, err := s.CountWhere("t",
+			crackdb.Cond{Col: "k", Op: ">=", Val: lo},
+			crackdb.Cond{Col: "k", Op: "<", Val: lo + 25})
+		mustExec(t, err)
+	}
+	if mode, err := s.CheckpointMode("delta"); err != nil || mode != "delta" {
+		t.Fatalf("crack-only delta: mode %q err %v", mode, err)
+	}
+	// Second element, this time with WAL traffic, chained to the first.
+	mustExec(t, s.InsertRows("t", [][]int64{{10, 1}, {20, 2}}))
+	if mode, err := s.CheckpointMode("delta"); err != nil || mode != "delta" {
+		t.Fatalf("delta 2: mode %q err %v", mode, err)
+	}
+	mustExec(t, s.CloseWAL())
+
+	re, info, err := shard.OpenDurable(dir, rangeOpts())
+	if err != nil {
+		t.Fatalf("reboot after a crack-only delta refused: %v", err)
+	}
+	defer re.CloseWAL()
+	if !info.Recovered || info.ChainDeltas != 2 {
+		t.Fatalf("boot dropped live chain elements: %+v", info)
+	}
+	n, err := re.CountWhere("t",
+		crackdb.Cond{Col: "k", Op: ">=", Val: 0},
+		crackdb.Cond{Col: "k", Op: "<", Val: 8000})
+	mustExec(t, err)
+	if n != 8002 {
+		t.Fatalf("recovered %d rows, want 8002", n)
+	}
+}
+
 // TestDeltaCheckpointNoop: with no traffic since the last checkpoint, a
 // delta checkpoint writes nothing at all.
 func TestDeltaCheckpointNoop(t *testing.T) {

@@ -182,6 +182,7 @@ func Open(dir string) (*Store, error) {
 			return nil, err
 		}
 		s.tables[mt.Name] = t
+		s.bumpTableGenLocked(mt.Name)
 		if err := s.registerTableLocked(mt.Name, mt.Columns, mt.Rows-len(mt.Deleted)); err != nil {
 			return nil, err
 		}

@@ -23,12 +23,14 @@ import (
 // OpenWarmChain resolves base + deltas back into a live store, verifying
 // every link before applying anything.
 //
-// Change detection is a saveMark: a per-table shape record plus a
-// per-column state fingerprint (core.Column.StateFingerprint), recorded
-// after every successful save and after every warm open. A table or
-// column with no mark entry is dirty by definition — which makes
-// create, drop+recreate, and Materialize (which bypasses the WAL) all
-// land in the next delta without any epoch bookkeeping.
+// Change detection is a saveMark: a per-table shape-and-generation
+// record plus a per-column state fingerprint
+// (core.Column.StateFingerprint), recorded after every successful save
+// and after every warm open. A table or column with no mark entry is
+// dirty by definition, and every table-creation path bumps the table's
+// generation (bumpTableGenLocked) — so create, drop+recreate (even into
+// an identical shape and row count), and Materialize (which bypasses
+// the WAL) all land in the next delta.
 
 const deltaStateName = "crackdelta.crk"
 
@@ -42,6 +44,7 @@ type saveMark struct {
 }
 
 type tableMark struct {
+	gen   uint64 // creation generation (bumpTableGenLocked) — object identity
 	rows  int    // physical rows, tombstoned included
 	tombs int    // tombstone count (monotone: equal count == equal set)
 	cols  string // column names, joined — schema identity
@@ -50,6 +53,16 @@ type tableMark struct {
 type colKey struct{ table, attr string }
 
 func joinCols(cols []string) string { return strings.Join(cols, "\x00") }
+
+// bumpTableGenLocked stamps name with a fresh generation. Every path
+// that installs a table object into s.tables must call it — create,
+// tapestry load, Materialize, vertical partition/reunite, warm open,
+// delta apply — so shape-based dirtiness never mistakes a recreated
+// table for the one the last save captured. The caller holds s.mu.
+func (s *Store) bumpTableGenLocked(name string) {
+	s.genSeq++
+	s.tableGen[name] = s.genSeq
+}
 
 // configLocked materializes the store-wide crack configuration a
 // snapshot carries. The caller holds s.mu (read or write).
@@ -73,7 +86,7 @@ func (s *Store) markLocked(sum uint32) {
 		cols:   make(map[colKey]uint64),
 	}
 	for name, t := range s.tables {
-		tm := tableMark{rows: t.Len(), cols: joinCols(t.ColumnNames())}
+		tm := tableMark{gen: s.tableGen[name], rows: t.Len(), cols: joinCols(t.ColumnNames())}
 		if ct, ok := s.cracked[name]; ok {
 			tm.tombs = len(ct.Tombstones())
 			for _, attr := range ct.CrackedColumns() {
@@ -123,7 +136,7 @@ func (s *Store) dirtySinceSaveLocked() bool {
 	liveCols := 0
 	for name, t := range s.tables {
 		tm, ok := m.tables[name]
-		if !ok || tm.rows != t.Len() || tm.cols != joinCols(t.ColumnNames()) {
+		if !ok || tm.gen != s.tableGen[name] || tm.rows != t.Len() || tm.cols != joinCols(t.ColumnNames()) {
 			return true
 		}
 		tombs := 0
@@ -201,7 +214,8 @@ func (s *Store) SaveDelta(dir string) error {
 					markCols++
 				}
 			}
-			dt.DataDirty = !had || tm.rows != dt.Rows || tm.cols != joinCols(dt.Cols) ||
+			dt.DataDirty = !had || tm.gen != s.tableGen[name] ||
+				tm.rows != dt.Rows || tm.cols != joinCols(dt.Cols) ||
 				markCols > len(attrs) // a cracked column vanished: drop+recreate
 			tombChanged := !had || tm.tombs != len(dt.Deleted)
 			if dt.DataDirty {
@@ -332,6 +346,7 @@ func (s *Store) applyDelta(dir string, d *durable.DeltaSnapshot) error {
 			return err
 		}
 		delete(s.tables, name)
+		delete(s.tableGen, name)
 		delete(s.cracked, name)
 		s.sideways.DropTable(name)
 	}
@@ -366,6 +381,7 @@ func (s *Store) applyDelta(dir string, d *durable.DeltaSnapshot) error {
 			delete(s.cracked, dt.Name)
 			s.sideways.DropTable(dt.Name)
 			s.tables[dt.Name] = t
+			s.bumpTableGenLocked(dt.Name)
 			if err := s.registerTableLocked(dt.Name, dt.Cols, dt.Rows-len(dt.Deleted)); err != nil {
 				return err
 			}

@@ -219,6 +219,62 @@ func TestDeltaSkipsCleanTables(t *testing.T) {
 	}
 }
 
+// TestDeltaCatchesDropRecreate: dropping a table and recreating it with
+// the identical schema and row count but different values must read as
+// dirty and land the new data in the next delta — shape equality alone
+// must never pass a recreated table off as the one the base captured.
+func TestDeltaCatchesDropRecreate(t *testing.T) {
+	s := crackdb.New()
+	if err := s.CreateTable("t", "k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	rows := make([][]int64, 1000)
+	for i := range rows {
+		rows[i] = []int64{int64(i), 1}
+	}
+	if err := s.InsertRows("t", rows); err != nil {
+		t.Fatal(err)
+	}
+	root := t.TempDir()
+	base := filepath.Join(root, "base")
+	if err := s.SaveWarm(base); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same name, same schema, same row count — values shifted.
+	if err := s.DropTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateTable("t", "k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	for i := range rows {
+		rows[i] = []int64{int64(i) + 100_000, 2}
+	}
+	if err := s.InsertRows("t", rows); err != nil {
+		t.Fatal(err)
+	}
+	if !s.DirtySinceSave() {
+		t.Fatal("drop+recreate into an identical shape reads as clean")
+	}
+
+	d := filepath.Join(root, "d")
+	if err := s.SaveDelta(d); err != nil {
+		t.Fatal(err)
+	}
+	re, _, err := crackdb.OpenWarmChain(base, []string{d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := re.Count("t", "k", 100_000, 100_999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1000 {
+		t.Fatalf("chain reopen serves %d rows of the recreated table, want 1000 (old data survived)", n)
+	}
+}
+
 // TestDeltaChainRefusals: a chain missing its base, with elements out
 // of order, or with a corrupted element must refuse to open — never
 // silently serve partial or cold state.
